@@ -1,0 +1,193 @@
+// Command gathersim runs one gathering scenario and reports the outcome,
+// optionally tracing agent positions.
+//
+// Usage:
+//
+//	gathersim [-graph ring] [-n 8] [-labels 5,9] [-starts 0,4]
+//	          [-wakes 0,-1] [-algo known|gossip|unknown] [-msg 101,0110]
+//	          [-trace-every 1000]
+//
+// -wakes accepts -1 for "dormant until visited". For -algo unknown the
+// scenario must match a configuration of at most 3 nodes (see DESIGN.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"nochatter/internal/gather"
+	"nochatter/internal/gossip"
+	"nochatter/internal/graph"
+	"nochatter/internal/sim"
+	"nochatter/internal/ues"
+	"nochatter/internal/unknown"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gathersim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		family     = flag.String("graph", "ring", "graph family: ring|path|complete|star|grid|torus|hypercube|tree|gnp|two")
+		n          = flag.Int("n", 8, "graph size parameter (nodes, or dimension for hypercube)")
+		labelsFlag = flag.String("labels", "5,9", "comma-separated agent labels")
+		startsFlag = flag.String("starts", "", "comma-separated start nodes (default: spread)")
+		wakesFlag  = flag.String("wakes", "", "comma-separated wake rounds, -1 = dormant (default: all 0)")
+		algo       = flag.String("algo", "known", "algorithm: known|gossip|unknown")
+		msgFlag    = flag.String("msg", "", "comma-separated binary messages (gossip)")
+		traceEvery = flag.Int("trace-every", 0, "print positions every k rounds (0 = off)")
+		seed       = flag.Int64("seed", 1, "seed for random graph families")
+	)
+	flag.Parse()
+
+	g, err := makeGraph(*family, *n, *seed)
+	if err != nil {
+		return err
+	}
+	labels, err := parseInts(*labelsFlag)
+	if err != nil {
+		return fmt.Errorf("labels: %w", err)
+	}
+	starts, err := defaultInts(*startsFlag, len(labels), func(i int) int {
+		return (i * g.N()) / len(labels)
+	})
+	if err != nil {
+		return fmt.Errorf("starts: %w", err)
+	}
+	wakes, err := defaultInts(*wakesFlag, len(labels), func(int) int { return 0 })
+	if err != nil {
+		return fmt.Errorf("wakes: %w", err)
+	}
+	if len(starts) != len(labels) || len(wakes) != len(labels) {
+		return fmt.Errorf("labels/starts/wakes length mismatch")
+	}
+
+	var msgs []string
+	if *msgFlag != "" {
+		msgs = strings.Split(*msgFlag, ",")
+	}
+	seq := ues.Build(g)
+	team := make([]sim.AgentSpec, len(labels))
+	for i := range labels {
+		var prog sim.Program
+		switch *algo {
+		case "known":
+			prog = gather.NewProgram(seq)
+		case "gossip":
+			msg := ""
+			if i < len(msgs) {
+				msg = msgs[i]
+			}
+			prog = gossip.NewProgram(seq, msg)
+		case "unknown":
+			p := unknown.DefaultParams()
+			if err := p.ValidateFor(g); err != nil {
+				return err
+			}
+			prog = unknown.NewProgram(p)
+		default:
+			return fmt.Errorf("unknown algorithm %q", *algo)
+		}
+		team[i] = sim.AgentSpec{Label: labels[i], Start: starts[i], WakeRound: wakes[i], Program: prog}
+	}
+
+	sc := sim.Scenario{Graph: g, Agents: team}
+	if *traceEvery > 0 {
+		every := *traceEvery
+		sc.OnRound = func(v sim.RoundView) {
+			if v.Round%every == 0 {
+				fmt.Printf("round %-8d positions %v awake %v\n", v.Round, v.Positions, v.Awake)
+			}
+		}
+	}
+
+	res, err := sim.Run(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph %s (n=%d, diameter %d), T(EXPLO)=%d\n", g.Name(), g.N(), g.Diameter(), seq.Duration())
+	for _, a := range res.Agents {
+		fmt.Printf("agent %-4d woke %-6d declared %-8d node %-3d leader %-4d",
+			a.Label, a.WokenRound, a.HaltRound, a.FinalNode, a.Report.Leader)
+		if a.Report.Size > 0 {
+			fmt.Printf(" size %d", a.Report.Size)
+		}
+		if a.Report.Gossip != nil {
+			keys := make([]string, 0, len(a.Report.Gossip))
+			for m := range a.Report.Gossip {
+				keys = append(keys, m)
+			}
+			sort.Strings(keys)
+			fmt.Printf(" gossip ")
+			for _, m := range keys {
+				fmt.Printf("%q x%d ", m, a.Report.Gossip[m])
+			}
+		}
+		fmt.Println()
+	}
+	if res.AllHaltedTogether() {
+		fmt.Printf("GATHERED in round %d at node %d\n", res.Rounds, res.Agents[0].FinalNode)
+		return nil
+	}
+	return fmt.Errorf("agents did not gather")
+}
+
+func makeGraph(family string, n int, seed int64) (*graph.Graph, error) {
+	switch family {
+	case "ring":
+		return graph.Ring(n), nil
+	case "path":
+		return graph.Path(n), nil
+	case "complete":
+		return graph.Complete(n), nil
+	case "star":
+		return graph.Star(n), nil
+	case "grid":
+		r := 2
+		return graph.Grid(r, (n+r-1)/r), nil
+	case "torus":
+		return graph.Torus(3, (n+2)/3), nil
+	case "hypercube":
+		return graph.Hypercube(n), nil
+	case "tree":
+		return graph.RandomTree(n, seed), nil
+	case "gnp":
+		return graph.GNP(n, 0.3, seed), nil
+	case "two":
+		return graph.TwoNodes(), nil
+	default:
+		return nil, fmt.Errorf("unknown graph family %q", family)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func defaultInts(s string, n int, def func(i int) int) ([]int, error) {
+	if s == "" {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = def(i)
+		}
+		return out, nil
+	}
+	return parseInts(s)
+}

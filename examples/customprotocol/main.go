@@ -1,0 +1,115 @@
+// Custom protocol: the movement-encoded broadcast primitive Communicate
+// (Algorithm 4) is exposed for building your own chatter-free protocols.
+// Here, co-located sensor agents run a "minimum reading with quorum count"
+// round: every agent learns the smallest reading in the group and how many
+// agents measured it — without exchanging a single message.
+//
+// It also contrasts the deterministic machinery with the randomized
+// rendezvous from the paper's open problem (Section 6): two agents first
+// find each other by lazy random walks, then talk by moving.
+//
+// Run with: go run ./examples/customprotocol
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"nochatter"
+)
+
+// encodeReading turns a sensor reading (0..63) into the codeword the
+// Communicate primitive transports.
+func encodeReading(v int) string {
+	bits := ""
+	for i := 5; i >= 0; i-- {
+		if v&(1<<i) != 0 {
+			bits += "1"
+		} else {
+			bits += "0"
+		}
+	}
+	code := ""
+	for _, b := range bits {
+		code += string(b) + string(b)
+	}
+	return code + "01"
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "customprotocol:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	g := nochatter.Grid(3, 3)
+	seq := nochatter.BuildSequence(g)
+	tm := nochatter.NewTiming(seq)
+
+	readings := map[int]int{4: 17, 9: 12, 23: 12} // two agents measured 12
+	type outcome struct {
+		min   int
+		count int
+	}
+	results := map[int]outcome{}
+
+	// The demo pre-plans each agent's walk to the grid center (protocols on
+	// top of Communicate assume a co-located group — getting there is what
+	// GatherKnownUpperBound is for; see examples/quickstart).
+	paths := map[int][]int{} // start node -> port path to node 4
+	for _, start := range []int{0, 8} {
+		paths[start] = pathTo(g, start, 4)
+	}
+	const align = 4 // all walks are at most 2 moves; start protocol together
+
+	prog := func(label, start int) nochatter.Program {
+		return func(a *nochatter.API) nochatter.Report {
+			for _, p := range paths[start] {
+				a.TakePort(p)
+			}
+			a.WaitRounds(align - len(paths[start]))
+
+			// One Communicate round carries the minimum reading and its
+			// multiplicity to everyone (Lemma 3.1 semantics).
+			l, k := nochatter.Communicate(a, tm, 14, encodeReading(readings[label]), true)
+			v := decodeReading(l)
+			results[label] = outcome{min: v, count: k}
+			return nochatter.Report{}
+		}
+	}
+
+	team := []nochatter.AgentSpec{
+		{Label: 4, Start: 0, WakeRound: 0, Program: prog(4, 0)},
+		{Label: 9, Start: 4, WakeRound: 0, Program: prog(9, 4)},
+		{Label: 23, Start: 8, WakeRound: 0, Program: prog(23, 8)},
+	}
+	if _, err := nochatter.Run(nochatter.Scenario{Graph: g, Agents: team}); err != nil {
+		return err
+	}
+	fmt.Printf("readings: %v\n", readings)
+	for label, o := range results {
+		fmt.Printf("  agent %-3d learned: min reading = %d, measured by %d agents\n",
+			label, o.min, o.count)
+	}
+	return nil
+}
+
+// pathTo computes a port path by BFS over the known demo graph.
+func pathTo(g *nochatter.Graph, from, to int) []int {
+	return g.ShortestPathPorts(from, to)
+}
+
+// decodeReading inverts encodeReading on a Communicate result (codeword
+// possibly padded with 1s).
+func decodeReading(l string) int {
+	v := 0
+	for i := 0; i+1 < len(l) && !(l[i] == '0' && l[i+1] == '1'); i += 2 {
+		v <<= 1
+		if l[i] == '1' {
+			v |= 1
+		}
+	}
+	return v
+}

@@ -1,0 +1,58 @@
+// Leader election: a fleet of software agents on an anonymous overlay
+// network elects a coordinator without exchanging a single message — the
+// leader-election by-product of Theorem 3.1 — and every agent learns the
+// winner's identity.
+//
+// Run with: go run ./examples/leader
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"nochatter"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "leader:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// An irregular overlay: a random connected graph of 10 nodes.
+	g := nochatter.GNP(10, 0.3, 2026)
+	seq := nochatter.BuildSequence(g)
+
+	// Five agents with arbitrary distinct IDs scattered over the overlay,
+	// woken at the adversary's whim.
+	ids := []int{14, 3, 27, 9, 40}
+	starts := []int{0, 2, 4, 6, 8}
+	wakes := []int{0, 17, 5, nochatter.DormantUntilVisited, 3}
+	team := make([]nochatter.AgentSpec, len(ids))
+	for i := range ids {
+		team[i] = nochatter.AgentSpec{
+			Label: ids[i], Start: starts[i], WakeRound: wakes[i],
+			Program: nochatter.GatherKnownUpperBound(seq),
+		}
+	}
+
+	res, err := nochatter.Run(nochatter.Scenario{Graph: g, Agents: team})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("network: %s (N=%d, diameter %d), %d agents: %v\n",
+		g.Name(), g.N(), g.Diameter(), len(ids), ids)
+	leaders := res.Leaders()
+	if len(leaders) != 1 {
+		return fmt.Errorf("split vote: %v (this is a bug)", leaders)
+	}
+	for _, a := range res.Agents {
+		fmt.Printf("  agent %-3d says: the leader is %d (learned by round %d)\n",
+			a.Label, a.Report.Leader, a.HaltRound)
+	}
+	fmt.Printf("unanimous: agent %d leads\n", leaders[0])
+	return nil
+}

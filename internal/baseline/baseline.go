@@ -1,0 +1,201 @@
+// Package baseline implements gathering in the TRADITIONAL model, where
+// co-located agents can talk (exchange all state instantly), as the
+// comparison point for the paper's chatter-free algorithms (experiment E6).
+//
+// The baseline deliberately enjoys every advantage the traditional model
+// grants: merged groups instantly share labels and adopt the minimum, no
+// movement rounds are ever spent on communication, and the team size k is
+// common knowledge so termination detection is free. The measured gap
+// between this baseline and GatherKnownUpperBound is therefore an upper
+// bound on the true price of removing chatter.
+//
+// Scope: simultaneous wake-up (the adversarial wake-up machinery is
+// exercised against the paper's algorithms; the baseline is a cost
+// yardstick). The simulation is centralized — with talking, group state
+// is shared anyway — but counts rounds with exactly the same semantics as
+// the agent-level engine: one EXPLO move or wait per round.
+//
+// Algorithm: every agent explores once (phase 0), then groups run the
+// rendezvous schedule TZ(min label of group), aligned to the global clock;
+// co-located groups merge instantly. Distinct minima guarantee pairwise
+// meetings (prefix-free schedules; see internal/tz), so merging continues
+// until one group holds all k agents, which is the declaration round.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"nochatter/internal/bits"
+	"nochatter/internal/graph"
+	"nochatter/internal/ues"
+)
+
+// Spec describes one baseline agent.
+type Spec struct {
+	Label int
+	Start int
+}
+
+// Result reports the baseline gathering outcome.
+type Result struct {
+	Rounds int // round in which the full group first assembled
+	Leader int // minimum label of the team
+	Node   int // gathering node
+}
+
+// MaxRounds bounds the centralized simulation defensively.
+const MaxRounds = 20_000_000
+
+// group is a merged set of agents moving together.
+type group struct {
+	minLabel int
+	size     int
+	node     int
+	entry    int   // walk entry-port state
+	entries  []int // recorded entry ports of the current effective leg
+	pattern  string
+}
+
+// Gather runs the baseline and returns the gathering round, leader and node.
+func Gather(g *graph.Graph, seq *ues.Sequence, specs []Spec) (Result, error) {
+	if len(specs) < 2 {
+		return Result{}, fmt.Errorf("baseline: need at least two agents")
+	}
+	seen := map[int]bool{}
+	starts := map[int]bool{}
+	for _, sp := range specs {
+		if sp.Label <= 0 || seen[sp.Label] {
+			return Result{}, fmt.Errorf("baseline: bad or duplicate label %d", sp.Label)
+		}
+		if sp.Start < 0 || sp.Start >= g.N() || starts[sp.Start] {
+			return Result{}, fmt.Errorf("baseline: bad or duplicate start %d", sp.Start)
+		}
+		seen[sp.Label] = true
+		starts[sp.Start] = true
+	}
+
+	k := len(specs)
+	e := seq.EffectiveLen()
+	offsets := seq.Offsets()
+
+	// Phase 0: every agent runs one full EXPLO from its start (2E rounds).
+	// Co-location during phase 0 is irrelevant (everyone is awake and the
+	// walk returns each agent to its start), so groups form afterwards.
+	groups := make([]*group, k)
+	for i, sp := range specs {
+		groups[i] = &group{
+			minLabel: sp.Label,
+			size:     1,
+			node:     sp.Start,
+			pattern:  bits.Code(bits.Bin(sp.Label)),
+		}
+	}
+	round := 2 * e // global round at which aligned TZ begins
+	mergeCoLocated(&groups)
+
+	for tau := 0; ; tau++ {
+		if len(groups) == 1 && groups[0].size == k {
+			return Result{Rounds: round, Leader: teamMin(specs), Node: groups[0].node}, nil
+		}
+		if round > MaxRounds {
+			return Result{}, fmt.Errorf("baseline: exceeded %d rounds", MaxRounds)
+		}
+		for _, gr := range groups {
+			gr.step(g, offsets, e, tau)
+		}
+		round++
+		mergeCoLocated(&groups)
+	}
+}
+
+// step advances one group by one round of its aligned TZ schedule.
+func (gr *group) step(g *graph.Graph, offsets []int, e, tau int) {
+	block := 4 * e
+	bit := gr.pattern[(tau/block)%len(gr.pattern)]
+	phase := tau % block
+	var off int
+	var active bool
+	if bit == '1' {
+		active = phase < 2*e
+		off = phase
+	} else {
+		active = phase >= 2*e
+		off = phase - 2*e
+	}
+	if !active {
+		return // wait
+	}
+	if off == 0 {
+		gr.entries = gr.entries[:0]
+		gr.entry = 0
+	}
+	if off < e {
+		if off != len(gr.entries) {
+			// Joined mid-window after a merge: wait out the window.
+			return
+		}
+		d := g.Degree(gr.node)
+		q := (gr.entry + offsets[off]) % d
+		to, entry := g.Traverse(gr.node, q)
+		gr.node = to
+		gr.entry = entry
+		gr.entries = append(gr.entries, entry)
+	} else {
+		// Backtrack leg.
+		i := 2*e - 1 - off // index e-1 .. 0 as off runs e .. 2e-1
+		if i >= len(gr.entries) || i < 0 {
+			return
+		}
+		p := gr.entries[i]
+		to, entry := g.Traverse(gr.node, p)
+		gr.node = to
+		gr.entry = entry
+		gr.entries = gr.entries[:i]
+	}
+}
+
+// mergeCoLocated merges groups sharing a node; the merged group adopts the
+// smallest member label (and therefore that label's schedule).
+func mergeCoLocated(groups *[]*group) {
+	byNode := map[int][]*group{}
+	for _, gr := range *groups {
+		byNode[gr.node] = append(byNode[gr.node], gr)
+	}
+	var out []*group
+	nodes := make([]int, 0, len(byNode))
+	for node := range byNode {
+		nodes = append(nodes, node)
+	}
+	sort.Ints(nodes)
+	for _, node := range nodes {
+		set := byNode[node]
+		if len(set) == 1 {
+			out = append(out, set[0])
+			continue
+		}
+		merged := set[0]
+		for _, gr := range set[1:] {
+			if gr.minLabel < merged.minLabel {
+				// Keep the smaller label's walk state: it dictates movement.
+				gr.size += merged.size
+				merged = gr
+			} else {
+				merged.size += gr.size
+			}
+		}
+		merged.pattern = bits.Code(bits.Bin(merged.minLabel))
+		out = append(out, merged)
+	}
+	*groups = out
+}
+
+func teamMin(specs []Spec) int {
+	m := specs[0].Label
+	for _, sp := range specs[1:] {
+		if sp.Label < m {
+			m = sp.Label
+		}
+	}
+	return m
+}

@@ -1,0 +1,113 @@
+package baseline
+
+import (
+	"testing"
+
+	"nochatter/internal/graph"
+	"nochatter/internal/sim"
+	"nochatter/internal/ues"
+
+	"nochatter/internal/gather"
+)
+
+func TestBaselineGathers(t *testing.T) {
+	cases := []struct {
+		g     *graph.Graph
+		specs []Spec
+	}{
+		{graph.TwoNodes(), []Spec{{1, 0}, {2, 1}}},
+		{graph.Ring(4), []Spec{{1, 0}, {2, 2}}}, // antipodal even ring
+		{graph.Ring(7), []Spec{{3, 0}, {5, 2}, {9, 4}}},
+		{graph.Grid(3, 3), []Spec{{2, 0}, {4, 4}, {6, 8}}},
+		{graph.Star(6), []Spec{{1, 0}, {2, 1}, {3, 2}, {4, 3}}},
+		{graph.Path(6), []Spec{{10, 0}, {20, 5}}},
+		{graph.GNP(9, 0.35, 7), []Spec{{5, 0}, {6, 3}, {7, 8}}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.g.Name(), func(t *testing.T) {
+			seq := ues.Build(tc.g)
+			res, err := Gather(tc.g, seq, tc.specs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := tc.specs[0].Label
+			for _, sp := range tc.specs {
+				if sp.Label < want {
+					want = sp.Label
+				}
+			}
+			if res.Leader != want {
+				t.Errorf("leader = %d, want %d", res.Leader, want)
+			}
+			if res.Rounds <= 0 || res.Rounds > MaxRounds {
+				t.Errorf("suspicious round count %d", res.Rounds)
+			}
+			if res.Node < 0 || res.Node >= tc.g.N() {
+				t.Errorf("gathering node %d out of range", res.Node)
+			}
+		})
+	}
+}
+
+func TestBaselineValidation(t *testing.T) {
+	g := graph.Ring(4)
+	seq := ues.Build(g)
+	if _, err := Gather(g, seq, []Spec{{1, 0}}); err == nil {
+		t.Error("single agent must be rejected")
+	}
+	if _, err := Gather(g, seq, []Spec{{1, 0}, {1, 1}}); err == nil {
+		t.Error("duplicate label must be rejected")
+	}
+	if _, err := Gather(g, seq, []Spec{{1, 0}, {2, 0}}); err == nil {
+		t.Error("duplicate start must be rejected")
+	}
+	if _, err := Gather(g, seq, []Spec{{1, 0}, {0, 1}}); err == nil {
+		t.Error("non-positive label must be rejected")
+	}
+}
+
+func TestChatterFreeCostsMore(t *testing.T) {
+	// The whole point of E6: the talking baseline must be strictly faster
+	// than the chatter-free algorithm on the same scenario.
+	g := graph.Ring(6)
+	seq := ues.Build(g)
+	specs := []Spec{{5, 0}, {9, 3}}
+
+	base, err := Gather(g, seq, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	team := []sim.AgentSpec{
+		{Label: 5, Start: 0, WakeRound: 0, Program: gather.NewProgram(seq)},
+		{Label: 9, Start: 3, WakeRound: 0, Program: gather.NewProgram(seq)},
+	}
+	res, err := sim.Run(sim.Scenario{Graph: g, Agents: team})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllHaltedTogether() {
+		t.Fatal("chatter-free run did not gather")
+	}
+	if base.Rounds >= res.Rounds {
+		t.Errorf("baseline (%d rounds) should beat chatter-free (%d rounds)", base.Rounds, res.Rounds)
+	}
+	t.Logf("overhead factor: %.1fx (%d vs %d rounds)", float64(res.Rounds)/float64(base.Rounds), res.Rounds, base.Rounds)
+}
+
+func TestBaselineDeterminism(t *testing.T) {
+	g := graph.GNP(8, 0.4, 3)
+	seq := ues.Build(g)
+	specs := []Spec{{2, 0}, {3, 4}, {8, 7}}
+	a, err := Gather(g, seq, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Gather(g, seq, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("nondeterministic baseline: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,112 @@
+// Package bits implements the binary-string utilities of the paper: the
+// prefix-free transformation code/decode (Section 2, borrowed from Dessmark
+// et al.), binary representations of labels, and small helpers used by the
+// movement-encoded communication protocols.
+//
+// Strings are Go strings over the alphabet {'0','1'}; the empty string is
+// the paper's ε.
+package bits
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+)
+
+// Code applies the paper's transformation: Code("") = "01"; otherwise each
+// bit is doubled and "01" is appended. The image is prefix-free over
+// non-empty inputs (Proposition 2.1) and always has even length.
+func Code(s string) string {
+	var b strings.Builder
+	b.Grow(2*len(s) + 2)
+	for i := 0; i < len(s); i++ {
+		b.WriteByte(s[i])
+		b.WriteByte(s[i])
+	}
+	b.WriteString("01")
+	return b.String()
+}
+
+// ErrNotCodeword reports that a string is not in the image of Code.
+var ErrNotCodeword = errors.New("bits: not a valid codeword")
+
+// Decode inverts Code. It fails on strings that are not exact codewords.
+func Decode(s string) (string, error) {
+	if len(s) < 2 || len(s)%2 != 0 {
+		return "", ErrNotCodeword
+	}
+	if s[len(s)-2] != '0' || s[len(s)-1] != '1' {
+		return "", ErrNotCodeword
+	}
+	body := s[:len(s)-2]
+	var b strings.Builder
+	b.Grow(len(body) / 2)
+	for i := 0; i+1 < len(body); i += 2 {
+		if s[i] != s[i+1] || (s[i] != '0' && s[i] != '1') {
+			return "", ErrNotCodeword
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String(), nil
+}
+
+// TerminatorAt reports whether position z (1-based, matching the paper's
+// l[z, z+1] = 01 test) holds the codeword terminator: z odd and s[z..z+1]
+// equals "01". Algorithm 3 scans the Communicate output with this predicate.
+func TerminatorAt(s string, z int) bool {
+	if z < 1 || z%2 == 0 || z+1 > len(s) {
+		return false
+	}
+	return s[z-1] == '0' && s[z] == '1'
+}
+
+// FindCodeword scans s for the first odd position z with s[z..z+1] = "01" and
+// returns the decoded prefix s[1..z+1] (1-based), mirroring lines 20-21 of
+// Algorithm 3. ok is false when no terminator exists (e.g. l = 1^i).
+func FindCodeword(s string) (decoded string, ok bool) {
+	for z := 1; z+1 <= len(s); z += 2 {
+		if TerminatorAt(s, z) {
+			d, err := Decode(s[:z+1])
+			if err != nil {
+				return "", false
+			}
+			return d, true
+		}
+	}
+	return "", false
+}
+
+// Bin returns the standard binary representation of a positive integer
+// (no leading zeros). Bin(0) = "0" by convention, used for the λ = 0 case.
+func Bin(x int) string {
+	return strconv.FormatInt(int64(x), 2)
+}
+
+// ParseBin inverts Bin.
+func ParseBin(s string) (int, error) {
+	if s == "" {
+		return 0, errors.New("bits: empty binary string")
+	}
+	v, err := strconv.ParseInt(s, 2, 64)
+	if err != nil {
+		return 0, err
+	}
+	return int(v), nil
+}
+
+// LabelCode returns Code(Bin(label)) — the string an agent transmits for its
+// label in Algorithms 3 and 4.
+func LabelCode(label int) string { return Code(Bin(label)) }
+
+// Ones returns the string 1^n.
+func Ones(n int) string { return strings.Repeat("1", n) }
+
+// IsBinary reports whether s consists only of '0' and '1'.
+func IsBinary(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' && s[i] != '1' {
+			return false
+		}
+	}
+	return true
+}

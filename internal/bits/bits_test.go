@@ -1,0 +1,161 @@
+package bits
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodeKnownValues(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"", "01"},
+		{"0", "0001"},
+		{"1", "1101"},
+		{"10", "110001"},
+		{"101", "11001101"},
+	}
+	for _, tt := range tests {
+		if got := Code(tt.in); got != tt.want {
+			t.Errorf("Code(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func randomBinary(rng *rand.Rand, maxLen int) string {
+	n := rng.Intn(maxLen + 1)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte(byte('0' + rng.Intn(2)))
+	}
+	return b.String()
+}
+
+// Property: Decode(Code(s)) == s for every binary string (Prop. 2.1 inverse).
+func TestCodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func() bool {
+		s := randomBinary(rng, 40)
+		d, err := Decode(Code(s))
+		return err == nil && d == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: |Code(s)| is even (Prop. 2.1, first bullet).
+func TestCodeEvenLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func() bool {
+		return len(Code(randomBinary(rng, 40)))%2 == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the terminator "01" occurs at an odd position z iff z+1 = |code|
+// (Prop. 2.1, second bullet).
+func TestTerminatorOnlyAtEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func() bool {
+		c := Code(randomBinary(rng, 30))
+		for z := 1; z+1 <= len(c); z += 2 {
+			if TerminatorAt(c, z) != (z+1 == len(c)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: prefix-freeness for non-empty strings (Prop. 2.1, third bullet).
+func TestPrefixFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func() bool {
+		s1 := "1" + randomBinary(rng, 12)
+		s2 := "1" + randomBinary(rng, 12)
+		if s1 == s2 {
+			return true
+		}
+		c1, c2 := Code(s1), Code(s2)
+		return !strings.HasPrefix(c2, c1) && !strings.HasPrefix(c1, c2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	bad := []string{"0", "1", "00", "10", "11", "0100", "0010", "abc", "0101x1", "110", "1101x"}
+	for _, s := range bad {
+		if _, err := Decode(s); err == nil {
+			t.Errorf("Decode(%q) should fail", s)
+		}
+	}
+}
+
+func TestFindCodeword(t *testing.T) {
+	tests := []struct {
+		in     string
+		want   string
+		wantOK bool
+	}{
+		{"1101", "1", true},
+		{"110111", "1", true},     // codeword padded with 1s (Communicate output)
+		{"11001101", "101", true}, // full codeword, terminator at end
+		{"1111", "", false},       // 1^i: no participant
+		{"", "", false},
+		{"11", "", false},
+		{"0111", "", true}, // "01" at z=1: Code("") = ε
+	}
+	for _, tt := range tests {
+		got, ok := FindCodeword(tt.in)
+		if ok != tt.wantOK || got != tt.want {
+			t.Errorf("FindCodeword(%q) = (%q, %v), want (%q, %v)", tt.in, got, ok, tt.want, tt.wantOK)
+		}
+	}
+}
+
+func TestBinParseBin(t *testing.T) {
+	for _, x := range []int{0, 1, 2, 3, 5, 9, 127, 128, 1 << 20} {
+		got, err := ParseBin(Bin(x))
+		if err != nil || got != x {
+			t.Errorf("ParseBin(Bin(%d)) = %d, %v", x, got, err)
+		}
+	}
+	if Bin(5) != "101" {
+		t.Errorf("Bin(5) = %q", Bin(5))
+	}
+	if _, err := ParseBin(""); err == nil {
+		t.Error("ParseBin(\"\") should fail")
+	}
+}
+
+func TestLabelCode(t *testing.T) {
+	if LabelCode(5) != "11001101" {
+		t.Errorf("LabelCode(5) = %q, want 11001101", LabelCode(5))
+	}
+	// Distinct labels must give distinct, mutually non-prefix codes.
+	for a := 1; a <= 40; a++ {
+		for b := a + 1; b <= 40; b++ {
+			ca, cb := LabelCode(a), LabelCode(b)
+			if ca == cb || strings.HasPrefix(ca, cb) || strings.HasPrefix(cb, ca) {
+				t.Fatalf("labels %d,%d: codes %q,%q not prefix-free", a, b, ca, cb)
+			}
+		}
+	}
+}
+
+func TestOnesIsBinary(t *testing.T) {
+	if Ones(4) != "1111" {
+		t.Errorf("Ones(4) = %q", Ones(4))
+	}
+	if !IsBinary("0101") || IsBinary("012") {
+		t.Error("IsBinary misbehaves")
+	}
+}

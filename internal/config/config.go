@@ -1,0 +1,148 @@
+// Package config defines initial configurations φ — port-labeled graphs with
+// at least two labeled nodes (the agents' start positions) — and a canonical
+// enumeration Ω = (φ1, φ2, ...) of all of them, as required by the paper's
+// GatherUnknownUpperBound (Section 4.2).
+//
+// The paper only requires Ω to be an arbitrary but fixed recursive
+// enumeration; agents must agree on it. This package provides one such
+// enumeration (see Enumerator), deterministic across processes.
+package config
+
+import (
+	"fmt"
+	"sort"
+
+	"nochatter/internal/graph"
+)
+
+// Configuration is one initial configuration: a connected port-labeled graph
+// of size >= 2 together with a labeling of >= 2 nodes by distinct positive
+// integers (node v labeled L means "the agent labeled L starts at v").
+type Configuration struct {
+	G      *graph.Graph
+	Labels map[int]int // node index -> agent label
+}
+
+// Validate checks the structural requirements on a configuration.
+func (c *Configuration) Validate() error {
+	if c.G == nil || c.G.N() < 2 {
+		return fmt.Errorf("config: graph must have at least 2 nodes")
+	}
+	if len(c.Labels) < 2 {
+		return fmt.Errorf("config: need at least 2 labeled nodes, have %d", len(c.Labels))
+	}
+	seen := map[int]bool{}
+	for node, label := range c.Labels {
+		if node < 0 || node >= c.G.N() {
+			return fmt.Errorf("config: labeled node %d out of range", node)
+		}
+		if label <= 0 {
+			return fmt.Errorf("config: label %d not positive", label)
+		}
+		if seen[label] {
+			return fmt.Errorf("config: duplicate label %d", label)
+		}
+		seen[label] = true
+	}
+	return nil
+}
+
+// N returns the graph size n_h of the configuration.
+func (c *Configuration) N() int { return c.G.N() }
+
+// K returns the number k_h of labeled nodes.
+func (c *Configuration) K() int { return len(c.Labels) }
+
+// MaxLabel returns the largest label of the configuration.
+func (c *Configuration) MaxLabel() int {
+	m := 0
+	for _, l := range c.Labels {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// SmallestLabel returns the smallest label — the leader if this hypothesis
+// is confirmed.
+func (c *Configuration) SmallestLabel() int {
+	m := 0
+	for _, l := range c.Labels {
+		if m == 0 || l < m {
+			m = l
+		}
+	}
+	return m
+}
+
+// CentralNode returns v_h: the node carrying the smallest label.
+func (c *Configuration) CentralNode() int {
+	best, bestLabel := -1, 0
+	for node, l := range c.Labels {
+		if bestLabel == 0 || l < bestLabel {
+			best, bestLabel = node, l
+		}
+	}
+	return best
+}
+
+// NodeOf returns the node labeled L and whether L occurs in the
+// configuration.
+func (c *Configuration) NodeOf(label int) (int, bool) {
+	for node, l := range c.Labels {
+		if l == label {
+			return node, true
+		}
+	}
+	return -1, false
+}
+
+// PathToCentral returns path_h(L): the lexicographically smallest shortest
+// port path from the node labeled L to the central node, and whether L is
+// part of the configuration.
+func (c *Configuration) PathToCentral(label int) ([]int, bool) {
+	from, ok := c.NodeOf(label)
+	if !ok {
+		return nil, false
+	}
+	return c.G.ShortestPathPorts(from, c.CentralNode()), true
+}
+
+// Rank returns rank_h(L): the number of labeled nodes with a label smaller
+// than L.
+func (c *Configuration) Rank(label int) int {
+	r := 0
+	for _, l := range c.Labels {
+		if l < label {
+			r++
+		}
+	}
+	return r
+}
+
+// SortedLabels returns the configuration's labels in increasing order.
+func (c *Configuration) SortedLabels() []int {
+	out := make([]int, 0, len(c.Labels))
+	for _, l := range c.Labels {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Code returns a deterministic string identity of the configuration
+// (graph canonical code plus the sorted node labeling).
+func (c *Configuration) Code() string {
+	type nl struct{ node, label int }
+	pairs := make([]nl, 0, len(c.Labels))
+	for node, label := range c.Labels {
+		pairs = append(pairs, nl{node, label})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].node < pairs[j].node })
+	s := c.G.CanonicalCode()
+	for _, p := range pairs {
+		s += fmt.Sprintf("|%d=%d", p.node, p.label)
+	}
+	return s
+}

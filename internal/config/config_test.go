@@ -1,0 +1,161 @@
+package config
+
+import (
+	"testing"
+
+	"nochatter/internal/graph"
+)
+
+func twoNodeConfig(l0, l1 int) *Configuration {
+	return &Configuration{G: graph.TwoNodes(), Labels: map[int]int{0: l0, 1: l1}}
+}
+
+func TestValidate(t *testing.T) {
+	if err := twoNodeConfig(1, 2).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []*Configuration{
+		{G: graph.TwoNodes(), Labels: map[int]int{0: 1}},       // one label
+		{G: graph.TwoNodes(), Labels: map[int]int{0: 1, 1: 1}}, // duplicate
+		{G: graph.TwoNodes(), Labels: map[int]int{0: 0, 1: 2}}, // zero label
+		{G: graph.TwoNodes(), Labels: map[int]int{0: 1, 5: 2}}, // out of range
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	g := graph.Path(3)
+	c := &Configuration{G: g, Labels: map[int]int{0: 7, 2: 3}}
+	if c.N() != 3 || c.K() != 2 {
+		t.Errorf("N=%d K=%d", c.N(), c.K())
+	}
+	if c.MaxLabel() != 7 || c.SmallestLabel() != 3 {
+		t.Errorf("MaxLabel=%d Smallest=%d", c.MaxLabel(), c.SmallestLabel())
+	}
+	if c.CentralNode() != 2 {
+		t.Errorf("CentralNode=%d, want 2", c.CentralNode())
+	}
+	if n, ok := c.NodeOf(7); !ok || n != 0 {
+		t.Errorf("NodeOf(7)=%d,%v", n, ok)
+	}
+	if _, ok := c.NodeOf(99); ok {
+		t.Error("NodeOf(99) should be absent")
+	}
+	if c.Rank(3) != 0 || c.Rank(7) != 1 {
+		t.Errorf("ranks: %d %d", c.Rank(3), c.Rank(7))
+	}
+	p, ok := c.PathToCentral(7)
+	if !ok || len(p) != 2 {
+		t.Errorf("PathToCentral(7)=%v,%v", p, ok)
+	}
+	labels := c.SortedLabels()
+	if len(labels) != 2 || labels[0] != 3 || labels[1] != 7 {
+		t.Errorf("SortedLabels=%v", labels)
+	}
+}
+
+func TestEnumeratorFirstBudget(t *testing.T) {
+	e := NewEnumerator(3)
+	// Budget 2: the single two-node graph, labels {1,2} both orders.
+	c1, c2 := e.At(1), e.At(2)
+	for i, c := range []*Configuration{c1, c2} {
+		if c.N() != 2 || c.K() != 2 || c.MaxLabel() != 2 {
+			t.Errorf("φ_%d: n=%d k=%d max=%d", i+1, c.N(), c.K(), c.MaxLabel())
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("φ_%d invalid: %v", i+1, err)
+		}
+	}
+	if c1.Code() == c2.Code() {
+		t.Error("φ_1 and φ_2 must differ (label order)")
+	}
+	// Budget 3 starts with n=3 graphs (descending size order).
+	c3 := e.At(3)
+	if c3.N() != 3 {
+		t.Errorf("φ_3 has n=%d, want 3 (larger graphs first within a budget)", c3.N())
+	}
+	if err := c3.Validate(); err != nil {
+		t.Errorf("φ_3 invalid: %v", err)
+	}
+}
+
+func TestEnumeratorAllValidAndDistinct(t *testing.T) {
+	e := NewEnumerator(3)
+	seen := map[string]int{}
+	for h := 1; h <= 800; h++ {
+		c := e.At(h)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("φ_%d invalid: %v", h, err)
+		}
+		if prev, dup := seen[c.Code()]; dup {
+			t.Fatalf("φ_%d duplicates φ_%d", h, prev)
+		}
+		seen[c.Code()] = h
+	}
+}
+
+func TestEnumeratorDeterministic(t *testing.T) {
+	a, b := NewEnumerator(3), NewEnumerator(3)
+	for h := 1; h <= 100; h++ {
+		if a.At(h).Code() != b.At(h).Code() {
+			t.Fatalf("enumeration differs at %d", h)
+		}
+	}
+}
+
+func TestEnumeratorCoversKnownConfigs(t *testing.T) {
+	// Both orders of the 2-node config and a path-3 config must appear early.
+	e := NewEnumerator(3)
+	targets := []*Configuration{
+		twoNodeConfig(1, 2),
+		twoNodeConfig(2, 1),
+	}
+	for _, c := range targets {
+		if idx := e.IndexOf(c, 10); idx < 0 {
+			t.Errorf("config %s not within first 10", c.Code())
+		}
+	}
+	// A labeled triangle must appear within the first budget-3 block.
+	tri := &Configuration{
+		G: graph.NewBuilder("tri", 3).
+			AddEdge(0, 1, 0, 0).
+			AddEdge(0, 2, 1, 0).
+			AddEdge(1, 2, 1, 1).
+			MustBuild(),
+		Labels: map[int]int{0: 1, 1: 2, 2: 3},
+	}
+	if idx := e.IndexOf(tri, 800); idx < 0 {
+		t.Error("triangle config not found in first 800")
+	}
+}
+
+func TestEnumeratorGraphCountsN3(t *testing.T) {
+	gs := enumerateGraphs(3)
+	// 3 two-edge connected graphs x 2 port assignments of the center
+	// + 1 triangle x 2^3 port assignments = 14.
+	if len(gs) != 14 {
+		t.Fatalf("n=3 port-labeled graphs = %d, want 14", len(gs))
+	}
+	for _, g := range gs {
+		if g.N() != 3 {
+			t.Errorf("graph %s has %d nodes", g.Name(), g.N())
+		}
+	}
+}
+
+func TestEnumeratorRejectsBadMaxN(t *testing.T) {
+	for _, n := range []int{0, 1, 4, 9} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewEnumerator(%d) should panic", n)
+				}
+			}()
+			NewEnumerator(n)
+		}()
+	}
+}

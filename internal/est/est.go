@@ -1,0 +1,168 @@
+// Package est implements the EST+ procedure of Section 4.2 of the paper:
+// exploration with a stationary token, used by GraphSizeCheck to test
+// whether the real graph size equals a hypothesis size.
+//
+// The paper's EST is the Chalopin–Das–Kosowski map-construction procedure, a
+// black box with the contract "starting next to a stationary token, explore,
+// return to the token, and learn the exact graph size, in at most T(EST(n))
+// rounds". We substitute an implementation with identical externally visible
+// behavior (DESIGN.md, substitution 3):
+//
+//   - The first part is an honest walk that enumerates every port path of
+//     length nh-1 over the alphabet {0..nh-2} from the token node, with
+//     backtracking — if the real size n <= nh this provably visits every
+//     node (any node is within distance n-1 <= nh-1 and all degrees are
+//     <= nh-1). The token is detected through the model's only signal:
+//     CurCard > 1.
+//   - The walk is padded to last exactly Duration(nh) rounds, the public
+//     constant T(EST(nh)) that all agents use for their waiting periods.
+//   - The second part replays the first part's moves in reverse, as in the
+//     paper, taking another Duration(nh) rounds and ending at the token.
+//   - The "size learned by EST" is the simulator's ground truth, standing in
+//     for the map algorithm's output. The paper never verifies cleanliness
+//     inside EST — its Lemma 4.10 proves the exploration is clean whenever
+//     GraphSizeCheck runs, which makes the real EST's output correct; our
+//     substitute is correct under the same (proved) precondition. The one
+//     check that the real procedure does perform through its token — that
+//     the token is present whenever the walk is back at its reference node —
+//     is performed honestly here, and its failure makes EST+ return false.
+package est
+
+// Agent is the slice of the simulator API that EST+ needs. *sim.API
+// implements it; the unknown-bound package passes a recording wrapper.
+type Agent interface {
+	TakePort(p int) (entryPort int)
+	Wait()
+	Degree() int
+	CurCard() int
+	OracleGraphSize() int
+}
+
+// PathLen returns the enumeration radius for hypothesis size nh: paths of
+// this length reach every node of any graph of size at most nh. It is also
+// the maximum distance from the token at which EST+ can roam, which the
+// EnsureCleanExploration sweep radius must dominate.
+func PathLen(nh int) int {
+	if nh < 2 {
+		return 1
+	}
+	return nh - 1
+}
+
+// Duration returns T(EST(nh)): the exact duration in rounds of the first
+// part of EST+ for hypothesis size nh. It is the worst-case cost of the path
+// enumeration — (nh-1)^(nh-1) paths of at most 2(nh-1) moves each.
+func Duration(nh int) int {
+	l := PathLen(nh)
+	alpha := nh - 1
+	if alpha < 1 {
+		alpha = 1
+	}
+	total := 1
+	for i := 0; i < l; i++ {
+		total *= alpha
+	}
+	return total * 2 * l
+}
+
+// DurationPlus returns the exact duration of one full EST+ execution
+// (first part + reverse replay).
+func DurationPlus(nh int) int { return 2 * Duration(nh) }
+
+// Result is the outcome of one EST+ execution.
+type Result struct {
+	SizeOK  bool // token discipline held and learned size == nh
+	TokenOK bool // token present at every known-home round of the first part
+	Size    int  // size learned (0 when the token discipline failed)
+}
+
+// ExplorePlus runs EST+(nh) for the calling agent, which must currently be
+// at the token node (its group plays the token and waits there). It consumes
+// exactly DurationPlus(nh) rounds and ends where it started.
+func ExplorePlus(a Agent, nh int) Result {
+	budget := Duration(nh)
+	l := PathLen(nh)
+	alpha := nh - 1
+	if alpha < 1 {
+		alpha = 1
+	}
+
+	used := 0
+	tokenOK := a.CurCard() > 1 // the token group must be here at the start
+	// rec logs each round of the first part: -1 for a wait, otherwise the
+	// entry port of the move, so the second part can replay in reverse.
+	rec := make([]int, 0, budget)
+
+	// Enumerate all paths of length l over {0..alpha-1} lexicographically.
+	path := make([]int, l)
+	entries := make([]int, 0, l)
+	for {
+		// Forward leg: follow the path while its ports exist.
+		entries = entries[:0]
+		for i := 0; i < l && used < budget; i++ {
+			if path[i] >= a.Degree() {
+				break
+			}
+			entry := a.TakePort(path[i])
+			used++
+			rec = append(rec, entry)
+			entries = append(entries, entry)
+		}
+		// Backtrack leg: return to the token node.
+		for i := len(entries) - 1; i >= 0 && used < budget; i-- {
+			entry := a.TakePort(entries[i])
+			used++
+			rec = append(rec, entry)
+			if i == 0 && a.CurCard() <= 1 {
+				// Known-home round without the token: the reference point of
+				// the simulated EST is gone; the real procedure would fail.
+				tokenOK = false
+			}
+		}
+		if !next(path, alpha) || used >= budget {
+			break
+		}
+	}
+	// Pad to the public constant so all agents stay synchronized. The agent
+	// is at the token node for the whole padding period.
+	for used < budget {
+		a.Wait()
+		used++
+		rec = append(rec, -1)
+		if a.CurCard() <= 1 {
+			tokenOK = false
+		}
+	}
+
+	// Second part: replay in reverse. Waits replay as waits; moves replay by
+	// taking the recorded entry port.
+	for i := len(rec) - 1; i >= 0; i-- {
+		if rec[i] < 0 {
+			a.Wait()
+		} else {
+			a.TakePort(rec[i])
+		}
+	}
+
+	res := Result{TokenOK: tokenOK}
+	if tokenOK {
+		// Substituted EST output: the map construction has learned the true
+		// size (see the package comment).
+		res.Size = a.OracleGraphSize()
+		res.SizeOK = res.Size == nh
+	}
+	return res
+}
+
+// next advances path to the next word over {0..alpha-1}, returning false
+// after the last word.
+func next(path []int, alpha int) bool {
+	for i := len(path) - 1; i >= 0; i-- {
+		path[i]++
+		if path[i] < alpha {
+			return true
+		}
+		path[i] = 0
+	}
+	return false
+}

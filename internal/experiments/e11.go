@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nochatter/internal/graph"
+	"nochatter/internal/randomized"
+	"nochatter/internal/trace"
+)
+
+// E11RandomizedRendezvous measures the paper's open-problem direction
+// (Section 6): two-agent randomized gathering with NO knowledge at all —
+// lazy random walks plus CurCard detection — meets in time polynomial in n,
+// versus the deterministic no-knowledge algorithm's exponential schedule
+// (E8). Medians over independent seeded trials.
+func E11RandomizedRendezvous(scale Scale) (*trace.Table, error) {
+	t := trace.NewTable(
+		"E11 — open problem (Sec. 6): randomized no-knowledge rendezvous is polynomial (vs E8's exponential)",
+		"graph", "n", "trials", "met", "median rounds")
+	trials := 9
+	sizes := []int{4, 8, 16}
+	if scale == Full {
+		sizes = append(sizes, 32)
+		trials = 15
+	}
+	for _, n := range sizes {
+		for _, g := range []*graph.Graph{graph.Ring(n), graph.GNP(n, 0.3, int64(n))} {
+			horizon := 100 * n * n * n
+			median, met, err := randomized.MedianMeetRound(g, 0, n/2, trials, horizon)
+			if err != nil {
+				return nil, err
+			}
+			if met == 0 {
+				return nil, fmt.Errorf("%s: no trial met", g.Name())
+			}
+			t.AddRow(g.Name(), n, trials, met, median)
+		}
+	}
+	return t, nil
+}

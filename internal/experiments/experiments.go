@@ -1,0 +1,469 @@
+// Package experiments implements the evaluation suite of the reproduction:
+// one experiment per claim of the paper (see DESIGN.md §5 for the index).
+// The paper is pure theory — it has no empirical tables — so each experiment
+// turns a theorem or complexity claim into a measured table whose SHAPE
+// (correctness rate, polynomial growth, who wins) is the reproduced result.
+//
+// Every experiment returns a trace.Table; cmd/benchharness renders them all,
+// and bench_test.go wraps each in a testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+
+	"nochatter/internal/baseline"
+	"nochatter/internal/bits"
+	"nochatter/internal/gather"
+	"nochatter/internal/gossip"
+	"nochatter/internal/graph"
+	"nochatter/internal/sim"
+	"nochatter/internal/trace"
+	"nochatter/internal/tz"
+	"nochatter/internal/ues"
+	"nochatter/internal/unknown"
+)
+
+// Scale selects experiment sizes.
+type Scale int
+
+const (
+	// Quick keeps every experiment under a few seconds (CI, benchmarks).
+	Quick Scale = iota
+	// Full runs the sizes reported in EXPERIMENTS.md.
+	Full
+)
+
+// gatherRounds runs GatherKnownUpperBound on g for the given team and
+// returns the declaration round, failing via error on any violation.
+func gatherRounds(g *graph.Graph, labels, starts, wakes []int) (int, int, error) {
+	seq := ues.Build(g)
+	team := make([]sim.AgentSpec, len(labels))
+	for i := range labels {
+		wake := 0
+		if wakes != nil {
+			wake = wakes[i]
+		}
+		team[i] = sim.AgentSpec{
+			Label: labels[i], Start: starts[i], WakeRound: wake,
+			Program: gather.NewProgram(seq),
+		}
+	}
+	res, err := sim.Run(sim.Scenario{Graph: g, Agents: team})
+	if err != nil {
+		return 0, 0, err
+	}
+	if !res.AllHaltedTogether() {
+		return 0, 0, fmt.Errorf("%s: agents did not declare together", g.Name())
+	}
+	leaders := res.Leaders()
+	if len(leaders) != 1 {
+		return 0, 0, fmt.Errorf("%s: leader split %v", g.Name(), leaders)
+	}
+	return res.Rounds, leaders[0], nil
+}
+
+// E1Correctness sweeps graph families, team sizes and wake schedules and
+// verifies Theorem 3.1's postconditions on every run.
+func E1Correctness(scale Scale) (*trace.Table, error) {
+	t := trace.NewTable(
+		"E1 — Theorem 3.1 correctness: gathering + simultaneous declaration + unique leader",
+		"graph", "n", "agents", "wake", "rounds", "leader", "ok")
+	type c struct {
+		g      *graph.Graph
+		labels []int
+		starts []int
+		wakes  []int
+		name   string
+	}
+	cases := []c{
+		{graph.TwoNodes(), []int{1, 2}, []int{0, 1}, nil, "simultaneous"},
+		{graph.Ring(4), []int{1, 2}, []int{0, 2}, nil, "simultaneous"},
+		{graph.Ring(6), []int{3, 5, 9}, []int{0, 2, 4}, nil, "simultaneous"},
+		{graph.Path(5), []int{2, 7}, []int{0, 4}, []int{0, 9}, "delayed"},
+		{graph.Star(5), []int{1, 2, 3}, []int{1, 2, 3}, nil, "simultaneous"},
+		{graph.Grid(3, 3), []int{4, 6}, []int{0, 8}, []int{0, sim.DormantUntilVisited}, "dormant"},
+		{graph.Hypercube(3), []int{1, 2}, []int{0, 7}, nil, "simultaneous"},
+		{graph.GNP(8, 0.3, 5), []int{5, 11}, []int{0, 7}, nil, "simultaneous"},
+	}
+	if scale == Full {
+		cases = append(cases,
+			c{graph.Ring(8), []int{1, 2, 3, 4}, []int{0, 2, 4, 6}, nil, "simultaneous"},
+			c{graph.Torus(3, 3), []int{2, 9}, []int{0, 4}, nil, "simultaneous"},
+			c{graph.RandomTree(9, 3), []int{6, 8}, []int{0, 8}, []int{0, 25}, "delayed"},
+			c{graph.Complete(6), []int{1, 2, 3}, []int{0, 2, 4}, nil, "simultaneous"},
+			c{graph.Barbell(3, 2), []int{4, 5}, []int{0, 6}, nil, "simultaneous"},
+			c{graph.Lollipop(4, 3), []int{2, 3}, []int{0, 6}, nil, "simultaneous"},
+		)
+	}
+	for _, tc := range cases {
+		rounds, leader, err := gatherRounds(tc.g, tc.labels, tc.starts, tc.wakes)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(tc.g.Name(), tc.g.N(), len(tc.labels), tc.name, rounds, leader, "yes")
+	}
+	return t, nil
+}
+
+// E2TimeVsN measures gathering time against the network size on rings and
+// random graphs: Theorem 3.1 claims polynomial growth in N.
+func E2TimeVsN(scale Scale) (*trace.Table, error) {
+	t := trace.NewTable(
+		"E2 — time vs network size N (labels fixed {1,2}): polynomial in N",
+		"graph", "n", "T(EXPLO)", "rounds", "rounds/T(EXPLO)")
+	sizes := []int{4, 8, 16}
+	if scale == Full {
+		sizes = append(sizes, 24, 32)
+	}
+	for _, n := range sizes {
+		for _, g := range []*graph.Graph{graph.Ring(n), graph.GNP(n, 0.3, int64(n))} {
+			seq := ues.Build(g)
+			rounds, _, err := gatherRounds(g, []int{1, 2}, []int{0, n / 2}, nil)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(g.Name(), n, seq.Duration(), rounds, float64(rounds)/float64(seq.Duration()))
+		}
+	}
+	return t, nil
+}
+
+// E3TimeVsLabelLength measures gathering time against the bit length ℓ of
+// the smallest label: Theorem 3.1 claims polynomial growth in ℓ.
+func E3TimeVsLabelLength(scale Scale) (*trace.Table, error) {
+	t := trace.NewTable(
+		"E3 — time vs smallest-label bit length ℓ (ring of 6): polynomial in ℓ",
+		"smallest label", "ℓ (bits)", "rounds")
+	smallest := []int{1, 3, 9, 33}
+	if scale == Full {
+		smallest = append(smallest, 129, 1025)
+	}
+	g := graph.Ring(6)
+	for _, l := range smallest {
+		rounds, _, err := gatherRounds(g, []int{l, l + 1}, []int{0, 3}, nil)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(l, len(bits.Bin(l)), rounds)
+	}
+	return t, nil
+}
+
+// E4TimeVsTeamSize measures gathering time against the number of agents.
+func E4TimeVsTeamSize(scale Scale) (*trace.Table, error) {
+	t := trace.NewTable(
+		"E4 — time vs team size k (ring of 8)",
+		"k", "rounds", "leader")
+	g := graph.Ring(8)
+	maxK := 4
+	if scale == Full {
+		maxK = 7
+	}
+	for k := 2; k <= maxK; k++ {
+		labels := make([]int, k)
+		starts := make([]int, k)
+		for i := 0; i < k; i++ {
+			labels[i] = i + 1
+			starts[i] = i
+		}
+		rounds, leader, err := gatherRounds(g, labels, starts, nil)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(k, rounds, leader)
+	}
+	return t, nil
+}
+
+// E5CommunicateCost verifies Lemma 3.1's exact duration 5·i·T(EXPLO(N)) and
+// delivery for the Communicate primitive.
+func E5CommunicateCost(scale Scale) (*trace.Table, error) {
+	t := trace.NewTable(
+		"E5 — Communicate(i, ·, ·): exact cost 5·i·T(EXPLO) and correct delivery (Lemma 3.1)",
+		"i", "T(EXPLO)", "predicted rounds", "measured rounds", "delivered")
+	g := graph.Ring(5)
+	seq := ues.Build(g)
+	tm := gather.Timing{Seq: seq}
+	is := []int{2, 4, 8}
+	if scale == Full {
+		is = append(is, 16, 24)
+	}
+	for _, i := range is {
+		i := i
+		var spent int
+		var delivered string
+		payload := bits.Code(bits.Bin(2)) // "110001", fits i >= 6
+		if len(payload) > i {
+			payload = bits.Code("") // "01"
+		}
+		var specs []sim.AgentSpec
+		for a := 0; a < 2; a++ {
+			a := a
+			specs = append(specs, sim.AgentSpec{
+				Label: a + 1, Start: a, WakeRound: 0,
+				Program: func(api *sim.API) sim.Report {
+					if a == 1 {
+						api.TakePort(1) // join agent 1 (ring port 1 = counterclockwise)
+					} else {
+						api.Wait()
+					}
+					before := api.LocalRound()
+					l, _ := gather.Communicate(api, tm, i, payload, true)
+					if a == 0 {
+						spent = api.LocalRound() - before
+						delivered = l
+					}
+					return sim.Report{}
+				},
+			})
+		}
+		if _, err := sim.Run(sim.Scenario{Graph: g, Agents: specs}); err != nil {
+			return nil, err
+		}
+		want := gather.CommunicateDuration(tm, i)
+		ok := "yes"
+		if spent != want {
+			ok = "NO"
+		}
+		t.AddRow(i, seq.Duration(), want, spent, ok+" ("+delivered+")")
+	}
+	return t, nil
+}
+
+// E6ChatterOverhead compares chatter-free gathering against the talking
+// baseline on identical scenarios.
+func E6ChatterOverhead(scale Scale) (*trace.Table, error) {
+	t := trace.NewTable(
+		"E6 — price of removing chatter: GatherKnownUpperBound vs talking baseline",
+		"graph", "k", "chatter-free rounds", "talking rounds", "overhead")
+	type c struct {
+		g      *graph.Graph
+		labels []int
+		starts []int
+	}
+	cases := []c{
+		{graph.Ring(6), []int{5, 9}, []int{0, 3}},
+		{graph.Grid(3, 3), []int{2, 7}, []int{0, 8}},
+	}
+	if scale == Full {
+		cases = append(cases,
+			c{graph.Ring(10), []int{3, 4, 8}, []int{0, 3, 6}},
+			c{graph.Hypercube(3), []int{1, 6}, []int{0, 7}},
+			c{graph.GNP(10, 0.3, 7), []int{2, 5, 11}, []int{0, 4, 9}},
+		)
+	}
+	for _, tc := range cases {
+		seq := ues.Build(tc.g)
+		free, _, err := gatherRounds(tc.g, tc.labels, tc.starts, nil)
+		if err != nil {
+			return nil, err
+		}
+		specs := make([]baseline.Spec, len(tc.labels))
+		for i := range tc.labels {
+			specs[i] = baseline.Spec{Label: tc.labels[i], Start: tc.starts[i]}
+		}
+		base, err := baseline.Gather(tc.g, seq, specs)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(tc.g.Name(), len(tc.labels), free, base.Rounds,
+			float64(free)/float64(base.Rounds))
+	}
+	return t, nil
+}
+
+// E7GossipVsMessageLen measures gossip time against the longest message:
+// Theorem 5.1 claims polynomial growth in the message length.
+func E7GossipVsMessageLen(scale Scale) (*trace.Table, error) {
+	t := trace.NewTable(
+		"E7 — Theorem 5.1 gossip: time vs longest message length (ring of 4)",
+		"message bits", "rounds", "all learned")
+	lens := []int{2, 8}
+	if scale == Full {
+		lens = append(lens, 32, 64)
+	}
+	g := graph.Ring(4)
+	seq := ues.Build(g)
+	for _, ln := range lens {
+		msg := make([]byte, ln)
+		for i := range msg {
+			msg[i] = byte('0' + (i % 2))
+		}
+		team := []sim.AgentSpec{
+			{Label: 1, Start: 0, WakeRound: 0, Program: gossip.NewProgram(seq, string(msg))},
+			{Label: 2, Start: 2, WakeRound: 0, Program: gossip.NewProgram(seq, "1")},
+		}
+		res, err := sim.Run(sim.Scenario{Graph: g, Agents: team})
+		if err != nil {
+			return nil, err
+		}
+		ok := "yes"
+		for _, a := range res.Agents {
+			if a.Report.Gossip[string(msg)] != 1 || a.Report.Gossip["1"] != 1 {
+				ok = "NO"
+			}
+		}
+		t.AddRow(ln, res.Rounds, ok)
+	}
+	return t, nil
+}
+
+// E8UnknownBound runs GatherUnknownUpperBound for true configurations at
+// increasing positions in Ω: Theorem 4.1 claims feasibility with cost
+// exponential in the hypothesis index.
+func E8UnknownBound(scale Scale) (*trace.Table, error) {
+	t := trace.NewTable(
+		"E8 — Theorem 4.1: no a-priori knowledge; cost grows geometrically with the Ω-index of reality",
+		"φ index", "n", "labels", "T_h (phase cost)", "declared round", "leader", "size ok")
+	p := unknown.DefaultParams()
+	sched := unknown.NewSchedule(p)
+	idx := []int{1, 3, 4}
+	if scale == Full {
+		idx = append(idx, 5)
+	}
+	for _, h := range idx {
+		cfg := sched.Config(h)
+		specs := unknown.ScenarioFor(cfg, p)
+		res, err := sim.Run(sim.Scenario{Graph: cfg.G, Agents: specs})
+		if err != nil {
+			return nil, err
+		}
+		if !res.AllHaltedTogether() {
+			return nil, fmt.Errorf("φ_%d: not gathered", h)
+		}
+		sizeOK := "yes"
+		for _, a := range res.Agents {
+			if a.Report.Size != cfg.N() {
+				sizeOK = "NO"
+			}
+		}
+		t.AddRow(h, cfg.N(), fmt.Sprintf("%v", cfg.SortedLabels()),
+			sched.Dim(h).T, res.Rounds, res.Agents[0].Report.Leader, sizeOK)
+	}
+	return t, nil
+}
+
+// E9LeaderElection verifies the leader-election by-product across a sweep:
+// one leader, known to all, member of the team.
+func E9LeaderElection(scale Scale) (*trace.Table, error) {
+	t := trace.NewTable(
+		"E9 — leader election by-product: unique leader from the team, known to all",
+		"graph", "labels", "leader", "unanimous")
+	type c struct {
+		g      *graph.Graph
+		labels []int
+		starts []int
+	}
+	cases := []c{
+		{graph.Ring(5), []int{9, 4}, []int{0, 2}},
+		{graph.Star(5), []int{7, 2, 5}, []int{0, 1, 2}},
+		{graph.Grid(2, 3), []int{12, 30}, []int{0, 5}},
+	}
+	if scale == Full {
+		cases = append(cases,
+			c{graph.Ring(9), []int{21, 14, 35}, []int{0, 3, 6}},
+			c{graph.Hypercube(3), []int{6, 10, 12, 18}, []int{0, 3, 5, 7}},
+		)
+	}
+	for _, tc := range cases {
+		_, leader, err := gatherRounds(tc.g, tc.labels, tc.starts, nil)
+		if err != nil {
+			return nil, err
+		}
+		member := false
+		for _, l := range tc.labels {
+			if l == leader {
+				member = true
+			}
+		}
+		if !member {
+			return nil, fmt.Errorf("%s: leader %d not in team", tc.g.Name(), leader)
+		}
+		t.AddRow(tc.g.Name(), fmt.Sprintf("%v", tc.labels), leader, "yes")
+	}
+	return t, nil
+}
+
+// E10TZRendezvous verifies the rendezvous substrate's contract: distinct
+// parameters meet within the bound P(N, ℓ) across delays.
+func E10TZRendezvous(scale Scale) (*trace.Table, error) {
+	t := trace.NewTable(
+		"E10 — TZ substrate: distinct parameters meet within P(N, ℓ) for all delays ≤ T(EXPLO)/2",
+		"graph", "λ1", "λ2", "delay", "met at", "bound", "within")
+	g := graph.Ring(6)
+	seq := ues.Build(g)
+	e := seq.EffectiveLen()
+	pairs := [][2]int{{0, 1}, {2, 5}}
+	if scale == Full {
+		pairs = append(pairs, [2]int{7, 8}, [2]int{1, 1023})
+	}
+	for _, pr := range pairs {
+		for _, delay := range []int{0, e / 2, e} {
+			k := 1
+			for v := max(pr[0], pr[1]); v > 1; v >>= 1 {
+				k++
+			}
+			bound := tz.MeetBound(seq, k) + delay
+			met := -1
+			prog := func(lambda int) sim.Program {
+				return func(a *sim.API) sim.Report {
+					tz.New(lambda, seq).Run(a, bound+1)
+					return sim.Report{}
+				}
+			}
+			_, err := sim.Run(sim.Scenario{
+				Graph: g,
+				Agents: []sim.AgentSpec{
+					{Label: 1, Start: 0, WakeRound: 0, Program: prog(pr[0])},
+					{Label: 2, Start: 3, WakeRound: delay, Program: prog(pr[1])},
+				},
+				OnRound: func(v sim.RoundView) {
+					if met < 0 && v.Awake[0] && v.Awake[1] && v.Positions[0] == v.Positions[1] {
+						met = v.Round
+					}
+				},
+			})
+			if err != nil {
+				return nil, err
+			}
+			within := "yes"
+			if met < 0 || met > bound {
+				within = "NO"
+			}
+			t.AddRow(g.Name(), pr[0], pr[1], delay, met, bound, within)
+		}
+	}
+	return t, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Experiment pairs an identifier with its runner.
+type Experiment struct {
+	ID  string
+	Run func(Scale) (*trace.Table, error)
+}
+
+// All returns the full experiment suite in order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", E1Correctness},
+		{"E2", E2TimeVsN},
+		{"E3", E3TimeVsLabelLength},
+		{"E4", E4TimeVsTeamSize},
+		{"E5", E5CommunicateCost},
+		{"E6", E6ChatterOverhead},
+		{"E7", E7GossipVsMessageLen},
+		{"E8", E8UnknownBound},
+		{"E9", E9LeaderElection},
+		{"E10", E10TZRendezvous},
+		{"E11", E11RandomizedRendezvous},
+		{"A1", A1TZBlockLayout},
+		{"A2", A2SequenceStrategy},
+	}
+}

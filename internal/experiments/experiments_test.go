@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllQuickScale runs every experiment at quick scale: each must produce
+// a non-empty table with no failed assertion rows ("NO" cells).
+func TestAllQuickScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	for _, ex := range All() {
+		ex := ex
+		t.Run(ex.ID, func(t *testing.T) {
+			t.Parallel()
+			table, err := ex.Run(Quick)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if table.Len() == 0 {
+				t.Fatal("empty table")
+			}
+			var sb strings.Builder
+			table.RenderCSV(&sb)
+			if strings.Contains(sb.String(), "NO") {
+				t.Errorf("experiment reported a failed check:\n%s", sb.String())
+			}
+		})
+	}
+}
+
+func TestSuiteCompleteness(t *testing.T) {
+	// DESIGN.md §5 promises experiments E1..E10; keep the suite in sync.
+	ids := map[string]bool{}
+	for _, ex := range All() {
+		ids[ex.ID] = true
+	}
+	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "A1", "A2"} {
+		if !ids[want] {
+			t.Errorf("experiment %s missing from All()", want)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package gather
+
+import (
+	"testing"
+
+	"nochatter/internal/bits"
+	"nochatter/internal/graph"
+	"nochatter/internal/sim"
+	"nochatter/internal/ues"
+)
+
+// theorem31Bound computes the explicit time bound from the proof of
+// Theorem 3.1: with i* = ⌊log N⌋ + 2ℓ + 2, every run declares within
+// (i* + 2)·(4·D_{i*+1} + (5·i* + 6)·T(EXPLO)) rounds of the earliest wake
+// (the paper's expression with our substituted Timing constants).
+func theorem31Bound(tm Timing, n, smallestLabel int) int {
+	logN := 0
+	for v := n; v > 1; v >>= 1 {
+		logN++
+	}
+	ell := len(bits.Bin(smallestLabel))
+	iStar := logN + 2*ell + 2
+	return (iStar + 2) * (4*tm.D(iStar+1) + (5*iStar+6)*tm.TExplo())
+}
+
+// TestTheorem31TimeBound verifies the complexity half of Theorem 3.1: the
+// measured declaration round never exceeds the proof's explicit polynomial
+// bound in N and ℓ.
+func TestTheorem31TimeBound(t *testing.T) {
+	cases := []struct {
+		g      *graph.Graph
+		labels []int
+		starts []int
+	}{
+		{graph.TwoNodes(), []int{1, 2}, []int{0, 1}},
+		{graph.Ring(4), []int{1, 2}, []int{0, 2}},
+		{graph.Ring(8), []int{5, 9}, []int{0, 4}},
+		{graph.Grid(3, 3), []int{3, 12}, []int{0, 8}},
+		{graph.Star(6), []int{2, 7, 11}, []int{0, 1, 2}},
+		{graph.GNP(10, 0.3, 4), []int{17, 33}, []int{0, 9}},
+	}
+	for _, tc := range cases {
+		seq := ues.Build(tc.g)
+		tm := Timing{Seq: seq}
+		team := make([]sim.AgentSpec, len(tc.labels))
+		smallest := tc.labels[0]
+		for i := range tc.labels {
+			if tc.labels[i] < smallest {
+				smallest = tc.labels[i]
+			}
+			team[i] = sim.AgentSpec{Label: tc.labels[i], Start: tc.starts[i], WakeRound: 0, Program: NewProgram(seq)}
+		}
+		res, err := sim.Run(sim.Scenario{Graph: tc.g, Agents: team})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.g.Name(), err)
+		}
+		if !res.AllHaltedTogether() {
+			t.Fatalf("%s: not gathered", tc.g.Name())
+		}
+		bound := theorem31Bound(tm, tc.g.N(), smallest)
+		if res.Rounds > bound {
+			t.Errorf("%s: declared at %d, exceeds Theorem 3.1 bound %d", tc.g.Name(), res.Rounds, bound)
+		}
+		if res.Rounds*1000 < bound {
+			// Not a failure — but if the bound is absurdly loose the check
+			// proves nothing; log for calibration.
+			t.Logf("%s: bound %d is %dx the measured %d", tc.g.Name(), bound, bound/res.Rounds, res.Rounds)
+		}
+	}
+}
+
+// TestDeclarationRequiresLambda checks the guard of line 35: a phase that
+// ends with λ = 0 (nobody's code fit in i bits yet) must not declare, even
+// though CurCard equals c. Observable as: no run ever declares before the
+// phase index reaches the smallest label's code length.
+func TestDeclarationRequiresLambda(t *testing.T) {
+	g := graph.TwoNodes()
+	seq := ues.Build(g)
+	tm := Timing{Seq: seq}
+	// Smallest label 5: code length 8, so the earliest declaring phase is
+	// i = 8. Phases 1..7 cost at least D_i each; compute the minimum round
+	// any declaration could happen and assert the run exceeds it.
+	minRounds := 2 * tm.TExplo() // phase 0
+	for i := 1; i < 8; i++ {
+		minRounds += tm.D(i) // every phase waits at least D_i (line 10)
+	}
+	team := []sim.AgentSpec{
+		{Label: 5, Start: 0, WakeRound: 0, Program: NewProgram(seq)},
+		{Label: 9, Start: 1, WakeRound: 0, Program: NewProgram(seq)},
+	}
+	res, err := sim.Run(sim.Scenario{Graph: g, Agents: team})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds < minRounds {
+		t.Errorf("declared at %d, before any label code could have been learned (min %d)", res.Rounds, minRounds)
+	}
+}

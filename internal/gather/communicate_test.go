@@ -1,0 +1,248 @@
+package gather
+
+import (
+	"strings"
+	"testing"
+
+	"nochatter/internal/bits"
+	"nochatter/internal/graph"
+	"nochatter/internal/sim"
+	"nochatter/internal/ues"
+)
+
+// commOutcome is one agent's view of a Communicate call.
+type commOutcome struct {
+	l     string
+	k     int
+	spent int
+}
+
+// runCommunicate gathers all agents on node 0 first, then has them run
+// Communicate(i, s, participate) simultaneously, with per-agent inputs.
+func runCommunicate(t *testing.T, g *graph.Graph, i int, inputs map[int]struct {
+	s           string
+	participate bool
+}) map[int]commOutcome {
+	t.Helper()
+	seq := ues.Build(g)
+	tm := Timing{Seq: seq}
+	align := g.Diameter() + 1
+	out := make(map[int]commOutcome, len(inputs))
+
+	var specs []sim.AgentSpec
+	start := 0
+	for label, in := range inputs {
+		from := start
+		s, participate := in.s, in.participate
+		specs = append(specs, sim.AgentSpec{
+			Label: label, Start: from, WakeRound: 0,
+			Program: func(a *sim.API) sim.Report {
+				ports := g.ShortestPathPorts(from, 0)
+				for _, p := range ports {
+					a.TakePort(p)
+				}
+				a.WaitRounds(align - len(ports))
+				before := a.LocalRound()
+				l, k := Communicate(a, tm, i, s, participate)
+				out[a.Label()] = commOutcome{l: l, k: k, spent: a.LocalRound() - before}
+				return sim.Report{}
+			},
+		})
+		start++
+	}
+	if _, err := sim.Run(sim.Scenario{Graph: g, Agents: specs}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+type commInput = struct {
+	s           string
+	participate bool
+}
+
+func TestCommunicateLemma31(t *testing.T) {
+	g := graph.Ring(6)
+	tests := []struct {
+		name   string
+		i      int
+		inputs map[int]commInput
+		wantL  string
+		wantK  int
+	}{
+		{
+			name: "single participant broadcasts its code",
+			i:    8,
+			inputs: map[int]commInput{
+				1: {bits.LabelCode(5), true}, // 11001101
+				2: {bits.LabelCode(9), false},
+				3: {bits.LabelCode(9), false},
+			},
+			wantL: "11001101",
+			wantK: 1,
+		},
+		{
+			name: "lexicographically smallest code wins",
+			i:    8,
+			inputs: map[int]commInput{
+				1: {bits.LabelCode(5), true}, // 11001101
+				2: {bits.LabelCode(2), true}, // Bin=10 -> 110001, smaller at pos 3
+				3: {bits.LabelCode(3), true}, // Bin=11 -> 111101
+			},
+			wantL: "11000111", // 110001 padded with 1s to length 8
+			wantK: 1,
+		},
+		{
+			name: "multiplicity counted",
+			i:    6,
+			inputs: map[int]commInput{
+				1: {"110001", true},
+				2: {"110001", true},
+				3: {"111101", true},
+				4: {"110001", false}, // same string but not offering
+			},
+			wantL: "110001",
+			wantK: 2,
+		},
+		{
+			name: "nobody participates yields all-ones",
+			i:    5,
+			inputs: map[int]commInput{
+				1: {bits.LabelCode(5), false},
+				2: {bits.LabelCode(6), false},
+			},
+			wantL: "11111",
+			wantK: 1,
+		},
+		{
+			name: "codes longer than i are ignored",
+			i:    4,
+			inputs: map[int]commInput{
+				1: {bits.LabelCode(5), true}, // length 8 > 4
+				2: {bits.LabelCode(1), true}, // 1101, fits
+			},
+			wantL: "1101",
+			wantK: 1,
+		},
+		{
+			name: "all offer the same code",
+			i:    6,
+			inputs: map[int]commInput{
+				1: {"1101", true},
+				2: {"1101", true},
+				3: {"1101", true},
+			},
+			wantL: "110111",
+			wantK: 3,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			out := runCommunicate(t, g, tt.i, tt.inputs)
+			tm := Timing{Seq: ues.Build(g)}
+			for label, o := range out {
+				if o.l != tt.wantL {
+					t.Errorf("agent %d: l = %q, want %q", label, o.l, tt.wantL)
+				}
+				if o.k != tt.wantK {
+					t.Errorf("agent %d: k = %d, want %d", label, o.k, tt.wantK)
+				}
+				if o.spent != CommunicateDuration(tm, tt.i) {
+					t.Errorf("agent %d: spent %d rounds, want %d", label, o.spent, CommunicateDuration(tm, tt.i))
+				}
+			}
+		})
+	}
+}
+
+func TestCommunicateSoloAgent(t *testing.T) {
+	// A single agent "talking to itself" must still compute l = its own code
+	// padded, k = 1 (the G = {self} case of Lemma 3.1).
+	g := graph.Path(4)
+	out := runCommunicate(t, g, 6, map[int]commInput{
+		7: {bits.LabelCode(3), true}, // 111101
+	})
+	o := out[7]
+	if o.l != "111101" || o.k != 1 {
+		t.Errorf("solo communicate = (%q, %d), want (111101, 1)", o.l, o.k)
+	}
+}
+
+func TestCommunicateAgentsEndTogether(t *testing.T) {
+	// All agents must finish the call at the same node in the same round
+	// (Lemma 3.1: completed at node v in round t + 5iT).
+	g := graph.Grid(3, 3)
+	seq := ues.Build(g)
+	tm := Timing{Seq: seq}
+	align := g.Diameter() + 1
+	i := 6
+	var finalRounds []int
+	var finalNodes []int
+	mk := func(from int, s string) sim.Program {
+		return func(a *sim.API) sim.Report {
+			ports := g.ShortestPathPorts(from, 0)
+			for _, p := range ports {
+				a.TakePort(p)
+			}
+			a.WaitRounds(align - len(ports))
+			Communicate(a, tm, i, s, true)
+			return sim.Report{}
+		}
+	}
+	res, err := sim.Run(sim.Scenario{
+		Graph: g,
+		Agents: []sim.AgentSpec{
+			{Label: 1, Start: 0, WakeRound: 0, Program: mk(0, "110001")},
+			{Label: 2, Start: 4, WakeRound: 0, Program: mk(4, "1101")},
+			{Label: 3, Start: 8, WakeRound: 0, Program: mk(8, "111101")},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ag := range res.Agents {
+		finalRounds = append(finalRounds, ag.HaltRound)
+		finalNodes = append(finalNodes, ag.FinalNode)
+	}
+	for i := 1; i < len(finalRounds); i++ {
+		if finalRounds[i] != finalRounds[0] || finalNodes[i] != finalNodes[0] {
+			t.Fatalf("agents ended apart: rounds %v nodes %v", finalRounds, finalNodes)
+		}
+	}
+	if finalNodes[0] != 0 {
+		t.Errorf("agents must end at the call node 0, got %d", finalNodes[0])
+	}
+}
+
+func TestCommunicateLexOrder(t *testing.T) {
+	// Cross-check the "lexicographically smallest" rule against a direct
+	// computation for a spread of code sets.
+	g := graph.Ring(5)
+	sets := [][]int{
+		{1, 2}, {2, 3}, {5, 9}, {1, 2, 3}, {4, 6, 7}, {3, 5, 6, 9},
+	}
+	for _, labels := range sets {
+		i := 0
+		for _, l := range labels {
+			if n := len(bits.LabelCode(l)); n > i {
+				i = n
+			}
+		}
+		inputs := map[int]commInput{}
+		smallest := ""
+		for _, l := range labels {
+			code := bits.LabelCode(l)
+			inputs[l] = commInput{code, true}
+			if smallest == "" || code < smallest {
+				smallest = code
+			}
+		}
+		want := smallest + strings.Repeat("1", i-len(smallest))
+		out := runCommunicate(t, g, i, inputs)
+		for label, o := range out {
+			if o.l != want {
+				t.Errorf("labels %v agent %d: l = %q, want %q", labels, label, o.l, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package gather
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nochatter/internal/graph"
+	"nochatter/internal/sim"
+	"nochatter/internal/ues"
+)
+
+// runGather executes GatherKnownUpperBound for the given team and asserts
+// the Theorem 3.1 postconditions: every agent halts in the same round at the
+// same node, and all report the same leader, which is a team label.
+func runGather(t *testing.T, g *graph.Graph, team []sim.AgentSpec, maxRounds int) *sim.RunResult {
+	t.Helper()
+	seq := ues.Build(g)
+	for i := range team {
+		team[i].Program = NewProgram(seq)
+	}
+	res, err := sim.Run(sim.Scenario{Graph: g, Agents: team, MaxRounds: maxRounds})
+	if err != nil {
+		t.Fatalf("%s: %v", g.Name(), err)
+	}
+	assertGathered(t, g, team, res)
+	return res
+}
+
+func assertGathered(t *testing.T, g *graph.Graph, team []sim.AgentSpec, res *sim.RunResult) {
+	t.Helper()
+	if !res.AllHaltedTogether() {
+		for _, a := range res.Agents {
+			t.Logf("label %d: halted=%v round=%d node=%d", a.Label, a.Halted, a.HaltRound, a.FinalNode)
+		}
+		t.Fatalf("%s: agents did not declare together", g.Name())
+	}
+	leaders := res.Leaders()
+	if len(leaders) != 1 {
+		t.Fatalf("%s: multiple leaders %v", g.Name(), leaders)
+	}
+	found := false
+	for _, sp := range team {
+		if sp.Label == leaders[0] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("%s: leader %d is not a team label", g.Name(), leaders[0])
+	}
+}
+
+func TestGatherTwoAgentsAcrossFamilies(t *testing.T) {
+	cases := []struct {
+		g      *graph.Graph
+		starts [2]int
+	}{
+		{graph.TwoNodes(), [2]int{0, 1}},
+		{graph.Ring(4), [2]int{0, 2}}, // antipodal on an even ring: the symmetric worst case
+		{graph.Ring(5), [2]int{0, 2}},
+		{graph.Path(5), [2]int{0, 4}},
+		{graph.Star(5), [2]int{1, 2}},
+		{graph.Complete(4), [2]int{0, 3}},
+		{graph.Grid(3, 3), [2]int{0, 8}},
+		{graph.Hypercube(3), [2]int{0, 7}},
+		{graph.RandomTree(7, 3), [2]int{0, 6}},
+		{graph.GNP(8, 0.3, 5), [2]int{0, 7}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.g.Name(), func(t *testing.T) {
+			t.Parallel()
+			runGather(t, tc.g, []sim.AgentSpec{
+				{Label: 1, Start: tc.starts[0], WakeRound: 0},
+				{Label: 2, Start: tc.starts[1], WakeRound: 0},
+			}, 0)
+		})
+	}
+}
+
+func TestGatherManyAgents(t *testing.T) {
+	cases := []struct {
+		g      *graph.Graph
+		labels []int
+		starts []int
+	}{
+		{graph.Ring(6), []int{1, 2, 3}, []int{0, 2, 4}},
+		{graph.Ring(8), []int{3, 5, 6, 7}, []int{0, 2, 4, 6}},
+		{graph.Grid(3, 3), []int{1, 2, 3, 4}, []int{0, 2, 6, 8}},
+		{graph.Star(6), []int{2, 4, 6, 8, 10}, []int{0, 1, 2, 3, 4}},
+		{graph.Path(6), []int{1, 2, 3, 4, 5, 6}, []int{0, 1, 2, 3, 4, 5}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.g.Name(), func(t *testing.T) {
+			t.Parallel()
+			team := make([]sim.AgentSpec, len(tc.labels))
+			for i := range tc.labels {
+				team[i] = sim.AgentSpec{Label: tc.labels[i], Start: tc.starts[i], WakeRound: 0}
+			}
+			runGather(t, tc.g, team, 0)
+		})
+	}
+}
+
+func TestGatherDelayedWakeups(t *testing.T) {
+	// The adversary staggers wake-ups; dormant agents must be woken by the
+	// phase-0 exploration of earlier agents and the team must still gather.
+	g := graph.Ring(6)
+	seq := ues.Build(g)
+	delays := [][]int{
+		{0, 5},
+		{0, sim.DormantUntilVisited},
+		{0, 3 * seq.Duration()},
+		{0, 1},
+	}
+	for _, d := range delays {
+		team := []sim.AgentSpec{
+			{Label: 2, Start: 0, WakeRound: d[0]},
+			{Label: 5, Start: 3, WakeRound: d[1]},
+		}
+		runGather(t, g, team, 0)
+	}
+}
+
+func TestGatherThreeWithDormant(t *testing.T) {
+	g := graph.Grid(3, 3)
+	team := []sim.AgentSpec{
+		{Label: 4, Start: 0, WakeRound: 0},
+		{Label: 2, Start: 4, WakeRound: sim.DormantUntilVisited},
+		{Label: 9, Start: 8, WakeRound: sim.DormantUntilVisited},
+	}
+	runGather(t, g, team, 0)
+}
+
+func TestGatherLargerLabels(t *testing.T) {
+	// Bigger labels mean longer codes and more phases; keep the graph small.
+	g := graph.Ring(4)
+	team := []sim.AgentSpec{
+		{Label: 21, Start: 0, WakeRound: 0},
+		{Label: 36, Start: 2, WakeRound: 0},
+	}
+	runGather(t, g, team, 0)
+}
+
+// Property: random connected graph, random labels, random starts and delays
+// always gather with a unique team leader.
+func TestGatherProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test is slow")
+	}
+	rng := rand.New(rand.NewSource(42))
+	f := func() bool {
+		n := 3 + rng.Intn(6)
+		g := graph.GNP(n, 0.25+rng.Float64()*0.5, rng.Int63())
+		seq := ues.Build(g)
+		k := 2 + rng.Intn(min(3, n-1))
+		starts := rng.Perm(n)[:k]
+		labels := rng.Perm(30)[:k]
+		team := make([]sim.AgentSpec, k)
+		for i := 0; i < k; i++ {
+			wake := 0
+			if i > 0 && rng.Intn(2) == 0 {
+				wake = rng.Intn(2 * seq.Duration())
+			}
+			team[i] = sim.AgentSpec{Label: labels[i] + 1, Start: starts[i], WakeRound: wake, Program: NewProgram(seq)}
+		}
+		res, err := sim.Run(sim.Scenario{Graph: g, Agents: team})
+		if err != nil {
+			t.Logf("%s: %v", g.Name(), err)
+			return false
+		}
+		if !res.AllHaltedTogether() || len(res.Leaders()) != 1 {
+			t.Logf("%s: not gathered or leader split", g.Name())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLeaderIsSmallestCodeBearer(t *testing.T) {
+	// With simultaneous wake-up and a single merge-free run, the elected
+	// leader is determined by the lexicographic order of codes. We only
+	// assert the invariant the paper gives: one leader, from the team.
+	g := graph.Ring(6)
+	res := runGather(t, g, []sim.AgentSpec{
+		{Label: 5, Start: 0, WakeRound: 0},
+		{Label: 9, Start: 3, WakeRound: 0},
+	}, 0)
+	if l := res.Leaders()[0]; l != 5 && l != 9 {
+		t.Fatalf("leader %d not in team", l)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

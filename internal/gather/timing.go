@@ -1,0 +1,51 @@
+// Package gather implements the paper's core contribution for the
+// known-upper-bound case: the movement-encoded communication primitive
+// Communicate (Algorithm 4) and GatherKnownUpperBound (Algorithm 3), which
+// gathers all agents at one node with simultaneous declaration and elects a
+// leader as a by-product — all in a model where co-located agents cannot
+// exchange any information and only see how many agents share their node.
+package gather
+
+import (
+	"nochatter/internal/sim"
+	"nochatter/internal/tz"
+	"nochatter/internal/ues"
+)
+
+// Timing bundles the public duration constants of a run. Knowing the upper
+// bound N on the graph size means, operationally, knowing the exploration
+// sequence and therefore all of these durations; every agent of a run shares
+// one Timing.
+type Timing struct {
+	Seq *ues.Sequence
+}
+
+// TExplo returns T(EXPLO(N)), the duration of one full EXPLO execution.
+func (tm Timing) TExplo() int { return tm.Seq.Duration() }
+
+// P returns P(N, k): the rendezvous polynomial — an upper bound on the time
+// for two groups running TZ with distinct parameters of bit length at most k
+// to meet, when they start within T(EXPLO)/2 rounds of each other.
+func (tm Timing) P(k int) int { return tz.MeetBound(tm.Seq, k) }
+
+// D returns D_k = P(N, k) + 3(k+2)·T(EXPLO(N)), the paper's master duration
+// for phase k of Algorithm 3.
+func (tm Timing) D(k int) int { return tm.P(k) + 3*(k+2)*tm.TExplo() }
+
+// WaitStable blocks until the agent has seen d consecutive rounds without
+// any variation of CurCard since its latest change, counting both the round
+// of the latest change and the current round (lines 16 and 31 of
+// Algorithm 3). The round in which WaitStable is entered counts as the round
+// of the latest change.
+func WaitStable(a *sim.API, d int) {
+	last := a.CurCard()
+	stable := 1
+	for stable < d {
+		a.Wait()
+		if c := a.CurCard(); c != last {
+			last, stable = c, 1
+		} else {
+			stable++
+		}
+	}
+}

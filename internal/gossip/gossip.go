@@ -1,0 +1,78 @@
+// Package gossip implements the paper's Section 5: the gossiping problem in
+// the chatter-free model. Every agent starts with a binary message; after
+// the protocol, every agent knows every message together with its
+// multiplicity — despite agents having no means of communication beyond
+// counting co-located agents.
+//
+// Algorithm Gossip (Algorithm 12) requires all agents to start it in the
+// same round at the same node knowing a common upper bound on the graph
+// size; GossipKnownUpperBound establishes exactly that state by running
+// GatherKnownUpperBound first (Theorem 5.1).
+package gossip
+
+import (
+	"fmt"
+
+	"nochatter/internal/bits"
+	"nochatter/internal/gather"
+	"nochatter/internal/sim"
+	"nochatter/internal/ues"
+)
+
+// maxIterations caps the main loop defensively; the loop provably captures
+// at least one message per len(longest)/2 iterations, so hitting the cap
+// indicates a bug.
+const maxIterations = 1 << 20
+
+// Gossip runs Algorithm 12. All agents of the run must call it in the same
+// round from the same node (the state GatherKnownUpperBound leaves behind).
+// The message must be a binary string; it is transmitted as the codeword
+// bits.Code(message). The returned map gives, for every message held by at
+// least one agent, the number of agents holding it.
+func Gossip(a *sim.API, tm gather.Timing, message string) map[string]int {
+	if !bits.IsBinary(message) {
+		panic(fmt.Sprintf("gossip: message %q is not binary", message))
+	}
+	m := bits.Code(message)
+
+	total := a.CurCard() // the paper's a: the whole gathered team
+	learned := 0         // the paper's i
+	j := 2
+	offering := true // the paper's b
+	out := make(map[string]int)
+
+	for iter := 0; learned != total; iter++ {
+		if iter > maxIterations {
+			panic("gossip: main loop exceeded iteration cap; algorithm bug")
+		}
+		l, k := gather.Communicate(a, tm, j, m, offering)
+		if len(l) >= 2 && l[len(l)-2] == '0' && l[len(l)-1] == '1' {
+			// A codeword of length exactly j was captured.
+			decoded, err := bits.Decode(l)
+			if err != nil {
+				panic(fmt.Sprintf("gossip: captured non-codeword %q", l))
+			}
+			out[decoded] = k
+			learned += k
+			j = 2
+			if l == m {
+				offering = false
+			}
+		} else {
+			j += 2
+		}
+	}
+	return out
+}
+
+// NewProgram returns the agent program for GossipKnownUpperBound: gather
+// with Algorithm 3, then gossip with Algorithm 12. The Report carries both
+// the elected leader and the learned message multiset.
+func NewProgram(seq *ues.Sequence, message string) sim.Program {
+	tm := gather.Timing{Seq: seq}
+	return func(a *sim.API) sim.Report {
+		leader := gather.Execute(a, tm)
+		msgs := Gossip(a, tm, message)
+		return sim.Report{Leader: leader, Gossip: msgs}
+	}
+}

@@ -1,0 +1,168 @@
+package gossip
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nochatter/internal/graph"
+	"nochatter/internal/sim"
+	"nochatter/internal/ues"
+)
+
+// runGossip executes GossipKnownUpperBound for agents holding the given
+// messages (keyed by label) and returns the per-agent learned multisets.
+func runGossip(t *testing.T, g *graph.Graph, team []sim.AgentSpec, messages map[int]string) *sim.RunResult {
+	t.Helper()
+	seq := ues.Build(g)
+	for i := range team {
+		team[i].Program = NewProgram(seq, messages[team[i].Label])
+	}
+	res, err := sim.Run(sim.Scenario{Graph: g, Agents: team})
+	if err != nil {
+		t.Fatalf("%s: %v", g.Name(), err)
+	}
+	return res
+}
+
+// wantMultiset computes the expected message -> count map.
+func wantMultiset(messages map[int]string) map[string]int {
+	want := map[string]int{}
+	for _, m := range messages {
+		want[m]++
+	}
+	return want
+}
+
+func assertAllLearned(t *testing.T, res *sim.RunResult, want map[string]int) {
+	t.Helper()
+	for _, ag := range res.Agents {
+		got := ag.Report.Gossip
+		if len(got) != len(want) {
+			t.Fatalf("label %d learned %v, want %v", ag.Label, got, want)
+		}
+		for m, k := range want {
+			if got[m] != k {
+				t.Fatalf("label %d: message %q count %d, want %d", ag.Label, m, got[m], k)
+			}
+		}
+	}
+}
+
+func TestGossipTwoAgents(t *testing.T) {
+	g := graph.Ring(5)
+	messages := map[int]string{1: "1011", 2: "0"}
+	res := runGossip(t, g, []sim.AgentSpec{
+		{Label: 1, Start: 0, WakeRound: 0},
+		{Label: 2, Start: 2, WakeRound: 0},
+	}, messages)
+	assertAllLearned(t, res, wantMultiset(messages))
+}
+
+func TestGossipDistinctAndDuplicateMessages(t *testing.T) {
+	g := graph.Ring(6)
+	messages := map[int]string{1: "11", 2: "11", 3: "010"}
+	res := runGossip(t, g, []sim.AgentSpec{
+		{Label: 1, Start: 0, WakeRound: 0},
+		{Label: 2, Start: 2, WakeRound: 0},
+		{Label: 3, Start: 4, WakeRound: 0},
+	}, messages)
+	assertAllLearned(t, res, wantMultiset(messages))
+}
+
+func TestGossipEmptyMessage(t *testing.T) {
+	// The empty message is legal: it is transmitted as Code("") = "01".
+	g := graph.Path(4)
+	messages := map[int]string{1: "", 2: "101"}
+	res := runGossip(t, g, []sim.AgentSpec{
+		{Label: 1, Start: 0, WakeRound: 0},
+		{Label: 2, Start: 3, WakeRound: 0},
+	}, messages)
+	assertAllLearned(t, res, wantMultiset(messages))
+}
+
+func TestGossipAllSameMessage(t *testing.T) {
+	g := graph.Star(4)
+	messages := map[int]string{1: "0110", 2: "0110", 3: "0110"}
+	res := runGossip(t, g, []sim.AgentSpec{
+		{Label: 1, Start: 0, WakeRound: 0},
+		{Label: 2, Start: 1, WakeRound: 0},
+		{Label: 3, Start: 2, WakeRound: 0},
+	}, messages)
+	assertAllLearned(t, res, wantMultiset(messages))
+}
+
+func TestGossipLongMessage(t *testing.T) {
+	g := graph.Ring(4)
+	long := strings.Repeat("10", 12) // 24 bits
+	messages := map[int]string{1: long, 2: "1"}
+	res := runGossip(t, g, []sim.AgentSpec{
+		{Label: 1, Start: 0, WakeRound: 0},
+		{Label: 2, Start: 2, WakeRound: 0},
+	}, messages)
+	assertAllLearned(t, res, wantMultiset(messages))
+}
+
+func TestGossipWithDelaysAndDormant(t *testing.T) {
+	g := graph.Ring(6)
+	messages := map[int]string{3: "111", 7: "000"}
+	res := runGossip(t, g, []sim.AgentSpec{
+		{Label: 3, Start: 0, WakeRound: 0},
+		{Label: 7, Start: 3, WakeRound: sim.DormantUntilVisited},
+	}, messages)
+	assertAllLearned(t, res, wantMultiset(messages))
+}
+
+// Property: random teams with random messages all learn the exact multiset.
+func TestGossipProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test is slow")
+	}
+	rng := rand.New(rand.NewSource(17))
+	randMsg := func() string {
+		n := rng.Intn(6)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteByte(byte('0' + rng.Intn(2)))
+		}
+		return b.String()
+	}
+	f := func() bool {
+		n := 3 + rng.Intn(4)
+		g := graph.GNP(n, 0.4+rng.Float64()*0.4, rng.Int63())
+		k := 2 + rng.Intn(min(2, n-1))
+		starts := rng.Perm(n)[:k]
+		labels := rng.Perm(15)[:k]
+		messages := map[int]string{}
+		team := make([]sim.AgentSpec, k)
+		for i := 0; i < k; i++ {
+			label := labels[i] + 1
+			messages[label] = randMsg()
+			team[i] = sim.AgentSpec{Label: label, Start: starts[i], WakeRound: 0}
+		}
+		res := runGossip(t, g, team, messages)
+		want := wantMultiset(messages)
+		for _, ag := range res.Agents {
+			if len(ag.Report.Gossip) != len(want) {
+				return false
+			}
+			for m, c := range want {
+				if ag.Report.Gossip[m] != c {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Wheel returns the wheel graph: an (n-1)-cycle plus a hub (node 0)
+// adjacent to every cycle node; n >= 4.
+func Wheel(n int) *Graph {
+	if n < 4 {
+		panic(fmt.Sprintf("graph.Wheel: n=%d < 4", n))
+	}
+	b := NewBuilder(fmt.Sprintf("wheel-%d", n), n)
+	k := n - 1 // cycle length
+	next := make([]int, n)
+	claim := func(v int) int {
+		p := next[v]
+		next[v]++
+		return p
+	}
+	for i := 0; i < k; i++ {
+		u, v := 1+i, 1+(i+1)%k
+		b.AddEdge(u, v, claim(u), claim(v))
+	}
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, i, claim(0), claim(i))
+	}
+	return b.MustBuild()
+}
+
+// CompleteBipartite returns K_{a,b}: parts {0..a-1} and {a..a+b-1};
+// a, b >= 1 and a+b >= 2.
+func CompleteBipartite(a, b int) *Graph {
+	if a < 1 || b < 1 {
+		panic(fmt.Sprintf("graph.CompleteBipartite: %d,%d invalid", a, b))
+	}
+	g := NewBuilder(fmt.Sprintf("kbip-%d-%d", a, b), a+b)
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			g.AddEdge(i, a+j, j, i)
+		}
+	}
+	return g.MustBuild()
+}
+
+// BinaryTree returns the complete binary tree with the given number of
+// levels (levels >= 2), node 0 the root, children of v at 2v+1 and 2v+2.
+func BinaryTree(levels int) *Graph {
+	if levels < 2 {
+		panic(fmt.Sprintf("graph.BinaryTree: levels=%d < 2", levels))
+	}
+	n := (1 << levels) - 1
+	b := NewBuilder(fmt.Sprintf("btree-%d", levels), n)
+	next := make([]int, n)
+	claim := func(v int) int {
+		p := next[v]
+		next[v]++
+		return p
+	}
+	for v := 0; 2*v+2 < n; v++ {
+		b.AddEdge(v, 2*v+1, claim(v), claim(2*v+1))
+		b.AddEdge(v, 2*v+2, claim(v), claim(2*v+2))
+	}
+	return b.MustBuild()
+}
+
+// WriteDOT renders the graph in Graphviz DOT format with port labels on the
+// edge endpoints, for debugging and documentation.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "graph %q {\n  node [shape=circle];\n", g.name); err != nil {
+		return err
+	}
+	type edgeKey struct{ a, b int }
+	done := map[edgeKey]bool{}
+	keys := make([]edgeKey, 0, g.m)
+	labels := map[edgeKey][2]int{}
+	for v := range g.adj {
+		for p, h := range g.adj[v] {
+			a, b, pa, pb := v, h.to, p, h.revPort
+			if a > b {
+				a, b, pa, pb = b, a, pb, pa
+			}
+			k := edgeKey{a, b}
+			if !done[k] {
+				done[k] = true
+				keys = append(keys, k)
+				labels[k] = [2]int{pa, pb}
+			}
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	for _, k := range keys {
+		l := labels[k]
+		if _, err := fmt.Fprintf(w, "  %d -- %d [taillabel=%d, headlabel=%d];\n",
+			k.a, k.b, l[0], l[1]); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,74 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtraGeneratorsInvariants(t *testing.T) {
+	graphs := []*Graph{
+		Wheel(4), Wheel(6), Wheel(9),
+		CompleteBipartite(1, 1), CompleteBipartite(2, 3), CompleteBipartite(3, 3),
+		BinaryTree(2), BinaryTree(3), BinaryTree(4),
+	}
+	for _, g := range graphs {
+		t.Run(g.Name(), func(t *testing.T) {
+			checkPortInvariants(t, g)
+		})
+	}
+}
+
+func TestExtraGeneratorSizes(t *testing.T) {
+	tests := []struct {
+		g          *Graph
+		n, m, dmax int
+	}{
+		{Wheel(5), 5, 8, 4}, // 4-cycle + hub with 4 spokes
+		{CompleteBipartite(2, 3), 5, 6, 3},
+		{BinaryTree(3), 7, 6, 3},
+	}
+	for _, tt := range tests {
+		if tt.g.N() != tt.n || tt.g.M() != tt.m || tt.g.MaxDegree() != tt.dmax {
+			t.Errorf("%s: n=%d m=%d dmax=%d, want %d/%d/%d",
+				tt.g.Name(), tt.g.N(), tt.g.M(), tt.g.MaxDegree(), tt.n, tt.m, tt.dmax)
+		}
+	}
+	if Wheel(6).Diameter() != 2 {
+		t.Errorf("wheel diameter = %d, want 2", Wheel(6).Diameter())
+	}
+	if BinaryTree(3).Diameter() != 4 {
+		t.Errorf("btree-3 diameter = %d, want 4", BinaryTree(3).Diameter())
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := Path(3)
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`graph "path-3"`, "0 -- 1", "1 -- 2", "taillabel=", "}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// Edge count: one line per undirected edge.
+	if got := strings.Count(out, "--"); got != g.M() {
+		t.Errorf("DOT has %d edges, want %d", got, g.M())
+	}
+}
+
+func TestWriteDOTDeterministic(t *testing.T) {
+	g := GNP(8, 0.4, 2)
+	var a, b strings.Builder
+	if err := g.WriteDOT(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteDOT(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("DOT output must be deterministic")
+	}
+}

@@ -1,0 +1,294 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Ring returns the n-cycle. Every node has ports 0 (clockwise) and 1
+// (counterclockwise); n must be at least 3.
+func Ring(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph.Ring: n=%d < 3", n))
+	}
+	b := NewBuilder(fmt.Sprintf("ring-%d", n), n)
+	for v := 0; v < n; v++ {
+		b.AddEdge(v, (v+1)%n, 0, 1)
+	}
+	return b.MustBuild()
+}
+
+// Path returns the n-node path 0-1-...-(n-1). Interior nodes use port 0
+// toward the lower-index neighbor; n must be at least 2.
+func Path(n int) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("graph.Path: n=%d < 2", n))
+	}
+	b := NewBuilder(fmt.Sprintf("path-%d", n), n)
+	for v := 0; v+1 < n; v++ {
+		pu := 0
+		if v > 0 {
+			pu = 1
+		}
+		b.AddEdge(v, v+1, pu, 0)
+	}
+	return b.MustBuild()
+}
+
+// Complete returns K_n with the natural port numbering: at node v, port p
+// leads to the p-th other node in increasing index order; n >= 2.
+func Complete(n int) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("graph.Complete: n=%d < 2", n))
+	}
+	port := func(v, u int) int {
+		if u < v {
+			return u
+		}
+		return u - 1
+	}
+	b := NewBuilder(fmt.Sprintf("complete-%d", n), n)
+	for v := 0; v < n; v++ {
+		for u := v + 1; u < n; u++ {
+			b.AddEdge(v, u, port(v, u), port(u, v))
+		}
+	}
+	return b.MustBuild()
+}
+
+// Star returns the star with one center (node 0) and n-1 leaves; n >= 2.
+func Star(n int) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("graph.Star: n=%d < 2", n))
+	}
+	b := NewBuilder(fmt.Sprintf("star-%d", n), n)
+	for leaf := 1; leaf < n; leaf++ {
+		b.AddEdge(0, leaf, leaf-1, 0)
+	}
+	return b.MustBuild()
+}
+
+// Grid returns the r x c grid with row-major node indices. Ports at each node
+// are assigned in the fixed direction order up, down, left, right, compacted
+// to 0..d-1.
+func Grid(r, c int) *Graph {
+	if r < 1 || c < 1 || r*c < 2 {
+		panic(fmt.Sprintf("graph.Grid: %dx%d too small", r, c))
+	}
+	b := NewBuilder(fmt.Sprintf("grid-%dx%d", r, c), r*c)
+	id := func(i, j int) int { return i*c + j }
+	portOf := make(map[[2]int]int)
+	next := make([]int, r*c)
+	claim := func(v int) int {
+		p := next[v]
+		next[v]++
+		return p
+	}
+	// Assign ports per node in direction order by visiting nodes row-major and
+	// claiming both half-edges when an edge is first seen from its lower side.
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			v := id(i, j)
+			if i+1 < r {
+				u := id(i+1, j)
+				portOf[[2]int{v, u}] = claim(v)
+			}
+			if j > 0 {
+				u := id(i, j-1)
+				portOf[[2]int{v, u}] = claim(v)
+			}
+			if j+1 < c {
+				u := id(i, j+1)
+				portOf[[2]int{v, u}] = claim(v)
+			}
+			if i > 0 {
+				u := id(i-1, j)
+				portOf[[2]int{v, u}] = claim(v)
+			}
+		}
+	}
+	added := make(map[[2]int]bool)
+	for key, pu := range portOf {
+		v, u := key[0], key[1]
+		if added[[2]int{u, v}] || added[[2]int{v, u}] {
+			continue
+		}
+		pv, ok := portOf[[2]int{u, v}]
+		if !ok {
+			panic("graph.Grid: internal port bookkeeping error")
+		}
+		b.AddEdge(v, u, pu, pv)
+		added[[2]int{v, u}] = true
+	}
+	return b.MustBuild()
+}
+
+// Torus returns the r x c torus (wrap-around grid); r, c >= 3 so that no
+// double edges arise.
+func Torus(r, c int) *Graph {
+	if r < 3 || c < 3 {
+		panic(fmt.Sprintf("graph.Torus: %dx%d needs r,c >= 3", r, c))
+	}
+	b := NewBuilder(fmt.Sprintf("torus-%dx%d", r, c), r*c)
+	id := func(i, j int) int { return ((i+r)%r)*c + (j+c)%c }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			// port 0: down, port 1: right at the source; port 2: up, port 3: left
+			// at the destination.
+			b.AddEdge(id(i, j), id(i+1, j), 0, 2)
+			b.AddEdge(id(i, j), id(i, j+1), 1, 3)
+		}
+	}
+	return b.MustBuild()
+}
+
+// Hypercube returns the d-dimensional hypercube on 2^d nodes; port i flips
+// bit i. d must be in 1..16.
+func Hypercube(d int) *Graph {
+	if d < 1 || d > 16 {
+		panic(fmt.Sprintf("graph.Hypercube: d=%d out of range", d))
+	}
+	n := 1 << d
+	b := NewBuilder(fmt.Sprintf("hypercube-%d", d), n)
+	for v := 0; v < n; v++ {
+		for i := 0; i < d; i++ {
+			u := v ^ (1 << i)
+			if v < u {
+				b.AddEdge(v, u, i, i)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// RandomTree returns a uniformly random labeled tree on n nodes generated
+// from a Prüfer-like attachment process seeded deterministically; n >= 2.
+func RandomTree(n int, seed int64) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("graph.RandomTree: n=%d < 2", n))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(fmt.Sprintf("tree-%d-s%d", n, seed), n)
+	next := make([]int, n)
+	claim := func(v int) int {
+		p := next[v]
+		next[v]++
+		return p
+	}
+	for v := 1; v < n; v++ {
+		u := rng.Intn(v)
+		b.AddEdge(u, v, claim(u), claim(v))
+	}
+	return b.MustBuild()
+}
+
+// GNP returns a connected Erdős–Rényi G(n, p) graph: edges sampled with
+// probability p, then augmented with a random spanning tree so the result is
+// always connected. Deterministic for a given seed.
+func GNP(n int, p float64, seed int64) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("graph.GNP: n=%d < 2", n))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	has := make(map[[2]int]bool)
+	for v := 0; v < n; v++ {
+		for u := v + 1; u < n; u++ {
+			if rng.Float64() < p {
+				has[[2]int{v, u}] = true
+			}
+		}
+	}
+	// Spanning-tree augmentation for connectivity.
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		v, u := perm[rng.Intn(i)], perm[i]
+		if v > u {
+			v, u = u, v
+		}
+		has[[2]int{v, u}] = true
+	}
+	b := NewBuilder(fmt.Sprintf("gnp-%d-%.2f-s%d", n, p, seed), n)
+	next := make([]int, n)
+	for v := 0; v < n; v++ {
+		for u := v + 1; u < n; u++ {
+			if has[[2]int{v, u}] {
+				pu, pv := next[v], next[u]
+				next[v]++
+				next[u]++
+				b.AddEdge(v, u, pu, pv)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Barbell returns two cliques of size k joined by a path of length bridge
+// (bridge >= 1 edges); the classic hard case for cover walks.
+func Barbell(k, bridge int) *Graph {
+	if k < 3 || bridge < 1 {
+		panic(fmt.Sprintf("graph.Barbell: k=%d bridge=%d invalid", k, bridge))
+	}
+	n := 2*k + bridge - 1
+	b := NewBuilder(fmt.Sprintf("barbell-%d-%d", k, bridge), n)
+	next := make([]int, n)
+	claim := func(v int) int {
+		p := next[v]
+		next[v]++
+		return p
+	}
+	addClique := func(base int) {
+		for v := 0; v < k; v++ {
+			for u := v + 1; u < k; u++ {
+				b.AddEdge(base+v, base+u, claim(base+v), claim(base+u))
+			}
+		}
+	}
+	addClique(0)
+	addClique(k + bridge - 1)
+	prev := k - 1 // last node of first clique anchors the bridge
+	for i := 0; i < bridge; i++ {
+		var cur int
+		if i == bridge-1 {
+			cur = k + bridge - 1 // first node of second clique
+		} else {
+			cur = k + i
+		}
+		b.AddEdge(prev, cur, claim(prev), claim(cur))
+		prev = cur
+	}
+	return b.MustBuild()
+}
+
+// Lollipop returns a k-clique with a path of length tail attached — the
+// worst case for random-walk cover time.
+func Lollipop(k, tail int) *Graph {
+	if k < 3 || tail < 1 {
+		panic(fmt.Sprintf("graph.Lollipop: k=%d tail=%d invalid", k, tail))
+	}
+	n := k + tail
+	b := NewBuilder(fmt.Sprintf("lollipop-%d-%d", k, tail), n)
+	next := make([]int, n)
+	claim := func(v int) int {
+		p := next[v]
+		next[v]++
+		return p
+	}
+	for v := 0; v < k; v++ {
+		for u := v + 1; u < k; u++ {
+			b.AddEdge(v, u, claim(v), claim(u))
+		}
+	}
+	prev := k - 1
+	for i := 0; i < tail; i++ {
+		cur := k + i
+		b.AddEdge(prev, cur, claim(prev), claim(cur))
+		prev = cur
+	}
+	return b.MustBuild()
+}
+
+// TwoNodes returns the unique two-node graph: a single edge with port 0 on
+// both sides. It is the smallest legal network in the model.
+func TwoNodes() *Graph {
+	return NewBuilder("two", 2).AddEdge(0, 1, 0, 0).MustBuild()
+}

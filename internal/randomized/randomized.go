@@ -1,0 +1,139 @@
+// Package randomized explores the paper's closing open problem: "A first
+// step towards a polynomial solution of gathering ... without any a priori
+// knowledge would be to add the possibility of randomization, and design a
+// randomized algorithm for these tasks working in polynomial time with high
+// probability" (Section 6).
+//
+// This package implements that first step for the two-agent case
+// (rendezvous), still strictly inside the chatter-free model:
+//
+//   - Each agent performs a LAZY random walk: every round it stays put with
+//     probability 1/2, otherwise it leaves through a uniformly random port.
+//     Laziness breaks the parity traps that defeat plain random walks on
+//     bipartite graphs (two walkers on an even ring with synchronized steps
+//     can maintain odd distance forever; a lazy walk cannot).
+//   - Detection needs no chatter: the round in which CurCard reaches 2 is
+//     observed by BOTH agents simultaneously, so both declare in the same
+//     round at the same node — the model's definition of gathering.
+//
+// No knowledge of the graph, its size, or the other agent's label is used;
+// labels seed the walks so the algorithm stays deterministic per scenario
+// (the simulator is deterministic by design — randomness is pseudo-random,
+// derived from label and scenario seed).
+//
+// The expected meeting time of two lazy random walks is polynomial in n
+// (bounded via the cover/meeting-time machinery, O(n³) on any graph);
+// experiment E11 measures the growth empirically. What randomization does
+// NOT solve — and the reason this is a first step rather than an answer —
+// is termination detection for k > 2: an agent seeing CurCard = c cannot
+// distinguish "everyone is here" from "a subset is here" without knowing k,
+// which is exactly the difficulty the paper's deterministic hypothesis
+// machinery exists to overcome.
+package randomized
+
+import (
+	"nochatter/internal/graph"
+	"nochatter/internal/sim"
+)
+
+// rng is a splitmix64 pseudo-random generator: tiny, seedable, and good
+// enough for walk randomization.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng {
+	return &rng{state: seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d}
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform value in [0, n).
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// RendezvousProgram returns a two-agent randomized gathering program: lazy
+// random walk until co-location, then declare. The agent gives up (halts
+// without gathering) after maxRounds of walking, so simulations terminate
+// even in the astronomically unlikely no-meeting case; pass a horizon of a
+// few times n³.
+//
+// Both agents observe CurCard >= 2 in the same round, so a successful run
+// satisfies AllHaltedTogether. Leader election comes for free only with
+// chatter — the Report carries no leader, faithfully to what randomness
+// alone buys.
+func RendezvousProgram(scenarioSeed uint64, maxRounds int) sim.Program {
+	return func(a *sim.API) sim.Report {
+		r := newRNG(scenarioSeed ^ (uint64(a.Label()) << 17) ^ 0xabcdef12345)
+		for t := 0; t < maxRounds; t++ {
+			if a.CurCard() >= 2 {
+				return sim.Report{}
+			}
+			if r.next()&1 == 0 {
+				a.Wait()
+			} else {
+				a.TakePort(r.intn(a.Degree()))
+			}
+		}
+		return sim.Report{}
+	}
+}
+
+// Result summarizes one randomized rendezvous run.
+type Result struct {
+	Met      bool
+	MetRound int // declaration round when Met
+}
+
+// Rendezvous runs the two-agent randomized gathering on g from the given
+// starts with the given scenario seed and walk horizon. The run is
+// deterministic for a fixed (graph, starts, labels, seed).
+func Rendezvous(g *graph.Graph, start1, start2 int, seed uint64, horizon int) (Result, error) {
+	res, err := sim.Run(sim.Scenario{
+		Graph: g,
+		Agents: []sim.AgentSpec{
+			{Label: 1, Start: start1, WakeRound: 0, Program: RendezvousProgram(seed, horizon)},
+			{Label: 2, Start: start2, WakeRound: 0, Program: RendezvousProgram(seed, horizon)},
+		},
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if res.AllHaltedTogether() {
+		return Result{Met: true, MetRound: res.Rounds}, nil
+	}
+	return Result{}, nil
+}
+
+// MedianMeetRound runs trials independent rendezvous runs with distinct
+// seeds and returns the median meeting round and the number of runs that
+// met within the horizon. Experiment E11 uses this to measure the
+// polynomial growth of randomized meeting time.
+func MedianMeetRound(g *graph.Graph, start1, start2 int, trials, horizon int) (median int, met int, err error) {
+	rounds := make([]int, 0, trials)
+	for i := 0; i < trials; i++ {
+		res, rerr := Rendezvous(g, start1, start2, uint64(1000+i*7919), horizon)
+		if rerr != nil {
+			return 0, 0, rerr
+		}
+		if res.Met {
+			met++
+			rounds = append(rounds, res.MetRound)
+		}
+	}
+	if len(rounds) == 0 {
+		return 0, 0, nil
+	}
+	// Insertion sort; trials are small.
+	for i := 1; i < len(rounds); i++ {
+		for j := i; j > 0 && rounds[j] < rounds[j-1]; j-- {
+			rounds[j], rounds[j-1] = rounds[j-1], rounds[j]
+		}
+	}
+	return rounds[len(rounds)/2], met, nil
+}

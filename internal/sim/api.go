@@ -1,0 +1,128 @@
+// Package sim implements a deterministic synchronous simulator for teams of
+// mobile agents on anonymous port-labeled graphs, following the model of
+// Bouchard, Dieudonné and Pelc (PODC 2020): agents move in lock-step rounds,
+// cannot mark nodes, cannot exchange any information, and the only signal
+// about other agents is CurCard — the number of agents co-located with the
+// observer in the current round.
+//
+// Agent algorithms are ordinary Go functions written in blocking style
+// against *API: each call to Wait or TakePort consumes exactly one round.
+package sim
+
+import "fmt"
+
+// observation is what an agent perceives at the start of a round.
+type observation struct {
+	localRound int // rounds since this agent woke (0 in the wake round)
+	degree     int
+	entryPort  int // port through which the agent last entered; -1 before any move
+	curCard    int // number of agents (incl. self) at the current node
+}
+
+// move is the instruction an agent issues for the current round.
+type move struct {
+	port int // -1 means wait
+}
+
+// Report carries the algorithm-specific results an agent program returns when
+// it declares completion.
+type Report struct {
+	Leader int            // elected leader label; 0 if the algorithm elects none
+	Size   int            // learned graph size; 0 if not learned
+	Gossip map[string]int // message -> multiplicity, for gossip algorithms
+}
+
+// Program is a complete agent algorithm. It runs in its own goroutine and
+// perceives the world only through the API. Returning from the program is the
+// model's "declare": the agent halts at its current node.
+type Program func(a *API) Report
+
+// API is the world interface of a single agent. It is owned by the agent's
+// goroutine; methods must not be called from elsewhere.
+type API struct {
+	label int
+	obs   observation
+	obsCh chan observation
+	mvCh  chan move
+	quit  chan struct{}
+
+	oracleSize int // see OracleGraphSize
+
+	frames []*interruptFrame
+}
+
+// Label returns this agent's own label (a positive integer). Agents never
+// learn other agents' labels directly.
+func (a *API) Label() int { return a.label }
+
+// LocalRound returns the number of rounds elapsed since this agent woke up
+// (0 during the wake round). Agents may count rounds; they have no global
+// clock.
+func (a *API) LocalRound() int { return a.obs.localRound }
+
+// Degree returns the degree of the current node.
+func (a *API) Degree() int { return a.obs.degree }
+
+// EntryPort returns the port through which the agent entered the current
+// node, or -1 if it has not moved since waking at its start node.
+func (a *API) EntryPort() int { return a.obs.entryPort }
+
+// CurCard returns the number of agents, including this one, present at the
+// current node in the current round. This is the model's only inter-agent
+// signal.
+func (a *API) CurCard() int { return a.obs.curCard }
+
+// Wait spends the current round idle at the current node.
+func (a *API) Wait() {
+	a.step(move{port: -1})
+}
+
+// WaitRounds waits for x consecutive rounds (the paper's "wait x rounds").
+func (a *API) WaitRounds(x int) {
+	for i := 0; i < x; i++ {
+		a.Wait()
+	}
+}
+
+// TakePort leaves the current node through port p and returns the port of
+// entry at the destination. Taking a nonexistent port aborts the whole run
+// with an error: the algorithms under study never do this, so it is treated
+// as a bug, not an agent-visible event.
+func (a *API) TakePort(p int) (entryPort int) {
+	a.step(move{port: p})
+	return a.obs.entryPort
+}
+
+// OracleGraphSize returns the true number of nodes of the graph.
+//
+// This is the one privileged call, standing in for the output of the EST
+// map-construction procedure (Chalopin–Das–Kosowski) that the paper uses as a
+// black box: after an honest covering walk with a stationary token, the real
+// procedure has learned the graph size. See DESIGN.md, substitution 3. It
+// must only be called by the est package.
+func (a *API) OracleGraphSize() int { return a.oracleSize }
+
+// step submits the instruction for this round and blocks until the engine
+// delivers the next round's observation. It then re-checks all active
+// interruption predicates (innermost first).
+func (a *API) step(m move) {
+	select {
+	case a.mvCh <- m:
+	case <-a.quit:
+		panic(errRunAborted)
+	}
+	select {
+	case obs, ok := <-a.obsCh:
+		if !ok {
+			panic(errRunAborted)
+		}
+		a.obs = obs
+	case <-a.quit:
+		panic(errRunAborted)
+	}
+	a.checkInterrupts()
+}
+
+// errRunAborted unwinds an agent goroutine when the engine stops early
+// (max-rounds exceeded or another agent failed). Recovered by the runner.
+var errRunAborted = fmt.Errorf("sim: run aborted")

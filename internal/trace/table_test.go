@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("title", "a", "bee", "c")
+	tb.AddRow(1, "xx", 3.14159)
+	tb.AddRow("long-cell", "y", 2)
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	if !strings.HasPrefix(out, "title\n") {
+		t.Errorf("missing title: %q", out)
+	}
+	for _, want := range []string{"a", "bee", "c", "long-cell", "3.14", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	// Columns align: every data line has the same length.
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("header and rule misaligned:\n%s", out)
+	}
+	if tb.Len() != 2 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "x", "y")
+	tb.AddRow(1, 2)
+	tb.AddRow(3, 4)
+	var sb strings.Builder
+	tb.RenderCSV(&sb)
+	want := "x,y\n1,2\n3,4\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(1.23456)
+	var sb strings.Builder
+	tb.RenderCSV(&sb)
+	if !strings.Contains(sb.String(), "1.23") || strings.Contains(sb.String(), "1.2345") {
+		t.Errorf("float should render with 2 decimals: %q", sb.String())
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := NewTable("", "only")
+	var sb strings.Builder
+	tb.Render(&sb)
+	if tb.Len() != 0 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+	if !strings.Contains(sb.String(), "only") {
+		t.Errorf("headers must render even when empty: %q", sb.String())
+	}
+}

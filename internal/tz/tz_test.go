@@ -1,0 +1,188 @@
+package tz
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nochatter/internal/graph"
+	"nochatter/internal/sim"
+	"nochatter/internal/ues"
+)
+
+// meetWithin runs two agents with TZ parameters l1, l2 from the given starts,
+// the second delayed by delay rounds, and returns the first global round in
+// which they are co-located, or -1 if they never are within horizon.
+func meetWithin(t *testing.T, g *graph.Graph, seq *ues.Sequence, l1, l2, start1, start2, delay, horizon int) int {
+	t.Helper()
+	prog := func(lambda int) sim.Program {
+		return func(a *sim.API) sim.Report {
+			New(lambda, seq).Run(a, horizon)
+			return sim.Report{}
+		}
+	}
+	met := -1
+	_, err := sim.Run(sim.Scenario{
+		Graph: g,
+		Agents: []sim.AgentSpec{
+			{Label: 1, Start: start1, WakeRound: 0, Program: prog(l1)},
+			{Label: 2, Start: start2, WakeRound: delay, Program: prog(l2)},
+		},
+		OnRound: func(v sim.RoundView) {
+			if met < 0 && v.Awake[0] && v.Awake[1] && v.Positions[0] == v.Positions[1] {
+				met = v.Round
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return met
+}
+
+func TestDistinctParamsMeet(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Ring(6), graph.Path(5), graph.Star(6),
+		graph.Grid(3, 3), graph.GNP(8, 0.35, 9),
+	}
+	pairs := [][2]int{{0, 1}, {1, 2}, {2, 5}, {3, 12}, {7, 8}, {1, 1023}}
+	for _, g := range graphs {
+		seq := ues.Build(g)
+		e := seq.EffectiveLen()
+		for _, pr := range pairs {
+			for _, delay := range []int{0, 1, e / 2, e} {
+				k := bitLen(max(pr[0], pr[1]))
+				bound := MeetBound(seq, k) + delay
+				met := meetWithin(t, g, seq, pr[0], pr[1], 0, g.N()-1, delay, bound+1)
+				if met < 0 {
+					t.Errorf("%s: λ=%v delay=%d: no meeting within %d rounds",
+						g.Name(), pr, delay, bound)
+				}
+			}
+		}
+	}
+}
+
+// Property: random distinct parameters with random tolerable delay meet
+// within MeetBound on a random graph.
+func TestDistinctParamsMeetProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	f := func() bool {
+		n := 4 + rng.Intn(8)
+		g := graph.GNP(n, 0.3+rng.Float64()*0.4, rng.Int63())
+		seq := ues.Build(g)
+		l1 := rng.Intn(64)
+		l2 := rng.Intn(64)
+		for l2 == l1 {
+			l2 = rng.Intn(64)
+		}
+		delay := rng.Intn(seq.EffectiveLen() + 1)
+		bound := MeetBound(seq, bitLen(max(l1, l2))) + delay
+		s1, s2 := rng.Intn(n), rng.Intn(n)
+		for s2 == s1 {
+			s2 = rng.Intn(n)
+		}
+		return meetWithin(t, g, seq, l1, l2, s1, s2, delay, bound+1) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSameParameterCohesion(t *testing.T) {
+	// Two co-located agents with the same λ must stay together for the whole
+	// run (same deterministic schedule) — this is what keeps groups cohesive
+	// inside Algorithm 3.
+	g := graph.Grid(3, 3)
+	seq := ues.Build(g)
+	horizon := 3 * MeetBound(seq, 4)
+	prog := func(a *sim.API) sim.Report {
+		if a.Label() == 2 {
+			a.TakePort(0) // join agent 1's node first
+		} else {
+			a.Wait()
+		}
+		New(5, seq).Run(a, horizon)
+		return sim.Report{}
+	}
+	to, _ := g.Traverse(0, 0)
+	separated := false
+	_, err := sim.Run(sim.Scenario{
+		Graph: g,
+		Agents: []sim.AgentSpec{
+			{Label: 1, Start: to, WakeRound: 0, Program: prog},
+			{Label: 2, Start: 0, WakeRound: 0, Program: prog},
+		},
+		OnRound: func(v sim.RoundView) {
+			if v.Round >= 1 && v.Positions[0] != v.Positions[1] {
+				separated = true
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if separated {
+		t.Error("same-parameter co-located agents must never separate")
+	}
+}
+
+func TestRunDurationExact(t *testing.T) {
+	g := graph.Ring(5)
+	seq := ues.Build(g)
+	for _, rounds := range []int{0, 1, seq.EffectiveLen(), 4*seq.EffectiveLen() + 3, MeetBound(seq, 3)} {
+		var used int
+		prog := func(a *sim.API) sim.Report {
+			New(6, seq).Run(a, rounds)
+			used = a.LocalRound()
+			return sim.Report{}
+		}
+		_, err := sim.Run(sim.Scenario{
+			Graph:  g,
+			Agents: []sim.AgentSpec{{Label: 1, Start: 0, WakeRound: 0, Program: prog}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if used != rounds {
+			t.Errorf("Run(%d) consumed %d rounds", rounds, used)
+		}
+	}
+}
+
+func TestPatternShape(t *testing.T) {
+	g := graph.Ring(4)
+	seq := ues.Build(g)
+	s := New(5, seq) // Bin(5)=101, Code=11001101
+	if s.Pattern() != "11001101" {
+		t.Errorf("pattern = %q", s.Pattern())
+	}
+	if s.BlockLen() != 4*seq.EffectiveLen() {
+		t.Errorf("block len = %d", s.BlockLen())
+	}
+	if s.PassLen() != s.BlockLen()*8 {
+		t.Errorf("pass len = %d", s.PassLen())
+	}
+	if New(0, seq).Pattern() != "0001" {
+		t.Errorf("λ=0 pattern = %q", New(0, seq).Pattern())
+	}
+}
+
+func bitLen(x int) int {
+	n := 0
+	for x > 0 {
+		n++
+		x >>= 1
+	}
+	if n == 0 {
+		return 1
+	}
+	return n
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

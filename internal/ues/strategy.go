@@ -1,0 +1,118 @@
+package ues
+
+import "nochatter/internal/graph"
+
+// Strategy selects the sequence-construction policy. All strategies produce
+// sequences with the same contract (cover from every start); they differ in
+// sequence LENGTH, which multiplies into every duration of the gathering
+// algorithms — the A2 ablation measures this.
+type Strategy int
+
+const (
+	// Hybrid (the default used by Build): greedy coverage steps while they
+	// make progress, BFS-directed steps otherwise.
+	Hybrid Strategy = iota
+	// DirectedOnly always steers the first uncovered walker via BFS,
+	// ignoring what the step does for other walkers.
+	DirectedOnly
+	// GreedyRandom uses greedy coverage steps and a deterministic
+	// pseudo-random offset when greedy stalls (no BFS guidance).
+	GreedyRandom
+)
+
+// String implements fmt.Stringer for experiment tables.
+func (s Strategy) String() string {
+	switch s {
+	case Hybrid:
+		return "hybrid"
+	case DirectedOnly:
+		return "directed-only"
+	case GreedyRandom:
+		return "greedy+random"
+	default:
+		return "unknown"
+	}
+}
+
+// BuildWith constructs a covering sequence for g using the given strategy.
+// BuildWith(g, Hybrid) is identical to Build(g).
+func BuildWith(g *graph.Graph, strategy Strategy) *Sequence {
+	n := g.N()
+	if n == 1 {
+		return &Sequence{}
+	}
+	walkers := make([]*walker, n)
+	for v := 0; v < n; v++ {
+		w := &walker{node: v, entry: 0, covered: make([]bool, n)}
+		w.visit(v)
+		walkers[v] = w
+	}
+	maxDeg := g.MaxDegree()
+	var offsets []int
+	done := func() bool {
+		for _, w := range walkers {
+			if w.nCov < n {
+				return false
+			}
+		}
+		return true
+	}
+	rng := uint64(0x9e3779b97f4a7c15) // deterministic splitmix state
+	nextRand := func() int {
+		rng += 0x9e3779b97f4a7c15
+		z := rng
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return int((z ^ (z >> 31)) % uint64(maxDeg))
+	}
+	// The random strategy has no termination proof; use a generous cap and
+	// fall back to directed steps beyond it so the contract always holds.
+	bound := 64*n*n*(g.Diameter()+1) + 1024
+	for step := 0; !done(); step++ {
+		var pick int
+		switch {
+		case strategy == DirectedOnly:
+			pick = directedOffset(g, walkers)
+		case strategy == GreedyRandom && step <= bound:
+			pick = greedyOffset(g, walkers, maxDeg)
+			if pick < 0 {
+				pick = nextRand()
+			}
+		case strategy == GreedyRandom:
+			pick = directedOffset(g, walkers) // safety net beyond the cap
+		default: // Hybrid
+			pick = greedyOffset(g, walkers, maxDeg)
+			if pick < 0 {
+				pick = directedOffset(g, walkers)
+			}
+		}
+		offsets = append(offsets, pick)
+		for _, w := range walkers {
+			w.apply(g, pick)
+		}
+		if step > 4*bound {
+			panic("ues: BuildWith exceeded hard bound")
+		}
+	}
+	return &Sequence{offsets: offsets}
+}
+
+// greedyOffset returns the offset uncovering the most nodes across all
+// walkers, or -1 if no offset makes progress.
+func greedyOffset(g *graph.Graph, walkers []*walker, maxDeg int) int {
+	best, bestGain := -1, 0
+	for x := 0; x < maxDeg; x++ {
+		gain := 0
+		for _, w := range walkers {
+			d := g.Degree(w.node)
+			to, _ := g.Traverse(w.node, (w.entry+x)%d)
+			if !w.covered[to] {
+				gain++
+			}
+		}
+		if gain > bestGain {
+			best, bestGain = x, gain
+		}
+	}
+	return best
+}

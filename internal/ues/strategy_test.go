@@ -1,0 +1,68 @@
+package ues
+
+import (
+	"testing"
+
+	"nochatter/internal/graph"
+)
+
+func TestAllStrategiesSatisfyContract(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.TwoNodes(), graph.Ring(7), graph.Path(6), graph.Star(6),
+		graph.Grid(3, 3), graph.Hypercube(3), graph.GNP(10, 0.3, 4),
+		graph.Lollipop(4, 3), graph.Barbell(3, 2),
+	}
+	for _, g := range graphs {
+		for _, s := range []Strategy{Hybrid, DirectedOnly, GreedyRandom} {
+			seq := BuildWith(g, s)
+			if !seq.CoversFromEveryStart(g) {
+				t.Errorf("%s/%v: contract violated", g.Name(), s)
+			}
+		}
+	}
+}
+
+func TestStrategiesDeterministic(t *testing.T) {
+	g := graph.GNP(9, 0.4, 6)
+	for _, s := range []Strategy{Hybrid, DirectedOnly, GreedyRandom} {
+		a, b := BuildWith(g, s), BuildWith(g, s)
+		ao, bo := a.Offsets(), b.Offsets()
+		if len(ao) != len(bo) {
+			t.Fatalf("%v: nondeterministic length", s)
+		}
+		for i := range ao {
+			if ao[i] != bo[i] {
+				t.Fatalf("%v: nondeterministic offsets", s)
+			}
+		}
+	}
+}
+
+// TestHybridNotWorseThanDirected is the A2 ablation's direction: hybrid
+// sequences should be no longer than directed-only on most graphs (they
+// exploit multi-walker progress); allow slack for ties and tiny graphs.
+func TestHybridNotWorseThanDirected(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Ring(8), graph.Grid(3, 3), graph.Star(8),
+		graph.GNP(12, 0.3, 9), graph.Hypercube(3),
+	}
+	hybridWins := 0
+	for _, g := range graphs {
+		h := BuildWith(g, Hybrid).EffectiveLen()
+		d := BuildWith(g, DirectedOnly).EffectiveLen()
+		t.Logf("%s: hybrid=%d directed=%d", g.Name(), h, d)
+		if h <= d {
+			hybridWins++
+		}
+	}
+	if hybridWins < len(graphs)-1 {
+		t.Errorf("hybrid longer than directed-only on %d/%d graphs", len(graphs)-hybridWins, len(graphs))
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Hybrid.String() != "hybrid" || DirectedOnly.String() != "directed-only" ||
+		GreedyRandom.String() != "greedy+random" || Strategy(99).String() != "unknown" {
+		t.Error("Strategy.String labels wrong")
+	}
+}

@@ -1,0 +1,299 @@
+package unknown
+
+import (
+	"nochatter/internal/config"
+	"nochatter/internal/est"
+	"nochatter/internal/sim"
+)
+
+// runner executes hypotheses for one agent, recording every entry port of a
+// hypothesis' first part so the second part can walk back (Algorithm 6,
+// lines 16-21).
+type runner struct {
+	a       *sim.API
+	sched   *Schedule
+	entries []int
+}
+
+// take moves through port p and records the entry port at the destination.
+func (r *runner) take(p int) int {
+	e := r.a.TakePort(p)
+	r.entries = append(r.entries, e)
+	return e
+}
+
+// cardTracker maintains, for an agent that has not moved since the tracker
+// was last reset, the current CurCard value and the number of consecutive
+// rounds (including the current one) it has remained unchanged. Because all
+// agents waiting at one node observe the same CurCard history, trackers give
+// them a COMMON clock: "Z stable rounds after the latest change" completes
+// in the same round for everyone present, which is how MoveToCentralNode
+// synchronizes the group (see the deviation note on moveToCentralNode).
+type cardTracker struct {
+	last   int
+	stable int
+}
+
+func newCardTracker(a *sim.API) cardTracker {
+	return cardTracker{last: a.CurCard(), stable: 1}
+}
+
+// observe processes the current round's CurCard.
+func (t *cardTracker) observe(a *sim.API) {
+	if c := a.CurCard(); c != t.last {
+		t.last, t.stable = c, 1
+	} else {
+		t.stable++
+	}
+}
+
+// hypothesis is Algorithm 6: the preprocessing part (ball traversal + wait),
+// the main part (the four checks), and on failure the slowed return walk
+// plus padding to exactly T_h rounds.
+func (r *runner) hypothesis(h int) bool {
+	d := r.sched.Dim(h)
+	cfg := r.sched.Config(h)
+	r.entries = r.entries[:0]
+	start := r.a.LocalRound()
+
+	ok := r.ballTraversal(d)
+	if ok {
+		// The tracker starts the round the sweep ends — from here the agent
+		// sits still through the padding and the line-4 wait, so an agent
+		// whose start IS the central node shares its CurCard history with
+		// every later arrival.
+		tr := newCardTracker(r.a)
+		for r.a.LocalRound()-start < d.TBall { // pad traversal to TBall
+			r.a.Wait()
+			tr.observe(r.a)
+		}
+		for i := 0; i < d.S; i++ { // line 4 of Algorithm 6: wait S_h
+			r.a.Wait()
+			tr.observe(r.a)
+		}
+		ok = r.moveToCentralNode(cfg, d, tr) &&
+			r.starCheck(cfg) &&
+			r.ensureCleanExploration(cfg, d) &&
+			r.graphSizeCheck(cfg, d)
+		if ok {
+			return true
+		}
+	}
+	// Second part: retrace every entrance of the first part in reverse, one
+	// slow move at a time, then pad the phase to exactly T_h rounds.
+	for i := len(r.entries) - 1; i >= 0; i-- {
+		r.a.WaitRounds(d.Slow)
+		r.a.TakePort(r.entries[i])
+	}
+	for r.a.LocalRound()-start < d.T {
+		r.a.Wait()
+	}
+	return false
+}
+
+// ballTraversal is Algorithm 7: sweep all port paths of length R(h) over the
+// alphabet {0..n_h-2} with slow moves, returning false as soon as a node of
+// degree >= n_h is seen. On a true return the agent is back at its start and
+// has visited every node within distance R(h) — with R(h) >= diameter
+// (invariant I1), the whole graph.
+//
+// Deviation from the paper's Algorithm 7 (documented in DESIGN.md): a
+// successful traversal is padded by the CALLER to exactly TBall rounds. The
+// paper's unpadded version makes the traversal's duration depend on the
+// start node, which desynchronizes agents of a correct hypothesis by more
+// than MoveToCentralNode's waits can absorb. Padding to the public constant
+// — the same device the paper itself uses for phases (T_h) and EST+ —
+// removes the skew at no semantic cost.
+func (r *runner) ballTraversal(d Dims) bool {
+	alpha := d.N - 1
+	if alpha < 1 {
+		alpha = 1
+	}
+	path := make([]int, d.Radius)
+	entries := make([]int, 0, d.Radius)
+	for {
+		entries = entries[:0]
+		for i := 0; i < d.Radius; i++ {
+			if r.a.Degree() >= d.N {
+				return false
+			}
+			if path[i] >= r.a.Degree() {
+				break // "there is no port x[i]"
+			}
+			r.a.WaitRounds(d.Slow)
+			entries = append(entries, r.take(path[i]))
+		}
+		for i := len(entries) - 1; i >= 0; i-- {
+			r.a.WaitRounds(d.Slow)
+			r.take(entries[i])
+		}
+		if !nextWord(path, alpha) {
+			return true
+		}
+	}
+}
+
+// moveToCentralNode is Algorithm 8: follow path_h(own label) toward the
+// central node of φ_h, then wait for the other k_h - 1 hypothesized agents.
+//
+// Deviation from the paper's Algorithm 8 (documented in DESIGN.md): the
+// paper's two fixed waits let agents of a correct hypothesis finish MTCN in
+// different rounds when their ball traversals take different times or the
+// central agent's body completes the count while it is still preprocessing;
+// StarCheck then cannot start synchronized. Instead, the group synchronizes
+// on an event all of its members observe identically: the wait succeeds
+// exactly Z = S_h + n_h rounds after the LAST change of CurCard, with the
+// cardinality equal to k_h. Since every agent present at the central node
+// sees the same CurCard history (the tracker spans the line-4 wait for the
+// agent already sitting there), all members complete the wait in the same
+// round — the paper's own stabilization device from Algorithm 3, line 16.
+func (r *runner) moveToCentralNode(cfg *config.Configuration, d Dims, tr cardTracker) bool {
+	p, ok := cfg.PathToCentral(r.a.Label())
+	if !ok {
+		return false // my label does not occur in φ_h
+	}
+	for _, port := range p {
+		if port >= r.a.Degree() {
+			return false // "there is no port p[i]"
+		}
+		r.take(port)
+		tr = newCardTracker(r.a) // moving resets the shared-history clock
+	}
+	z := d.S + d.N
+	timeout := 2*z + 4
+	for j := 0; j < timeout; j++ {
+		if tr.last == cfg.K() && tr.stable >= z {
+			return true
+		}
+		r.a.Wait()
+		tr.observe(r.a)
+	}
+	return false
+}
+
+// starCheck is Algorithm 9: the k_h agents take turns visiting all neighbors
+// of the central node while the others verify, through CurCard alone, that
+// exactly one agent is out at odd ticks and everyone is back at even ticks —
+// twice. It lasts exactly 4·d·k_h rounds for every agent.
+func (r *runner) starCheck(cfg *config.Configuration) bool {
+	deg := r.a.Degree()
+	rank := cfg.Rank(r.a.Label())
+	k := cfg.K()
+	b := true
+	for t := 1; t <= 2; t++ {
+		for i := 0; i < k; i++ {
+			if i == rank && (t == 1 || b) {
+				for j := 0; j < deg; j++ {
+					e := r.take(j)
+					if t == 1 && r.a.CurCard() != 1 {
+						b = false
+					}
+					r.take(e)
+					if r.a.CurCard() != k {
+						b = false
+					}
+				}
+			} else {
+				for j := 1; j <= 2*deg; j++ {
+					r.a.Wait()
+					if (j%2 == 1 && r.a.CurCard() != k-1) || (j%2 == 0 && r.a.CurCard() != k) {
+						b = false
+					}
+				}
+			}
+		}
+	}
+	return b
+}
+
+// ensureCleanExploration is Algorithm 10: two full sweeps of every port path
+// of length L(h) from the central node; any round in which the group is not
+// exactly the k_h hypothesized agents aborts with false. With L(h) >= true
+// diameter (invariant I5) the sweep covers the whole graph, so any stray
+// agent — nearly immobile during this window by invariant I2 — is detected.
+func (r *runner) ensureCleanExploration(cfg *config.Configuration, d Dims) bool {
+	alpha := d.N - 1
+	if alpha < 1 {
+		alpha = 1
+	}
+	k := cfg.K()
+	path := make([]int, d.Radius)
+	entries := make([]int, 0, d.Radius)
+	for t := 1; t <= 2; t++ {
+		for i := range path {
+			path[i] = 0
+		}
+		for {
+			entries = entries[:0]
+			for i := 0; i < d.Radius; i++ {
+				if path[i] >= r.a.Degree() {
+					break
+				}
+				entries = append(entries, r.take(path[i]))
+				if r.a.CurCard() != k {
+					return false
+				}
+			}
+			for i := len(entries) - 1; i >= 0; i-- {
+				r.take(entries[i])
+			}
+			if !nextWord(path, alpha) {
+				break
+			}
+		}
+	}
+	return true
+}
+
+// graphSizeCheck is Algorithm 11: the k_h agents take turns running EST+
+// with the others playing the stationary token; every turn is padded to
+// exactly 2·T(EST(n_h)) rounds.
+func (r *runner) graphSizeCheck(cfg *config.Configuration, d Dims) bool {
+	rank := cfg.Rank(r.a.Label())
+	start := r.a.LocalRound()
+	ok := false
+	for i := 1; i <= cfg.K(); i++ {
+		if i == rank+1 {
+			res := r.estPlus(d)
+			ok = res.SizeOK
+		}
+		for r.a.LocalRound()-start < 2*i*d.EstDur {
+			r.a.Wait()
+		}
+	}
+	return ok
+}
+
+// estPlus runs EST+ while recording its entry ports for the return walk.
+// The walk is balanced (it ends where it starts), so recording preserves the
+// retrace property of the second part.
+func (r *runner) estPlus(d Dims) est.Result {
+	return est.ExplorePlus(&recordingAPI{r: r}, d.N)
+}
+
+// recordingAPI forwards EST+ moves through the runner's recorder. est only
+// needs TakePort, Wait, Degree, CurCard and the size oracle.
+type recordingAPI struct {
+	r *runner
+}
+
+func (w *recordingAPI) TakePort(p int) int { return w.r.take(p) }
+func (w *recordingAPI) Wait()              { w.r.a.Wait() }
+func (w *recordingAPI) Degree() int        { return w.r.a.Degree() }
+func (w *recordingAPI) CurCard() int       { return w.r.a.CurCard() }
+func (w *recordingAPI) OracleGraphSize() int {
+	return w.r.a.OracleGraphSize()
+}
+
+// nextWord advances word to the next value over {0..alpha-1}; false after
+// the last word.
+func nextWord(word []int, alpha int) bool {
+	for i := len(word) - 1; i >= 0; i-- {
+		word[i]++
+		if word[i] < alpha {
+			return true
+		}
+		word[i] = 0
+	}
+	return false
+}

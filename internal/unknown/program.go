@@ -1,0 +1,49 @@
+package unknown
+
+import (
+	"nochatter/internal/config"
+	"nochatter/internal/sim"
+)
+
+// maxHypotheses caps the hypothesis loop defensively. Phase durations grow
+// geometrically, so a run that legitimately needs more hypotheses than this
+// would first exhaust any simulation budget; reaching the cap therefore
+// indicates a bug or a misconfigured profile.
+const maxHypotheses = 64
+
+// NewProgram returns the agent program for GatherUnknownUpperBound
+// (Algorithm 5): test hypotheses φ1, φ2, ... until one is confirmed; then
+// declare, knowing the leader (smallest label of the confirmed
+// configuration) and the true graph size (Theorem 4.1).
+//
+// Every agent constructs the identical Schedule from the shared enumeration,
+// which is what the paper means by a fixed Ω known to all agents.
+func NewProgram(p Params) sim.Program {
+	return func(a *sim.API) sim.Report {
+		r := &runner{a: a, sched: NewSchedule(p)}
+		for h := 1; h <= maxHypotheses; h++ {
+			if r.hypothesis(h) {
+				cfg := r.sched.Config(h)
+				return sim.Report{Leader: cfg.SmallestLabel(), Size: cfg.N()}
+			}
+		}
+		panic("unknown: exceeded hypothesis cap; algorithm bug or misconfigured profile")
+	}
+}
+
+// ScenarioFor builds the sim agent specs matching a configuration: one agent
+// per labeled node, starting exactly where the configuration places it. Wake
+// rounds are all zero; callers may adjust them before running.
+func ScenarioFor(cfg *config.Configuration, p Params) []sim.AgentSpec {
+	labels := cfg.SortedLabels()
+	specs := make([]sim.AgentSpec, 0, len(labels))
+	for _, l := range labels {
+		node, _ := cfg.NodeOf(l)
+		specs = append(specs, sim.AgentSpec{
+			Label:   l,
+			Start:   node,
+			Program: NewProgram(p),
+		})
+	}
+	return specs
+}

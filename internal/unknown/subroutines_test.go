@@ -1,0 +1,248 @@
+package unknown
+
+import (
+	"testing"
+
+	"nochatter/internal/config"
+	"nochatter/internal/graph"
+	"nochatter/internal/sim"
+)
+
+// starGraph3 is the first three-node graph of the enumeration: a star with
+// center 0 and leaves 1, 2 (identity port assignment).
+func starGraph3() *graph.Graph {
+	return graph.NewBuilder("star3", 3).
+		AddEdge(0, 1, 0, 0).
+		AddEdge(0, 2, 1, 0).
+		MustBuild()
+}
+
+// cfg12 labels the center 1 and leaf 1 with 2 (this is φ_3 of Ω).
+func cfg12() *config.Configuration {
+	return &config.Configuration{G: starGraph3(), Labels: map[int]int{0: 1, 1: 2}}
+}
+
+// dimsFor returns small Dims consistent with cfg for direct subroutine runs.
+func dimsFor(cfg *config.Configuration) Dims {
+	return Dims{
+		H: 1, N: cfg.N(), K: cfg.K(), M: cfg.N(),
+		Radius: 2, Slow: 4, TBall: 200, S: 50, T: 100000, EstDur: 16,
+	}
+}
+
+// runPair places agents of cfg at their nodes, aligns them, and runs body.
+func runPair(t *testing.T, cfg *config.Configuration, extra []sim.AgentSpec,
+	body func(r *runner, label int) bool) map[int]bool {
+	t.Helper()
+	results := map[int]bool{}
+	var specs []sim.AgentSpec
+	for _, l := range cfg.SortedLabels() {
+		l := l
+		node, _ := cfg.NodeOf(l)
+		specs = append(specs, sim.AgentSpec{
+			Label: l, Start: node, WakeRound: 0,
+			Program: func(a *sim.API) sim.Report {
+				r := &runner{a: a, sched: NewSchedule(DefaultParams())}
+				results[l] = body(r, l)
+				return sim.Report{}
+			},
+		})
+	}
+	specs = append(specs, extra...)
+	if _, err := sim.Run(sim.Scenario{Graph: cfg.G, Agents: specs}); err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+// gatherAtCentral walks the agent to the central node and waits until round
+// `align` so that all participants start the dance simultaneously.
+func gatherAtCentral(r *runner, cfg *config.Configuration, align int) {
+	p, _ := cfg.PathToCentral(r.a.Label())
+	for _, port := range p {
+		r.take(port)
+	}
+	r.a.WaitRounds(align - len(p))
+}
+
+func TestStarCheckCleanPair(t *testing.T) {
+	cfg := cfg12()
+	d := dimsFor(cfg)
+	res := runPair(t, cfg, nil, func(r *runner, label int) bool {
+		gatherAtCentral(r, cfg, 3)
+		_ = d
+		return r.starCheck(cfg)
+	})
+	for l, ok := range res {
+		if !ok {
+			t.Errorf("agent %d: clean StarCheck returned false", l)
+		}
+	}
+}
+
+func TestStarCheckDetectsIntruderAtCenter(t *testing.T) {
+	cfg := cfg12()
+	// An unlabeled third agent parks at the central node for the whole dance:
+	// every cardinality check is off by one.
+	intruder := sim.AgentSpec{
+		Label: 99, Start: 2, WakeRound: 0,
+		Program: func(a *sim.API) sim.Report {
+			a.TakePort(0) // leaf 2 -> center
+			a.WaitRounds(200)
+			return sim.Report{}
+		},
+	}
+	res := runPair(t, cfg, []sim.AgentSpec{intruder}, func(r *runner, label int) bool {
+		gatherAtCentral(r, cfg, 3)
+		return r.starCheck(cfg)
+	})
+	for l, ok := range res {
+		if ok {
+			t.Errorf("agent %d: StarCheck must detect the intruder", l)
+		}
+	}
+}
+
+func TestStarCheckDetectsDesync(t *testing.T) {
+	cfg := cfg12()
+	// The two legitimate agents start the dance one round apart: the dance
+	// must fail for at least the later one (this is the property the
+	// stability-wait of MoveToCentralNode exists to protect).
+	res := map[int]bool{}
+	var specs []sim.AgentSpec
+	for i, l := range cfg.SortedLabels() {
+		l, i := l, i
+		node, _ := cfg.NodeOf(l)
+		specs = append(specs, sim.AgentSpec{
+			Label: l, Start: node, WakeRound: 0,
+			Program: func(a *sim.API) sim.Report {
+				r := &runner{a: a, sched: NewSchedule(DefaultParams())}
+				gatherAtCentral(r, cfg, 3+i) // staggered entry
+				res[l] = r.starCheck(cfg)
+				return sim.Report{}
+			},
+		})
+	}
+	if _, err := sim.Run(sim.Scenario{Graph: cfg.G, Agents: specs}); err != nil {
+		t.Fatal(err)
+	}
+	if res[1] && res[2] {
+		t.Error("desynchronized StarCheck must not pass for both agents")
+	}
+}
+
+func TestECECleanPair(t *testing.T) {
+	cfg := cfg12()
+	d := dimsFor(cfg)
+	res := runPair(t, cfg, nil, func(r *runner, label int) bool {
+		gatherAtCentral(r, cfg, 3)
+		return r.ensureCleanExploration(cfg, d)
+	})
+	for l, ok := range res {
+		if !ok {
+			t.Errorf("agent %d: clean ECE returned false", l)
+		}
+	}
+}
+
+func TestECEDetectsStationaryStray(t *testing.T) {
+	cfg := cfg12()
+	d := dimsFor(cfg)
+	// A stray sits at leaf 2 (distance 1 from the central node): the sweep
+	// must visit it and notice the cardinality anomaly.
+	stray := sim.AgentSpec{
+		Label: 99, Start: 2, WakeRound: 0,
+		Program: func(a *sim.API) sim.Report {
+			a.WaitRounds(500)
+			return sim.Report{}
+		},
+	}
+	res := runPair(t, cfg, []sim.AgentSpec{stray}, func(r *runner, label int) bool {
+		gatherAtCentral(r, cfg, 3)
+		return r.ensureCleanExploration(cfg, d)
+	})
+	for l, ok := range res {
+		if ok {
+			t.Errorf("agent %d: ECE must detect the stray", l)
+		}
+	}
+}
+
+func TestBallTraversalDegreeAbort(t *testing.T) {
+	// On a 4-star, hypothesis n=3 must abort: the center has degree 3 >= 3.
+	g := graph.Star(4)
+	var fromCenter, fromLeaf bool
+	specs := []sim.AgentSpec{
+		{Label: 1, Start: 0, WakeRound: 0, Program: func(a *sim.API) sim.Report {
+			r := &runner{a: a, sched: NewSchedule(DefaultParams())}
+			fromCenter = r.ballTraversal(Dims{N: 3, Radius: 2, Slow: 1, TBall: 1000})
+			return sim.Report{}
+		}},
+		{Label: 2, Start: 1, WakeRound: 0, Program: func(a *sim.API) sim.Report {
+			r := &runner{a: a, sched: NewSchedule(DefaultParams())}
+			fromLeaf = r.ballTraversal(Dims{N: 3, Radius: 2, Slow: 1, TBall: 1000})
+			return sim.Report{}
+		}},
+	}
+	if _, err := sim.Run(sim.Scenario{Graph: g, Agents: specs}); err != nil {
+		t.Fatal(err)
+	}
+	if fromCenter {
+		t.Error("center (degree 3) must abort hypothesis n=3 immediately")
+	}
+	if fromLeaf {
+		t.Error("leaf must abort after stepping onto the center")
+	}
+}
+
+func TestBallTraversalCoversAndReturns(t *testing.T) {
+	g := starGraph3()
+	for start := 0; start < 3; start++ {
+		visited := map[int]bool{}
+		var ok bool
+		spec := sim.AgentSpec{
+			Label: 1, Start: start, WakeRound: 0,
+			Program: func(a *sim.API) sim.Report {
+				r := &runner{a: a, sched: NewSchedule(DefaultParams())}
+				ok = r.ballTraversal(Dims{N: 3, Radius: 2, Slow: 1, TBall: 100000})
+				return sim.Report{}
+			},
+		}
+		res, err := sim.Run(sim.Scenario{
+			Graph:  g,
+			Agents: []sim.AgentSpec{spec},
+			OnRound: func(v sim.RoundView) {
+				visited[v.Positions[0]] = true
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("start %d: traversal should succeed (all degrees < 3)", start)
+		}
+		if len(visited) != 3 {
+			t.Errorf("start %d: visited %d/3 nodes", start, len(visited))
+		}
+		if res.Agents[0].FinalNode != start {
+			t.Errorf("start %d: ended at %d", start, res.Agents[0].FinalNode)
+		}
+	}
+}
+
+func TestCheckInvariants(t *testing.T) {
+	p := DefaultParams()
+	s := NewSchedule(p)
+	for _, g := range []*graph.Graph{graph.TwoNodes(), starGraph3()} {
+		if err := s.CheckInvariants(g, 6); err != nil {
+			t.Errorf("%s: %v", g.Name(), err)
+		}
+	}
+	// A graph violating the profile must be rejected.
+	if err := s.CheckInvariants(graph.Ring(6), 3); err == nil {
+		t.Error("ring-6 exceeds MaxN and must fail validation")
+	}
+	if err := s.CheckInvariants(graph.Path(3), 3); err != nil {
+		t.Errorf("path-3 (diameter 2) should validate: %v", err)
+	}
+}

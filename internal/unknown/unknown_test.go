@@ -1,0 +1,183 @@
+package unknown
+
+import (
+	"testing"
+
+	"nochatter/internal/config"
+	"nochatter/internal/sim"
+)
+
+// runConfig executes GatherUnknownUpperBound on the scenario that matches
+// φ_h from the enumeration and asserts Theorem 4.1's postconditions: all
+// agents declare together, with the correct leader and the true graph size.
+func runConfig(t *testing.T, h int, wake func(i int) int) *sim.RunResult {
+	t.Helper()
+	p := DefaultParams()
+	cfg := NewSchedule(p).Config(h)
+	if err := p.ValidateFor(cfg.G); err != nil {
+		t.Fatal(err)
+	}
+	specs := ScenarioFor(cfg, p)
+	for i := range specs {
+		if wake != nil {
+			specs[i].WakeRound = wake(i)
+		}
+	}
+	res, err := sim.Run(sim.Scenario{Graph: cfg.G, Agents: specs})
+	if err != nil {
+		t.Fatalf("φ_%d: %v", h, err)
+	}
+	if !res.AllHaltedTogether() {
+		for _, a := range res.Agents {
+			t.Logf("label %d: halted=%v round=%d node=%d", a.Label, a.Halted, a.HaltRound, a.FinalNode)
+		}
+		t.Fatalf("φ_%d: agents did not declare together", h)
+	}
+	wantLeader := cfg.SmallestLabel()
+	for _, a := range res.Agents {
+		if a.Report.Leader != wantLeader {
+			t.Errorf("φ_%d label %d: leader %d, want %d", h, a.Label, a.Report.Leader, wantLeader)
+		}
+		if a.Report.Size != cfg.N() {
+			t.Errorf("φ_%d label %d: size %d, want %d", h, a.Label, a.Report.Size, cfg.N())
+		}
+	}
+	return res
+}
+
+func TestTwoNodeConfig(t *testing.T) {
+	// φ_1 is the two-node configuration with labels 1, 2: the fastest case.
+	runConfig(t, 1, nil)
+}
+
+func TestTwoNodeSwappedLabels(t *testing.T) {
+	// φ_2: same graph, labels swapped; must be reached after a full failed
+	// phase of duration T_1.
+	runConfig(t, 2, nil)
+}
+
+func TestThreeNodeConfig(t *testing.T) {
+	// φ_3 is the first three-node configuration in Ω.
+	runConfig(t, 3, nil)
+}
+
+func TestDelayedWake(t *testing.T) {
+	// Second agent dormant: it must be woken by the first agent's ball
+	// traversal (invariant I1: the sweep covers the whole graph).
+	runConfig(t, 1, func(i int) int {
+		if i == 0 {
+			return 0
+		}
+		return sim.DormantUntilVisited
+	})
+}
+
+func TestDelayedWakeThreeNodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	runConfig(t, 3, func(i int) int {
+		if i == 0 {
+			return 0
+		}
+		return sim.DormantUntilVisited
+	})
+}
+
+func TestAdversarialWakeRound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	runConfig(t, 3, func(i int) int { return i * 37 })
+}
+
+func TestSymmetricConfigConfirmsEarly(t *testing.T) {
+	// φ_2 is φ_1 under the node-swapping automorphism of the anonymous
+	// two-node graph, so its run legitimately confirms hypothesis 1 — the
+	// paper's "φ_h ≠ φ but gathering is achieved anyway" case. Leader and
+	// size are still correct, and the cost matches φ_1's exactly.
+	r1 := runConfig(t, 1, nil)
+	r2 := runConfig(t, 2, nil)
+	if r1.Rounds != r2.Rounds {
+		t.Errorf("symmetric configs should cost the same: %d vs %d", r1.Rounds, r2.Rounds)
+	}
+}
+
+func TestLaterConfigsCostMore(t *testing.T) {
+	// E8's shape: the declaration round grows geometrically with the
+	// hypothesis index of the true configuration, for configurations that
+	// are genuinely distinguishable (different label sets).
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	r1 := runConfig(t, 1, nil) // labels {1,2}, n=2 — confirms at h=1
+	r3 := runConfig(t, 3, nil) // labels {1,2}, n=3 — needs h=3
+	r4 := runConfig(t, 4, nil) // labels {1,3}, n=3 — needs h=4
+	if !(r1.Rounds < r3.Rounds && r3.Rounds < r4.Rounds) {
+		t.Errorf("rounds not increasing: %d, %d, %d", r1.Rounds, r3.Rounds, r4.Rounds)
+	}
+	t.Logf("declaration rounds: φ_1=%d φ_3=%d φ_4=%d", r1.Rounds, r3.Rounds, r4.Rounds)
+}
+
+func TestScheduleMonotone(t *testing.T) {
+	s := NewSchedule(DefaultParams())
+	prevT := 0
+	for h := 1; h <= 10; h++ {
+		d := s.Dim(h)
+		if d.T <= prevT {
+			t.Errorf("T_%d = %d not greater than T_%d = %d", h, d.T, h-1, prevT)
+		}
+		if d.S < d.TBall {
+			t.Errorf("S_%d = %d < TBall %d", h, d.S, d.TBall)
+		}
+		if d.Slow <= 2*d.SensUpper {
+			t.Errorf("W_%d = %d must exceed twice the sensitive window %d", h, d.Slow, d.SensUpper)
+		}
+		prevT = d.T
+	}
+}
+
+func TestScheduleAgentsAgree(t *testing.T) {
+	a, b := NewSchedule(DefaultParams()), NewSchedule(DefaultParams())
+	for h := 1; h <= 8; h++ {
+		if a.Dim(h) != b.Dim(h) {
+			t.Fatalf("schedules disagree at h=%d", h)
+		}
+		if a.Config(h).Code() != b.Config(h).Code() {
+			t.Fatalf("configs disagree at h=%d", h)
+		}
+	}
+}
+
+func TestValidateFor(t *testing.T) {
+	p := DefaultParams()
+	cfgs := config.NewEnumerator(p.MaxN)
+	if err := p.ValidateFor(cfgs.At(1).G); err != nil {
+		t.Errorf("two-node graph should validate: %v", err)
+	}
+	if err := p.ValidateFor(cfgs.At(3).G); err != nil {
+		t.Errorf("three-node graph should validate: %v", err)
+	}
+}
+
+func TestPaperDimsAstronomical(t *testing.T) {
+	// Document the paper's real constants: even for h=1, n=m=2 the slowdown
+	// alone is 7·2^64 — far beyond simulation, which is why the scaled
+	// profile exists (DESIGN.md substitution 4).
+	d := PaperDims(1, 2, 2)
+	if d.BallRadius.Int64() != 128 {
+		t.Errorf("ball radius = %v, want 4·1·2⁵ = 128", d.BallRadius)
+	}
+	if d.Slowdown.BitLen() < 60 {
+		t.Errorf("slowdown %v unexpectedly small", d.Slowdown)
+	}
+	if d.TBall.BitLen() < 128 {
+		t.Errorf("TBall %v unexpectedly small", d.TBall)
+	}
+	if d.SweepLen.Int64() != 33 {
+		t.Errorf("sweep length = %v, want 2⁵+1 = 33", d.SweepLen)
+	}
+	if d.EstDur.Int64() != 32 {
+		t.Errorf("est duration = %v, want 2⁵ = 32", d.EstDur)
+	}
+}

@@ -1,0 +1,198 @@
+// Package nochatter is a complete implementation of the algorithms of
+// "Want to Gather? No Need to Chatter!" (Bouchard, Dieudonné, Pelc;
+// PODC 2020, arXiv:1908.11402): deterministic gathering, leader election
+// and gossiping for teams of mobile agents on anonymous port-labeled
+// networks, in a model where co-located agents CANNOT exchange any
+// information — the only inter-agent signal is the number of agents at the
+// current node (CurCard).
+//
+// The package ships a synchronous multi-agent simulator, the paper's two
+// gathering algorithms (with and without a known upper bound on the network
+// size), the movement-encoded communication primitive Communicate, the
+// gossip protocol, and a traditional-model baseline for comparison.
+//
+// # Quick start
+//
+//	g := nochatter.Ring(8)
+//	seq := nochatter.BuildSequence(g) // operational form of "knowing N"
+//	res, err := nochatter.Run(nochatter.Scenario{
+//		Graph: g,
+//		Agents: []nochatter.AgentSpec{
+//			{Label: 23, Start: 0, WakeRound: 0, Program: nochatter.GatherKnownUpperBound(seq)},
+//			{Label: 8, Start: 4, WakeRound: nochatter.DormantUntilVisited, Program: nochatter.GatherKnownUpperBound(seq)},
+//		},
+//	})
+//
+// After a successful run, res.AllHaltedTogether() reports gathering with
+// simultaneous declaration and every agent's Report.Leader carries the
+// elected leader (Theorem 3.1).
+//
+// See DESIGN.md for the system inventory and the three documented
+// substitutions (exploration sequences, rendezvous procedure, EST), and
+// EXPERIMENTS.md for the reproduced claims.
+package nochatter
+
+import (
+	"nochatter/internal/baseline"
+	"nochatter/internal/config"
+	"nochatter/internal/gather"
+	"nochatter/internal/gossip"
+	"nochatter/internal/graph"
+	"nochatter/internal/randomized"
+	"nochatter/internal/sim"
+	"nochatter/internal/ues"
+	"nochatter/internal/unknown"
+)
+
+// Core simulation types, re-exported from the engine.
+type (
+	// Graph is an immutable anonymous port-labeled connected graph.
+	Graph = graph.Graph
+	// GraphBuilder assembles custom graphs edge by edge.
+	GraphBuilder = graph.Builder
+	// Scenario describes one simulation: a graph and its agents.
+	Scenario = sim.Scenario
+	// AgentSpec is one agent: label, start node, wake round, program.
+	AgentSpec = sim.AgentSpec
+	// Program is a complete agent algorithm in blocking style.
+	Program = sim.Program
+	// API is the world interface an agent program perceives.
+	API = sim.API
+	// Report carries algorithm results (leader, size, gossip).
+	Report = sim.Report
+	// RunResult is the outcome of a completed simulation.
+	RunResult = sim.RunResult
+	// AgentResult is one agent's final state.
+	AgentResult = sim.AgentResult
+	// RoundView is the per-round snapshot passed to Scenario.OnRound.
+	RoundView = sim.RoundView
+	// Sequence is a universal exploration sequence — the operational form
+	// of a known upper bound on the network size.
+	Sequence = ues.Sequence
+	// Timing bundles the public duration constants derived from a Sequence.
+	Timing = gather.Timing
+	// UnknownParams is the scaled duration profile for gathering without
+	// any a-priori knowledge (see internal/unknown and DESIGN.md).
+	UnknownParams = unknown.Params
+	// UnknownSchedule computes per-hypothesis durations and configurations
+	// of the enumeration Ω.
+	UnknownSchedule = unknown.Schedule
+	// Configuration is one initial configuration φ of the enumeration Ω.
+	Configuration = config.Configuration
+	// BaselineSpec is one agent of the traditional-model baseline.
+	BaselineSpec = baseline.Spec
+	// BaselineResult is the baseline's gathering outcome.
+	BaselineResult = baseline.Result
+)
+
+// DormantUntilVisited marks an agent the adversary never wakes; it starts
+// when another agent first visits its start node.
+const DormantUntilVisited = sim.DormantUntilVisited
+
+// Run executes a scenario to completion, deterministically.
+func Run(sc Scenario) (*RunResult, error) { return sim.Run(sc) }
+
+// NewGraphBuilder starts building a custom port-labeled graph with n nodes.
+func NewGraphBuilder(name string, n int) *GraphBuilder { return graph.NewBuilder(name, n) }
+
+// Graph generators.
+var (
+	// Ring returns the n-cycle (n >= 3).
+	Ring = graph.Ring
+	// Path returns the n-node path (n >= 2).
+	Path = graph.Path
+	// Complete returns K_n (n >= 2).
+	Complete = graph.Complete
+	// Star returns a center with n-1 leaves (n >= 2).
+	Star = graph.Star
+	// Grid returns the r x c grid.
+	Grid = graph.Grid
+	// Torus returns the r x c torus (r, c >= 3).
+	Torus = graph.Torus
+	// Hypercube returns the d-dimensional hypercube.
+	Hypercube = graph.Hypercube
+	// RandomTree returns a seeded random tree on n nodes.
+	RandomTree = graph.RandomTree
+	// GNP returns a seeded connected Erdős–Rényi graph.
+	GNP = graph.GNP
+	// Barbell returns two k-cliques joined by a path.
+	Barbell = graph.Barbell
+	// Lollipop returns a k-clique with a tail path.
+	Lollipop = graph.Lollipop
+	// TwoNodes returns the smallest legal network: one edge.
+	TwoNodes = graph.TwoNodes
+)
+
+// BuildSequence constructs the run's universal exploration sequence for g:
+// the shared public knowledge that operationalizes "all agents know an upper
+// bound N on the size" (DESIGN.md, substitution 1).
+func BuildSequence(g *Graph) *Sequence { return ues.Build(g) }
+
+// GatherKnownUpperBound returns the agent program for the paper's
+// Algorithm 3: gathering with simultaneous declaration plus leader election,
+// given a known upper bound on the network size (Theorem 3.1). All agents of
+// a run must share the same Sequence.
+func GatherKnownUpperBound(seq *Sequence) Program { return gather.NewProgram(seq) }
+
+// GossipKnownUpperBound returns the agent program for the paper's
+// Section 5: gather, then make every agent's binary message known to all
+// agents with multiplicities (Theorem 5.1). Each agent passes its own
+// message.
+func GossipKnownUpperBound(seq *Sequence, message string) Program {
+	return gossip.NewProgram(seq, message)
+}
+
+// GatherUnknownUpperBound returns the agent program for the paper's
+// Algorithm 5: gathering, leader election and size discovery with NO
+// a-priori knowledge about the network (Theorem 4.1), under the scaled
+// duration profile p (use DefaultUnknownParams for graphs of at most three
+// nodes; the paper's unscaled constants are astronomically large by design —
+// see unknown.PaperDims).
+func GatherUnknownUpperBound(p UnknownParams) Program { return unknown.NewProgram(p) }
+
+// DefaultUnknownParams returns the scaled profile valid for true graphs
+// with at most 3 nodes and diameter at most 2.
+func DefaultUnknownParams() UnknownParams { return unknown.DefaultParams() }
+
+// NewUnknownSchedule returns the deterministic hypothesis schedule all
+// agents of an unknown-bound run share.
+func NewUnknownSchedule(p UnknownParams) *UnknownSchedule { return unknown.NewSchedule(p) }
+
+// UnknownScenarioFor builds the agent specs matching a configuration of Ω:
+// one GatherUnknownUpperBound agent per labeled node.
+func UnknownScenarioFor(cfg *Configuration, p UnknownParams) []AgentSpec {
+	return unknown.ScenarioFor(cfg, p)
+}
+
+// PaperUnknownDims reports the paper's exact (astronomical) duration
+// constants for hypothesis h with parameters n_h and m_h, as documented in
+// DESIGN.md substitution 4.
+func PaperUnknownDims(h, nh, mh int) unknown.PaperDimsResult {
+	return unknown.PaperDims(h, nh, mh)
+}
+
+// Communicate exposes the paper's Algorithm 4 — the movement-encoded
+// broadcast primitive — for building custom chatter-free protocols on top.
+// All co-located agents must call it in the same round with the same i; s
+// must be a codeword produced by Encode. See internal/gather for the
+// delivery guarantees (Lemma 3.1).
+func Communicate(a *API, tm Timing, i int, s string, participate bool) (l string, k int) {
+	return gather.Communicate(a, tm, i, s, participate)
+}
+
+// NewTiming derives the public duration constants from a sequence.
+func NewTiming(seq *Sequence) Timing { return Timing{Seq: seq} }
+
+// BaselineGather runs the traditional-model (talking) baseline on the same
+// scenario shape, for overhead comparisons (experiment E6).
+func BaselineGather(g *Graph, seq *Sequence, specs []BaselineSpec) (BaselineResult, error) {
+	return baseline.Gather(g, seq, specs)
+}
+
+// RandomizedRendezvous returns the two-agent randomized gathering program
+// exploring the paper's Section-6 open problem: a lazy random walk with
+// CurCard detection, no knowledge required, polynomial expected meeting
+// time (experiment E11). See internal/randomized for scope and limits.
+func RandomizedRendezvous(scenarioSeed uint64, maxRounds int) Program {
+	return randomized.RendezvousProgram(scenarioSeed, maxRounds)
+}

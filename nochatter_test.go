@@ -1,0 +1,155 @@
+// Public-API tests: everything a downstream user touches goes through the
+// root package, so these tests double as compile-time checks that the API
+// surface stays complete.
+package nochatter_test
+
+import (
+	"testing"
+
+	"nochatter"
+)
+
+func TestPublicGatherAndLeader(t *testing.T) {
+	g := nochatter.Ring(6)
+	seq := nochatter.BuildSequence(g)
+	res, err := nochatter.Run(nochatter.Scenario{
+		Graph: g,
+		Agents: []nochatter.AgentSpec{
+			{Label: 4, Start: 0, WakeRound: 0, Program: nochatter.GatherKnownUpperBound(seq)},
+			{Label: 9, Start: 3, WakeRound: nochatter.DormantUntilVisited, Program: nochatter.GatherKnownUpperBound(seq)},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllHaltedTogether() {
+		t.Fatal("not gathered")
+	}
+	if l := res.Leaders(); len(l) != 1 || (l[0] != 4 && l[0] != 9) {
+		t.Fatalf("leaders = %v", l)
+	}
+}
+
+func TestPublicGossip(t *testing.T) {
+	g := nochatter.Path(4)
+	seq := nochatter.BuildSequence(g)
+	res, err := nochatter.Run(nochatter.Scenario{
+		Graph: g,
+		Agents: []nochatter.AgentSpec{
+			{Label: 1, Start: 0, WakeRound: 0, Program: nochatter.GossipKnownUpperBound(seq, "10")},
+			{Label: 2, Start: 3, WakeRound: 0, Program: nochatter.GossipKnownUpperBound(seq, "0")},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Agents {
+		if a.Report.Gossip["10"] != 1 || a.Report.Gossip["0"] != 1 {
+			t.Fatalf("agent %d gossip %v", a.Label, a.Report.Gossip)
+		}
+	}
+}
+
+func TestPublicUnknownBound(t *testing.T) {
+	p := nochatter.DefaultUnknownParams()
+	sched := nochatter.NewUnknownSchedule(p)
+	cfg := sched.Config(1)
+	res, err := nochatter.Run(nochatter.Scenario{
+		Graph:  cfg.G,
+		Agents: nochatter.UnknownScenarioFor(cfg, p),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllHaltedTogether() {
+		t.Fatal("not gathered")
+	}
+	if res.Agents[0].Report.Size != cfg.N() {
+		t.Fatalf("size = %d, want %d", res.Agents[0].Report.Size, cfg.N())
+	}
+}
+
+func TestPublicCommunicate(t *testing.T) {
+	// Build a tiny custom protocol on the exposed primitive: two co-located
+	// agents exchange fixed codewords.
+	g := nochatter.TwoNodes()
+	seq := nochatter.BuildSequence(g)
+	tm := nochatter.NewTiming(seq)
+	got := map[int]string{}
+	prog := func(code string) nochatter.Program {
+		return func(a *nochatter.API) nochatter.Report {
+			if a.Label() == 2 {
+				a.TakePort(0)
+			} else {
+				a.Wait()
+			}
+			l, _ := nochatter.Communicate(a, tm, 6, code, true)
+			got[a.Label()] = l
+			return nochatter.Report{}
+		}
+	}
+	_, err := nochatter.Run(nochatter.Scenario{
+		Graph: g,
+		Agents: []nochatter.AgentSpec{
+			{Label: 1, Start: 0, WakeRound: 0, Program: prog("110001")},
+			{Label: 2, Start: 1, WakeRound: 0, Program: prog("1101")},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for label, l := range got {
+		if l != "110001" { // lexicographically smaller than "1101" at position 4
+			t.Errorf("agent %d learned %q", label, l)
+		}
+	}
+}
+
+func TestPublicBaseline(t *testing.T) {
+	g := nochatter.Ring(5)
+	seq := nochatter.BuildSequence(g)
+	res, err := nochatter.BaselineGather(g, seq, []nochatter.BaselineSpec{
+		{Label: 3, Start: 0}, {Label: 8, Start: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Leader != 3 || res.Rounds <= 0 {
+		t.Fatalf("baseline result %+v", res)
+	}
+}
+
+func TestPublicGraphBuilder(t *testing.T) {
+	g, err := nochatter.NewGraphBuilder("custom", 3).
+		AddEdge(0, 1, 0, 0).
+		AddEdge(1, 2, 1, 0).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.Diameter() != 2 {
+		t.Fatalf("custom graph wrong: n=%d diam=%d", g.N(), g.Diameter())
+	}
+}
+
+func TestPublicGenerators(t *testing.T) {
+	gens := []*nochatter.Graph{
+		nochatter.Ring(4), nochatter.Path(3), nochatter.Complete(4),
+		nochatter.Star(4), nochatter.Grid(2, 2), nochatter.Torus(3, 3),
+		nochatter.Hypercube(2), nochatter.RandomTree(5, 1),
+		nochatter.GNP(5, 0.5, 1), nochatter.Barbell(3, 1),
+		nochatter.Lollipop(3, 1), nochatter.TwoNodes(),
+	}
+	for _, g := range gens {
+		if g.N() < 2 {
+			t.Errorf("%s too small", g.Name())
+		}
+	}
+}
+
+func TestPaperUnknownDims(t *testing.T) {
+	d := nochatter.PaperUnknownDims(2, 3, 3)
+	if d.BallRadius.Int64() != 4*2*243 {
+		t.Errorf("ball radius %v", d.BallRadius)
+	}
+}

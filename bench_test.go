@@ -107,6 +107,57 @@ func BenchmarkGatherRing8(b *testing.B) {
 	}
 }
 
+// BenchmarkGatherRing16 measures a wait-heavy end-to-end gathering: a
+// 16-ring with two-digit labels, where the paper's D_k waiting phases
+// dominate the schedule. This is the headline case for the event-driven
+// engine's round skipping (see BENCH_PR1.json for the recorded trajectory).
+func BenchmarkGatherRing16(b *testing.B) {
+	g := nochatter.Ring(16)
+	seq := nochatter.BuildSequence(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := nochatter.Run(nochatter.Scenario{
+			Graph: g,
+			Agents: []nochatter.AgentSpec{
+				{Label: 21, Start: 0, WakeRound: 0, Program: nochatter.GatherKnownUpperBound(seq)},
+				{Label: 35, Start: 8, WakeRound: 0, Program: nochatter.GatherKnownUpperBound(seq)},
+			},
+		})
+		if err != nil || !res.AllHaltedTogether() {
+			b.Fatalf("gather failed: %v", err)
+		}
+	}
+}
+
+// BenchmarkBatchGatherSweep measures the parallel batch runner on a sweep of
+// independent gather scenarios (one per ring size), the shape of every
+// experiment in internal/experiments.
+func BenchmarkBatchGatherSweep(b *testing.B) {
+	sizes := []int{4, 6, 8, 10, 12}
+	scs := make([]nochatter.Scenario, len(sizes))
+	for i, n := range sizes {
+		g := nochatter.Ring(n)
+		seq := nochatter.BuildSequence(g)
+		scs[i] = nochatter.Scenario{
+			Graph: g,
+			Agents: []nochatter.AgentSpec{
+				{Label: 1, Start: 0, WakeRound: 0, Program: nochatter.GatherKnownUpperBound(seq)},
+				{Label: 2, Start: n / 2, WakeRound: 0, Program: nochatter.GatherKnownUpperBound(seq)},
+			},
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, br := range nochatter.RunBatch(scs) {
+			if br.Err != nil || !br.Result.AllHaltedTogether() {
+				b.Fatalf("case %d failed: %v", br.Index, br.Err)
+			}
+		}
+	}
+}
+
 // BenchmarkBaselineRing8 measures the talking-model comparison point.
 func BenchmarkBaselineRing8(b *testing.B) {
 	g := nochatter.Ring(8)

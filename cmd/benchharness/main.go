@@ -1,15 +1,21 @@
 // Command benchharness regenerates every experiment table of the
-// reproduction (E1..E10; see DESIGN.md §5 and EXPERIMENTS.md).
+// reproduction (E1..E11 and the A1/A2 ablations; see DESIGN.md §5 and
+// EXPERIMENTS.md).
 //
 // Usage:
 //
-//	benchharness [-full] [-csv] [-only E2,E6]
+//	benchharness [-full] [-csv] [-only E2,E6] [-json BENCH_PR1.json]
 //
 // By default it runs the quick scale; -full runs the sizes recorded in
-// EXPERIMENTS.md (minutes, not seconds).
+// EXPERIMENTS.md (minutes, not seconds). -json additionally writes a
+// machine-readable perf record — per experiment: wall time, table rows,
+// logical rounds simulated and engine rounds actually stepped (the gap is
+// the event-driven clock's fast-forward win) — to the given file, for
+// tracking the performance trajectory across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,17 +23,83 @@ import (
 	"time"
 
 	"nochatter/internal/experiments"
+	"nochatter/internal/gather"
+	"nochatter/internal/graph"
+	"nochatter/internal/sim"
+	"nochatter/internal/ues"
 )
+
+// experimentRecord is one experiment's entry of the -json perf record.
+type experimentRecord struct {
+	ID              string  `json:"id"`
+	Rows            int     `json:"rows"`
+	WallMS          float64 `json:"wall_ms"`
+	SimulatedRounds int64   `json:"simulated_rounds"`
+	SteppedRounds   int64   `json:"stepped_rounds"`
+}
+
+// benchRecord is one end-to-end benchmark entry of the -json perf record.
+type benchRecord struct {
+	Name            string  `json:"name"`
+	WallMS          float64 `json:"wall_ms"` // best of three runs
+	SimulatedRounds int     `json:"simulated_rounds"`
+	SteppedRounds   int     `json:"stepped_rounds"`
+}
+
+// perfRecord is the top-level -json document.
+type perfRecord struct {
+	Scale                string             `json:"scale"`
+	TotalWallMS          float64            `json:"total_wall_ms"`
+	TotalSimulatedRounds int64              `json:"total_simulated_rounds"`
+	TotalSteppedRounds   int64              `json:"total_stepped_rounds"`
+	Experiments          []experimentRecord `json:"experiments"`
+	Benchmarks           []benchRecord      `json:"benchmarks"`
+}
+
+// gatherBench measures one wait-heavy end-to-end gathering (the scenario of
+// BenchmarkGatherRing8 / BenchmarkGatherRing16 in bench_test.go), best of
+// three runs.
+func gatherBench(name string, n int, labels [2]int) (benchRecord, error) {
+	g := graph.Ring(n)
+	seq := ues.Build(g)
+	rec := benchRecord{Name: name}
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		res, err := sim.Run(sim.Scenario{
+			Graph: g,
+			Agents: []sim.AgentSpec{
+				{Label: labels[0], Start: 0, WakeRound: 0, Program: gather.NewProgram(seq)},
+				{Label: labels[1], Start: n / 2, WakeRound: 0, Program: gather.NewProgram(seq)},
+			},
+		})
+		wall := float64(time.Since(start).Microseconds()) / 1000
+		if err != nil {
+			return rec, err
+		}
+		if !res.AllHaltedTogether() {
+			return rec, fmt.Errorf("%s: agents did not gather", name)
+		}
+		if i == 0 || wall < rec.WallMS {
+			rec.WallMS = wall
+		}
+		rec.SimulatedRounds = res.Rounds
+		rec.SteppedRounds = res.SteppedRounds
+	}
+	return rec, nil
+}
 
 func main() {
 	full := flag.Bool("full", false, "run full-scale experiments (slower)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	only := flag.String("only", "", "comma-separated experiment IDs to run (e.g. E2,E6)")
+	jsonPath := flag.String("json", "", "write a machine-readable perf record to this file")
 	flag.Parse()
 
 	scale := experiments.Quick
+	scaleName := "quick"
 	if *full {
 		scale = experiments.Full
+		scaleName = "full"
 	}
 	wanted := map[string]bool{}
 	if *only != "" {
@@ -36,23 +108,67 @@ func main() {
 		}
 	}
 
+	record := perfRecord{Scale: scaleName}
 	failed := false
 	for _, ex := range experiments.All() {
 		if len(wanted) > 0 && !wanted[ex.ID] {
 			continue
 		}
+		simBefore, stepBefore := sim.SimulatedRounds()
 		start := time.Now()
 		table, err := ex.Run(scale)
+		wall := time.Since(start)
+		simAfter, stepAfter := sim.SimulatedRounds()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", ex.ID, err)
 			failed = true
 			continue
 		}
+		record.Experiments = append(record.Experiments, experimentRecord{
+			ID:              ex.ID,
+			Rows:            table.Len(),
+			WallMS:          float64(wall.Microseconds()) / 1000,
+			SimulatedRounds: simAfter - simBefore,
+			SteppedRounds:   stepAfter - stepBefore,
+		})
 		if *csv {
 			table.RenderCSV(os.Stdout)
 		} else {
 			table.Render(os.Stdout)
-			fmt.Printf("  (%d rows in %v)\n\n", table.Len(), time.Since(start).Round(time.Millisecond))
+			fmt.Printf("  (%d rows in %v)\n\n", table.Len(), wall.Round(time.Millisecond))
+		}
+	}
+	for _, er := range record.Experiments {
+		record.TotalWallMS += er.WallMS
+		record.TotalSimulatedRounds += er.SimulatedRounds
+		record.TotalSteppedRounds += er.SteppedRounds
+	}
+	if *jsonPath != "" && len(wanted) == 0 {
+		for _, b := range []struct {
+			name   string
+			n      int
+			labels [2]int
+		}{
+			{"GatherRing8", 8, [2]int{1, 2}},
+			{"GatherRing16", 16, [2]int{21, 35}},
+		} {
+			rec, err := gatherBench(b.name, b.n, b.labels)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", b.name, err)
+				failed = true
+				continue
+			}
+			record.Benchmarks = append(record.Benchmarks, rec)
+		}
+	}
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(record, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
+			failed = true
 		}
 	}
 	if failed {

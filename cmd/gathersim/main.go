@@ -3,12 +3,15 @@
 //
 // Usage:
 //
-//	gathersim [-graph ring] [-n 8] [-labels 5,9] [-starts 0,4]
+//	gathersim [-graph ring] [-n 8] [-rows 0] [-labels 5,9] [-starts 0,4]
 //	          [-wakes 0,-1] [-algo known|gossip|unknown] [-msg 101,0110]
-//	          [-trace-every 1000]
+//	          [-trace-every 1000] [-max-rounds 0]
 //
 // -wakes accepts -1 for "dormant until visited". For -algo unknown the
 // scenario must match a configuration of at most 3 nodes (see DESIGN.md).
+// For -graph grid and -graph torus, -rows selects the number of rows (0
+// picks the most balanced shape); -n must be divisible into rows × cols
+// with cols >= 1 (grid) or rows, cols >= 3 (torus).
 package main
 
 import (
@@ -38,17 +41,19 @@ func run() error {
 	var (
 		family     = flag.String("graph", "ring", "graph family: ring|path|complete|star|grid|torus|hypercube|tree|gnp|two")
 		n          = flag.Int("n", 8, "graph size parameter (nodes, or dimension for hypercube)")
+		rows       = flag.Int("rows", 0, "rows for grid/torus shapes (0 = most balanced)")
 		labelsFlag = flag.String("labels", "5,9", "comma-separated agent labels")
 		startsFlag = flag.String("starts", "", "comma-separated start nodes (default: spread)")
 		wakesFlag  = flag.String("wakes", "", "comma-separated wake rounds, -1 = dormant (default: all 0)")
 		algo       = flag.String("algo", "known", "algorithm: known|gossip|unknown")
 		msgFlag    = flag.String("msg", "", "comma-separated binary messages (gossip)")
 		traceEvery = flag.Int("trace-every", 0, "print positions every k rounds (0 = off)")
+		maxRounds  = flag.Int("max-rounds", 0, "abort after this many rounds (0 = engine default)")
 		seed       = flag.Int64("seed", 1, "seed for random graph families")
 	)
 	flag.Parse()
 
-	g, err := makeGraph(*family, *n, *seed)
+	g, err := makeGraph(*family, *n, *rows, *seed)
 	if err != nil {
 		return err
 	}
@@ -99,17 +104,20 @@ func run() error {
 		team[i] = sim.AgentSpec{Label: labels[i], Start: starts[i], WakeRound: wakes[i], Program: prog}
 	}
 
-	sc := sim.Scenario{Graph: g, Agents: team}
+	var opts []sim.Option
+	if *maxRounds > 0 {
+		opts = append(opts, sim.WithMaxRounds(*maxRounds))
+	}
 	if *traceEvery > 0 {
 		every := *traceEvery
-		sc.OnRound = func(v sim.RoundView) {
+		opts = append(opts, sim.WithOnRound(func(v sim.RoundView) {
 			if v.Round%every == 0 {
 				fmt.Printf("round %-8d positions %v awake %v\n", v.Round, v.Positions, v.Awake)
 			}
-		}
+		}))
 	}
 
-	res, err := sim.Run(sc)
+	res, err := sim.NewRunner(opts...).Run(sim.Scenario{Graph: g, Agents: team})
 	if err != nil {
 		return err
 	}
@@ -140,7 +148,10 @@ func run() error {
 	return fmt.Errorf("agents did not gather")
 }
 
-func makeGraph(family string, n int, seed int64) (*graph.Graph, error) {
+func makeGraph(family string, n, rows int, seed int64) (*graph.Graph, error) {
+	if rows != 0 && family != "grid" && family != "torus" {
+		return nil, fmt.Errorf("-rows applies only to grid and torus, not %q", family)
+	}
 	switch family {
 	case "ring":
 		return graph.Ring(n), nil
@@ -151,10 +162,17 @@ func makeGraph(family string, n int, seed int64) (*graph.Graph, error) {
 	case "star":
 		return graph.Star(n), nil
 	case "grid":
-		r := 2
-		return graph.Grid(r, (n+r-1)/r), nil
+		r, c, err := rectShape(n, rows, 1)
+		if err != nil {
+			return nil, fmt.Errorf("grid: %w", err)
+		}
+		return graph.Grid(r, c), nil
 	case "torus":
-		return graph.Torus(3, (n+2)/3), nil
+		r, c, err := rectShape(n, rows, 3)
+		if err != nil {
+			return nil, fmt.Errorf("torus: %w", err)
+		}
+		return graph.Torus(r, c), nil
 	case "hypercube":
 		return graph.Hypercube(n), nil
 	case "tree":
@@ -166,6 +184,41 @@ func makeGraph(family string, n int, seed int64) (*graph.Graph, error) {
 	default:
 		return nil, fmt.Errorf("unknown graph family %q", family)
 	}
+}
+
+// rectShape resolves an r×c factorization of n nodes with both sides at
+// least minSide. rows == 0 picks the most balanced shape (largest divisor of
+// n not exceeding √n); otherwise rows is validated as given.
+func rectShape(n, rows, minSide int) (r, c int, err error) {
+	if n < minSide*minSide {
+		return 0, 0, fmt.Errorf("%d nodes cannot form a %d×%d or larger shape", n, minSide, minSide)
+	}
+	if rows == 0 {
+		for d := isqrt(n); d >= minSide; d-- {
+			if n%d == 0 && n/d >= minSide {
+				return d, n / d, nil
+			}
+		}
+		return 0, 0, fmt.Errorf("no valid rows×cols factorization of %d nodes with sides >= %d (pick -n accordingly)", n, minSide)
+	}
+	if rows < minSide {
+		return 0, 0, fmt.Errorf("rows %d below the minimum of %d", rows, minSide)
+	}
+	if n%rows != 0 {
+		return 0, 0, fmt.Errorf("rows %d does not divide %d nodes", rows, n)
+	}
+	if c := n / rows; c >= minSide {
+		return rows, c, nil
+	}
+	return 0, 0, fmt.Errorf("rows %d leaves only %d columns (minimum %d)", rows, n/rows, minSide)
+}
+
+func isqrt(n int) int {
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
 }
 
 func parseInts(s string) ([]int, error) {

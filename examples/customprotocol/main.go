@@ -62,14 +62,16 @@ func run() error {
 	for _, start := range []int{0, 8} {
 		paths[start] = pathTo(g, start, 4)
 	}
-	const align = 4 // all walks are at most 2 moves; start protocol together
 
 	prog := func(label, start int) nochatter.Program {
 		return func(a *nochatter.API) nochatter.Report {
-			for _, p := range paths[start] {
-				a.TakePort(p)
-			}
-			a.WaitRounds(align - len(paths[start]))
+			// Walk to the meeting node and wait for the full group — both as
+			// single engine-side instructions. Everyone observes CurCard
+			// reach 3 in the same round (the last arrival sees it the moment
+			// it lands, at zero extra cost), so the group starts the
+			// protocol synchronized, exactly what Communicate requires.
+			a.WalkPorts(paths[start])
+			a.WaitUntil(nochatter.CardAtLeast(3))
 
 			// One Communicate round carries the minimum reading and its
 			// multiplicity to everyone (Lemma 3.1 semantics).

@@ -1,0 +1,3 @@
+module nochatter
+
+go 1.24

@@ -25,10 +25,32 @@ func A1TZBlockLayout(scale Scale) (*trace.Table, error) {
 	if scale == Full {
 		delays = append(delays, [2]int{0, 4 * e}, [2]int{8 * e, 0})
 	}
-	run := func(naive bool, d1, d2, horizon int) (int, error) {
+	type a1Case struct {
+		d      [2]int
+		naive  bool
+		layout string
+		bound  int
+	}
+	var cases []a1Case
+	for _, d := range delays {
+		for _, naive := range []bool{false, true} {
+			bound := tz.MeetBound(seq, 2)
+			layout := "4-slot"
+			if naive {
+				bound = tz.NaiveMeetBound(seq, 2)
+				layout = "naive-2-slot"
+			}
+			cases = append(cases, a1Case{d: d, naive: naive, layout: layout, bound: bound + d[0] + d[1]})
+		}
+	}
+	met := make([]int, len(cases))
+	scs := make([]sim.Scenario, len(cases))
+	for ci, tc := range cases {
+		met[ci] = -1
+		horizon := 40 * tc.bound
 		prog := func(lambda int) sim.Program {
 			return func(a *sim.API) sim.Report {
-				if naive {
+				if tc.naive {
 					tz.NewNaive(lambda, seq).Run(a, horizon)
 				} else {
 					tz.New(lambda, seq).Run(a, horizon)
@@ -36,42 +58,30 @@ func A1TZBlockLayout(scale Scale) (*trace.Table, error) {
 				return sim.Report{}
 			}
 		}
-		met := -1
-		_, err := sim.Run(sim.Scenario{
+		scs[ci] = sim.Scenario{
 			Graph: g,
 			Agents: []sim.AgentSpec{
-				{Label: 1, Start: 0, WakeRound: d1, Program: prog(1)},
-				{Label: 2, Start: 2, WakeRound: d2, Program: prog(3)},
+				{Label: 1, Start: 0, WakeRound: tc.d[0], Program: prog(1)},
+				{Label: 2, Start: 2, WakeRound: tc.d[1], Program: prog(3)},
 			},
 			OnRound: func(v sim.RoundView) {
-				if met < 0 && v.Awake[0] && v.Awake[1] && v.Positions[0] == v.Positions[1] {
-					met = v.Round
+				if met[ci] < 0 && v.Awake[0] && v.Awake[1] && v.Positions[0] == v.Positions[1] {
+					met[ci] = v.Round
 				}
 			},
-		})
-		return met, err
-	}
-	for _, d := range delays {
-		for _, naive := range []bool{false, true} {
-			var bound int
-			layout := "4-slot"
-			if naive {
-				bound = tz.NaiveMeetBound(seq, 2)
-				layout = "naive-2-slot"
-			} else {
-				bound = tz.MeetBound(seq, 2)
-			}
-			bound += d[0] + d[1]
-			met, err := run(naive, d[0], d[1], 40*bound)
-			if err != nil {
-				return nil, err
-			}
-			within := "yes"
-			if met < 0 || met > bound {
-				within = "no"
-			}
-			t.AddRow(layout, [2]int{d[0], d[1]}, met, bound, within)
 		}
+	}
+	for _, br := range sim.RunBatch(scs) {
+		if br.Err != nil {
+			return nil, br.Err
+		}
+	}
+	for ci, tc := range cases {
+		within := "yes"
+		if met[ci] < 0 || met[ci] > tc.bound {
+			within = "no"
+		}
+		t.AddRow(tc.layout, tc.d, met[ci], tc.bound, within)
 	}
 	return t, nil
 }

@@ -5,7 +5,10 @@
 // (correctness rate, polynomial growth, who wins) is the reproduced result.
 //
 // Every experiment returns a trace.Table; cmd/benchharness renders them all,
-// and bench_test.go wraps each in a testing.B benchmark.
+// and bench_test.go wraps each in a testing.B benchmark. Independent
+// scenarios of one experiment execute on the sim.RunBatch worker pool;
+// results are deterministic regardless of parallelism, and row order always
+// matches the case order.
 package experiments
 
 import (
@@ -33,25 +36,39 @@ const (
 	Full
 )
 
-// gatherRounds runs GatherKnownUpperBound on g for the given team and
-// returns the declaration round, failing via error on any violation.
-func gatherRounds(g *graph.Graph, labels, starts, wakes []int) (int, int, error) {
-	seq := ues.Build(g)
-	team := make([]sim.AgentSpec, len(labels))
-	for i := range labels {
+// gatherCase is one GatherKnownUpperBound scenario of a sweep.
+type gatherCase struct {
+	g      *graph.Graph
+	labels []int
+	starts []int
+	wakes  []int // nil = all zero
+	name   string
+}
+
+// scenario assembles the sim scenario (and the run's sequence) for a case.
+func (tc gatherCase) scenario() (sim.Scenario, *ues.Sequence) {
+	seq := ues.Build(tc.g)
+	team := make([]sim.AgentSpec, len(tc.labels))
+	for i := range tc.labels {
 		wake := 0
-		if wakes != nil {
-			wake = wakes[i]
+		if tc.wakes != nil {
+			wake = tc.wakes[i]
 		}
 		team[i] = sim.AgentSpec{
-			Label: labels[i], Start: starts[i], WakeRound: wake,
+			Label: tc.labels[i], Start: tc.starts[i], WakeRound: wake,
 			Program: gather.NewProgram(seq),
 		}
 	}
-	res, err := sim.Run(sim.Scenario{Graph: g, Agents: team})
-	if err != nil {
-		return 0, 0, err
+	return sim.Scenario{Graph: tc.g, Agents: team}, seq
+}
+
+// gatherOutcome validates Theorem 3.1's postconditions on one batch result
+// and extracts (declaration round, leader).
+func gatherOutcome(g *graph.Graph, br sim.BatchResult) (int, int, error) {
+	if br.Err != nil {
+		return 0, 0, br.Err
 	}
+	res := br.Result
 	if !res.AllHaltedTogether() {
 		return 0, 0, fmt.Errorf("%s: agents did not declare together", g.Name())
 	}
@@ -62,20 +79,33 @@ func gatherRounds(g *graph.Graph, labels, starts, wakes []int) (int, int, error)
 	return res.Rounds, leaders[0], nil
 }
 
+// runGatherBatch executes all cases on the worker pool and returns
+// (rounds, leader, sequence) per case, in case order.
+func runGatherBatch(cases []gatherCase) ([]int, []int, []*ues.Sequence, error) {
+	scs := make([]sim.Scenario, len(cases))
+	seqs := make([]*ues.Sequence, len(cases))
+	for i, tc := range cases {
+		scs[i], seqs[i] = tc.scenario()
+	}
+	rounds := make([]int, len(cases))
+	leaders := make([]int, len(cases))
+	for i, br := range sim.RunBatch(scs) {
+		r, l, err := gatherOutcome(cases[i].g, br)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		rounds[i], leaders[i] = r, l
+	}
+	return rounds, leaders, seqs, nil
+}
+
 // E1Correctness sweeps graph families, team sizes and wake schedules and
 // verifies Theorem 3.1's postconditions on every run.
 func E1Correctness(scale Scale) (*trace.Table, error) {
 	t := trace.NewTable(
 		"E1 — Theorem 3.1 correctness: gathering + simultaneous declaration + unique leader",
 		"graph", "n", "agents", "wake", "rounds", "leader", "ok")
-	type c struct {
-		g      *graph.Graph
-		labels []int
-		starts []int
-		wakes  []int
-		name   string
-	}
-	cases := []c{
+	cases := []gatherCase{
 		{graph.TwoNodes(), []int{1, 2}, []int{0, 1}, nil, "simultaneous"},
 		{graph.Ring(4), []int{1, 2}, []int{0, 2}, nil, "simultaneous"},
 		{graph.Ring(6), []int{3, 5, 9}, []int{0, 2, 4}, nil, "simultaneous"},
@@ -87,20 +117,20 @@ func E1Correctness(scale Scale) (*trace.Table, error) {
 	}
 	if scale == Full {
 		cases = append(cases,
-			c{graph.Ring(8), []int{1, 2, 3, 4}, []int{0, 2, 4, 6}, nil, "simultaneous"},
-			c{graph.Torus(3, 3), []int{2, 9}, []int{0, 4}, nil, "simultaneous"},
-			c{graph.RandomTree(9, 3), []int{6, 8}, []int{0, 8}, []int{0, 25}, "delayed"},
-			c{graph.Complete(6), []int{1, 2, 3}, []int{0, 2, 4}, nil, "simultaneous"},
-			c{graph.Barbell(3, 2), []int{4, 5}, []int{0, 6}, nil, "simultaneous"},
-			c{graph.Lollipop(4, 3), []int{2, 3}, []int{0, 6}, nil, "simultaneous"},
+			gatherCase{graph.Ring(8), []int{1, 2, 3, 4}, []int{0, 2, 4, 6}, nil, "simultaneous"},
+			gatherCase{graph.Torus(3, 3), []int{2, 9}, []int{0, 4}, nil, "simultaneous"},
+			gatherCase{graph.RandomTree(9, 3), []int{6, 8}, []int{0, 8}, []int{0, 25}, "delayed"},
+			gatherCase{graph.Complete(6), []int{1, 2, 3}, []int{0, 2, 4}, nil, "simultaneous"},
+			gatherCase{graph.Barbell(3, 2), []int{4, 5}, []int{0, 6}, nil, "simultaneous"},
+			gatherCase{graph.Lollipop(4, 3), []int{2, 3}, []int{0, 6}, nil, "simultaneous"},
 		)
 	}
-	for _, tc := range cases {
-		rounds, leader, err := gatherRounds(tc.g, tc.labels, tc.starts, tc.wakes)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(tc.g.Name(), tc.g.N(), len(tc.labels), tc.name, rounds, leader, "yes")
+	rounds, leaders, _, err := runGatherBatch(cases)
+	if err != nil {
+		return nil, err
+	}
+	for i, tc := range cases {
+		t.AddRow(tc.g.Name(), tc.g.N(), len(tc.labels), tc.name, rounds[i], leaders[i], "yes")
 	}
 	return t, nil
 }
@@ -115,15 +145,19 @@ func E2TimeVsN(scale Scale) (*trace.Table, error) {
 	if scale == Full {
 		sizes = append(sizes, 24, 32)
 	}
+	var cases []gatherCase
 	for _, n := range sizes {
 		for _, g := range []*graph.Graph{graph.Ring(n), graph.GNP(n, 0.3, int64(n))} {
-			seq := ues.Build(g)
-			rounds, _, err := gatherRounds(g, []int{1, 2}, []int{0, n / 2}, nil)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(g.Name(), n, seq.Duration(), rounds, float64(rounds)/float64(seq.Duration()))
+			cases = append(cases, gatherCase{g: g, labels: []int{1, 2}, starts: []int{0, n / 2}})
 		}
+	}
+	rounds, _, seqs, err := runGatherBatch(cases)
+	if err != nil {
+		return nil, err
+	}
+	for i, tc := range cases {
+		d := seqs[i].Duration()
+		t.AddRow(tc.g.Name(), tc.g.N(), d, rounds[i], float64(rounds[i])/float64(d))
 	}
 	return t, nil
 }
@@ -139,12 +173,16 @@ func E3TimeVsLabelLength(scale Scale) (*trace.Table, error) {
 		smallest = append(smallest, 129, 1025)
 	}
 	g := graph.Ring(6)
-	for _, l := range smallest {
-		rounds, _, err := gatherRounds(g, []int{l, l + 1}, []int{0, 3}, nil)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(l, len(bits.Bin(l)), rounds)
+	cases := make([]gatherCase, len(smallest))
+	for i, l := range smallest {
+		cases[i] = gatherCase{g: g, labels: []int{l, l + 1}, starts: []int{0, 3}}
+	}
+	rounds, _, _, err := runGatherBatch(cases)
+	if err != nil {
+		return nil, err
+	}
+	for i, l := range smallest {
+		t.AddRow(l, len(bits.Bin(l)), rounds[i])
 	}
 	return t, nil
 }
@@ -159,6 +197,7 @@ func E4TimeVsTeamSize(scale Scale) (*trace.Table, error) {
 	if scale == Full {
 		maxK = 7
 	}
+	var cases []gatherCase
 	for k := 2; k <= maxK; k++ {
 		labels := make([]int, k)
 		starts := make([]int, k)
@@ -166,11 +205,14 @@ func E4TimeVsTeamSize(scale Scale) (*trace.Table, error) {
 			labels[i] = i + 1
 			starts[i] = i
 		}
-		rounds, leader, err := gatherRounds(g, labels, starts, nil)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(k, rounds, leader)
+		cases = append(cases, gatherCase{g: g, labels: labels, starts: starts})
+	}
+	rounds, leaders, _, err := runGatherBatch(cases)
+	if err != nil {
+		return nil, err
+	}
+	for i := range cases {
+		t.AddRow(len(cases[i].labels), rounds[i], leaders[i])
 	}
 	return t, nil
 }
@@ -188,17 +230,16 @@ func E5CommunicateCost(scale Scale) (*trace.Table, error) {
 	if scale == Full {
 		is = append(is, 16, 24)
 	}
-	for _, i := range is {
-		i := i
-		var spent int
-		var delivered string
+	spent := make([]int, len(is))
+	delivered := make([]string, len(is))
+	scs := make([]sim.Scenario, len(is))
+	for ci, i := range is {
 		payload := bits.Code(bits.Bin(2)) // "110001", fits i >= 6
 		if len(payload) > i {
 			payload = bits.Code("") // "01"
 		}
 		var specs []sim.AgentSpec
 		for a := 0; a < 2; a++ {
-			a := a
 			specs = append(specs, sim.AgentSpec{
 				Label: a + 1, Start: a, WakeRound: 0,
 				Program: func(api *sim.API) sim.Report {
@@ -210,22 +251,27 @@ func E5CommunicateCost(scale Scale) (*trace.Table, error) {
 					before := api.LocalRound()
 					l, _ := gather.Communicate(api, tm, i, payload, true)
 					if a == 0 {
-						spent = api.LocalRound() - before
-						delivered = l
+						spent[ci] = api.LocalRound() - before
+						delivered[ci] = l
 					}
 					return sim.Report{}
 				},
 			})
 		}
-		if _, err := sim.Run(sim.Scenario{Graph: g, Agents: specs}); err != nil {
-			return nil, err
+		scs[ci] = sim.Scenario{Graph: g, Agents: specs}
+	}
+	for _, br := range sim.RunBatch(scs) {
+		if br.Err != nil {
+			return nil, br.Err
 		}
+	}
+	for ci, i := range is {
 		want := gather.CommunicateDuration(tm, i)
 		ok := "yes"
-		if spent != want {
+		if spent[ci] != want {
 			ok = "NO"
 		}
-		t.AddRow(i, seq.Duration(), want, spent, ok+" ("+delivered+")")
+		t.AddRow(i, seq.Duration(), want, spent[ci], ok+" ("+delivered[ci]+")")
 	}
 	return t, nil
 }
@@ -236,38 +282,32 @@ func E6ChatterOverhead(scale Scale) (*trace.Table, error) {
 	t := trace.NewTable(
 		"E6 — price of removing chatter: GatherKnownUpperBound vs talking baseline",
 		"graph", "k", "chatter-free rounds", "talking rounds", "overhead")
-	type c struct {
-		g      *graph.Graph
-		labels []int
-		starts []int
-	}
-	cases := []c{
-		{graph.Ring(6), []int{5, 9}, []int{0, 3}},
-		{graph.Grid(3, 3), []int{2, 7}, []int{0, 8}},
+	cases := []gatherCase{
+		{g: graph.Ring(6), labels: []int{5, 9}, starts: []int{0, 3}},
+		{g: graph.Grid(3, 3), labels: []int{2, 7}, starts: []int{0, 8}},
 	}
 	if scale == Full {
 		cases = append(cases,
-			c{graph.Ring(10), []int{3, 4, 8}, []int{0, 3, 6}},
-			c{graph.Hypercube(3), []int{1, 6}, []int{0, 7}},
-			c{graph.GNP(10, 0.3, 7), []int{2, 5, 11}, []int{0, 4, 9}},
+			gatherCase{g: graph.Ring(10), labels: []int{3, 4, 8}, starts: []int{0, 3, 6}},
+			gatherCase{g: graph.Hypercube(3), labels: []int{1, 6}, starts: []int{0, 7}},
+			gatherCase{g: graph.GNP(10, 0.3, 7), labels: []int{2, 5, 11}, starts: []int{0, 4, 9}},
 		)
 	}
-	for _, tc := range cases {
-		seq := ues.Build(tc.g)
-		free, _, err := gatherRounds(tc.g, tc.labels, tc.starts, nil)
-		if err != nil {
-			return nil, err
-		}
+	rounds, _, seqs, err := runGatherBatch(cases)
+	if err != nil {
+		return nil, err
+	}
+	for i, tc := range cases {
 		specs := make([]baseline.Spec, len(tc.labels))
-		for i := range tc.labels {
-			specs[i] = baseline.Spec{Label: tc.labels[i], Start: tc.starts[i]}
+		for j := range tc.labels {
+			specs[j] = baseline.Spec{Label: tc.labels[j], Start: tc.starts[j]}
 		}
-		base, err := baseline.Gather(tc.g, seq, specs)
+		base, err := baseline.Gather(tc.g, seqs[i], specs)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(tc.g.Name(), len(tc.labels), free, base.Rounds,
-			float64(free)/float64(base.Rounds))
+		t.AddRow(tc.g.Name(), len(tc.labels), rounds[i], base.Rounds,
+			float64(rounds[i])/float64(base.Rounds))
 	}
 	return t, nil
 }
@@ -284,26 +324,30 @@ func E7GossipVsMessageLen(scale Scale) (*trace.Table, error) {
 	}
 	g := graph.Ring(4)
 	seq := ues.Build(g)
-	for _, ln := range lens {
+	msgs := make([]string, len(lens))
+	scs := make([]sim.Scenario, len(lens))
+	for ci, ln := range lens {
 		msg := make([]byte, ln)
 		for i := range msg {
 			msg[i] = byte('0' + (i % 2))
 		}
-		team := []sim.AgentSpec{
-			{Label: 1, Start: 0, WakeRound: 0, Program: gossip.NewProgram(seq, string(msg))},
+		msgs[ci] = string(msg)
+		scs[ci] = sim.Scenario{Graph: g, Agents: []sim.AgentSpec{
+			{Label: 1, Start: 0, WakeRound: 0, Program: gossip.NewProgram(seq, msgs[ci])},
 			{Label: 2, Start: 2, WakeRound: 0, Program: gossip.NewProgram(seq, "1")},
-		}
-		res, err := sim.Run(sim.Scenario{Graph: g, Agents: team})
-		if err != nil {
-			return nil, err
+		}}
+	}
+	for ci, br := range sim.RunBatch(scs) {
+		if br.Err != nil {
+			return nil, br.Err
 		}
 		ok := "yes"
-		for _, a := range res.Agents {
-			if a.Report.Gossip[string(msg)] != 1 || a.Report.Gossip["1"] != 1 {
+		for _, a := range br.Result.Agents {
+			if a.Report.Gossip[msgs[ci]] != 1 || a.Report.Gossip["1"] != 1 {
 				ok = "NO"
 			}
 		}
-		t.AddRow(ln, res.Rounds, ok)
+		t.AddRow(lens[ci], br.Result.Rounds, ok)
 	}
 	return t, nil
 }
@@ -321,13 +365,18 @@ func E8UnknownBound(scale Scale) (*trace.Table, error) {
 	if scale == Full {
 		idx = append(idx, 5)
 	}
-	for _, h := range idx {
+	scs := make([]sim.Scenario, len(idx))
+	for ci, h := range idx {
 		cfg := sched.Config(h)
-		specs := unknown.ScenarioFor(cfg, p)
-		res, err := sim.Run(sim.Scenario{Graph: cfg.G, Agents: specs})
-		if err != nil {
-			return nil, err
+		scs[ci] = sim.Scenario{Graph: cfg.G, Agents: unknown.ScenarioFor(cfg, p)}
+	}
+	for ci, br := range sim.RunBatch(scs) {
+		if br.Err != nil {
+			return nil, br.Err
 		}
+		h := idx[ci]
+		cfg := sched.Config(h)
+		res := br.Result
 		if !res.AllHaltedTogether() {
 			return nil, fmt.Errorf("φ_%d: not gathered", h)
 		}
@@ -349,37 +398,32 @@ func E9LeaderElection(scale Scale) (*trace.Table, error) {
 	t := trace.NewTable(
 		"E9 — leader election by-product: unique leader from the team, known to all",
 		"graph", "labels", "leader", "unanimous")
-	type c struct {
-		g      *graph.Graph
-		labels []int
-		starts []int
-	}
-	cases := []c{
-		{graph.Ring(5), []int{9, 4}, []int{0, 2}},
-		{graph.Star(5), []int{7, 2, 5}, []int{0, 1, 2}},
-		{graph.Grid(2, 3), []int{12, 30}, []int{0, 5}},
+	cases := []gatherCase{
+		{g: graph.Ring(5), labels: []int{9, 4}, starts: []int{0, 2}},
+		{g: graph.Star(5), labels: []int{7, 2, 5}, starts: []int{0, 1, 2}},
+		{g: graph.Grid(2, 3), labels: []int{12, 30}, starts: []int{0, 5}},
 	}
 	if scale == Full {
 		cases = append(cases,
-			c{graph.Ring(9), []int{21, 14, 35}, []int{0, 3, 6}},
-			c{graph.Hypercube(3), []int{6, 10, 12, 18}, []int{0, 3, 5, 7}},
+			gatherCase{g: graph.Ring(9), labels: []int{21, 14, 35}, starts: []int{0, 3, 6}},
+			gatherCase{g: graph.Hypercube(3), labels: []int{6, 10, 12, 18}, starts: []int{0, 3, 5, 7}},
 		)
 	}
-	for _, tc := range cases {
-		_, leader, err := gatherRounds(tc.g, tc.labels, tc.starts, nil)
-		if err != nil {
-			return nil, err
-		}
+	_, leaders, _, err := runGatherBatch(cases)
+	if err != nil {
+		return nil, err
+	}
+	for i, tc := range cases {
 		member := false
 		for _, l := range tc.labels {
-			if l == leader {
+			if l == leaders[i] {
 				member = true
 			}
 		}
 		if !member {
-			return nil, fmt.Errorf("%s: leader %d not in team", tc.g.Name(), leader)
+			return nil, fmt.Errorf("%s: leader %d not in team", tc.g.Name(), leaders[i])
 		}
-		t.AddRow(tc.g.Name(), fmt.Sprintf("%v", tc.labels), leader, "yes")
+		t.AddRow(tc.g.Name(), fmt.Sprintf("%v", tc.labels), leaders[i], "yes")
 	}
 	return t, nil
 }
@@ -397,41 +441,55 @@ func E10TZRendezvous(scale Scale) (*trace.Table, error) {
 	if scale == Full {
 		pairs = append(pairs, [2]int{7, 8}, [2]int{1, 1023})
 	}
+	type tzCase struct {
+		pr    [2]int
+		delay int
+		bound int
+	}
+	var cases []tzCase
 	for _, pr := range pairs {
 		for _, delay := range []int{0, e / 2, e} {
 			k := 1
 			for v := max(pr[0], pr[1]); v > 1; v >>= 1 {
 				k++
 			}
-			bound := tz.MeetBound(seq, k) + delay
-			met := -1
-			prog := func(lambda int) sim.Program {
-				return func(a *sim.API) sim.Report {
-					tz.New(lambda, seq).Run(a, bound+1)
-					return sim.Report{}
-				}
-			}
-			_, err := sim.Run(sim.Scenario{
-				Graph: g,
-				Agents: []sim.AgentSpec{
-					{Label: 1, Start: 0, WakeRound: 0, Program: prog(pr[0])},
-					{Label: 2, Start: 3, WakeRound: delay, Program: prog(pr[1])},
-				},
-				OnRound: func(v sim.RoundView) {
-					if met < 0 && v.Awake[0] && v.Awake[1] && v.Positions[0] == v.Positions[1] {
-						met = v.Round
-					}
-				},
-			})
-			if err != nil {
-				return nil, err
-			}
-			within := "yes"
-			if met < 0 || met > bound {
-				within = "NO"
-			}
-			t.AddRow(g.Name(), pr[0], pr[1], delay, met, bound, within)
+			cases = append(cases, tzCase{pr: pr, delay: delay, bound: tz.MeetBound(seq, k) + delay})
 		}
+	}
+	met := make([]int, len(cases))
+	scs := make([]sim.Scenario, len(cases))
+	for ci, tc := range cases {
+		met[ci] = -1
+		prog := func(lambda int) sim.Program {
+			return func(a *sim.API) sim.Report {
+				tz.New(lambda, seq).Run(a, tc.bound+1)
+				return sim.Report{}
+			}
+		}
+		scs[ci] = sim.Scenario{
+			Graph: g,
+			Agents: []sim.AgentSpec{
+				{Label: 1, Start: 0, WakeRound: 0, Program: prog(tc.pr[0])},
+				{Label: 2, Start: 3, WakeRound: tc.delay, Program: prog(tc.pr[1])},
+			},
+			OnRound: func(v sim.RoundView) {
+				if met[ci] < 0 && v.Awake[0] && v.Awake[1] && v.Positions[0] == v.Positions[1] {
+					met[ci] = v.Round
+				}
+			},
+		}
+	}
+	for _, br := range sim.RunBatch(scs) {
+		if br.Err != nil {
+			return nil, br.Err
+		}
+	}
+	for ci, tc := range cases {
+		within := "yes"
+		if met[ci] < 0 || met[ci] > tc.bound {
+			within = "NO"
+		}
+		t.AddRow(g.Name(), tc.pr[0], tc.pr[1], tc.delay, met[ci], tc.bound, within)
 	}
 	return t, nil
 }

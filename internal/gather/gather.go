@@ -45,10 +45,14 @@ func Execute(a *sim.API, tm Timing) int {
 		}
 		c := a.CurCard()
 		lambda := 0
-		moreAgents := func(a *sim.API) bool { return a.CurCard() > c }
+		// The paper's interruption condition "as soon as CurCard > c" in
+		// declarative form: the engine evaluates it while the agent sleeps
+		// through the phase's bulk waits, so whole idle stretches are
+		// fast-forwarded instead of stepped.
+		moreAgents := sim.CardAtLeast(c + 1)
 
 		// Lines 8-14: meeting attempt by synchronized exploration.
-		a.RunInterruptible(moreAgents, func(a *sim.API) {
+		a.RunUntil(moreAgents, func(a *sim.API) {
 			a.WaitRounds(tm.D(i))
 			tm.Seq.Explo(a)
 			a.WaitRounds(t)
@@ -67,7 +71,7 @@ func Execute(a *sim.API, tm Timing) int {
 				}
 			}
 			// Lines 23-29: break inter-group invisibility with TZ(λ).
-			a.RunInterruptible(moreAgents, func(a *sim.API) {
+			a.RunUntil(moreAgents, func(a *sim.API) {
 				a.WaitRounds(t)
 				tz.New(lambda, tm.Seq).Run(a, tm.D(i))
 				a.WaitRounds(t)

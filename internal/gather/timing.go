@@ -38,14 +38,16 @@ func (tm Timing) D(k int) int { return tm.P(k) + 3*(k+2)*tm.TExplo() }
 // Algorithm 3). The round in which WaitStable is entered counts as the round
 // of the latest change.
 func WaitStable(a *sim.API, d int) {
-	last := a.CurCard()
+	// Each WaitUntilFor is one engine-visible bulk wait that ends early only
+	// if CurCard moves off its value at submission — the same per-round
+	// semantics as waiting and re-checking, minus the per-round handoffs.
 	stable := 1
 	for stable < d {
-		a.Wait()
-		if c := a.CurCard(); c != last {
-			last, stable = c, 1
+		waited, fired := a.WaitUntilFor(sim.CardChanged(), d-stable)
+		if fired {
+			stable = 1
 		} else {
-			stable++
+			stable += waited
 		}
 	}
 }

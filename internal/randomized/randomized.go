@@ -90,17 +90,22 @@ type Result struct {
 	MetRound int // declaration round when Met
 }
 
-// Rendezvous runs the two-agent randomized gathering on g from the given
-// starts with the given scenario seed and walk horizon. The run is
-// deterministic for a fixed (graph, starts, labels, seed).
-func Rendezvous(g *graph.Graph, start1, start2 int, seed uint64, horizon int) (Result, error) {
-	res, err := sim.Run(sim.Scenario{
+// scenario assembles the two-agent rendezvous scenario for one seed.
+func scenario(g *graph.Graph, start1, start2 int, seed uint64, horizon int) sim.Scenario {
+	return sim.Scenario{
 		Graph: g,
 		Agents: []sim.AgentSpec{
 			{Label: 1, Start: start1, WakeRound: 0, Program: RendezvousProgram(seed, horizon)},
 			{Label: 2, Start: start2, WakeRound: 0, Program: RendezvousProgram(seed, horizon)},
 		},
-	})
+	}
+}
+
+// Rendezvous runs the two-agent randomized gathering on g from the given
+// starts with the given scenario seed and walk horizon. The run is
+// deterministic for a fixed (graph, starts, labels, seed).
+func Rendezvous(g *graph.Graph, start1, start2 int, seed uint64, horizon int) (Result, error) {
+	res, err := sim.Run(scenario(g, start1, start2, seed, horizon))
 	if err != nil {
 		return Result{}, err
 	}
@@ -113,17 +118,22 @@ func Rendezvous(g *graph.Graph, start1, start2 int, seed uint64, horizon int) (R
 // MedianMeetRound runs trials independent rendezvous runs with distinct
 // seeds and returns the median meeting round and the number of runs that
 // met within the horizon. Experiment E11 uses this to measure the
-// polynomial growth of randomized meeting time.
+// polynomial growth of randomized meeting time. Trials are independent
+// scenarios, so they execute on the batch runner's worker pool; results are
+// deterministic regardless of parallelism.
 func MedianMeetRound(g *graph.Graph, start1, start2 int, trials, horizon int) (median int, met int, err error) {
+	scs := make([]sim.Scenario, trials)
+	for i := range scs {
+		scs[i] = scenario(g, start1, start2, uint64(1000+i*7919), horizon)
+	}
 	rounds := make([]int, 0, trials)
-	for i := 0; i < trials; i++ {
-		res, rerr := Rendezvous(g, start1, start2, uint64(1000+i*7919), horizon)
-		if rerr != nil {
-			return 0, 0, rerr
+	for _, br := range sim.RunBatch(scs) {
+		if br.Err != nil {
+			return 0, 0, br.Err
 		}
-		if res.Met {
+		if br.Result.AllHaltedTogether() {
 			met++
-			rounds = append(rounds, res.MetRound)
+			rounds = append(rounds, br.Result.Rounds)
 		}
 	}
 	if len(rounds) == 0 {

@@ -6,7 +6,15 @@
 // observer in the current round.
 //
 // Agent algorithms are ordinary Go functions written in blocking style
-// against *API: each call to Wait or TakePort consumes exactly one round.
+// against *API. The agent↔engine contract is an instruction contract the
+// engine can reason about: TakePort submits a one-round move, while
+// WaitRounds(x) and WaitUntil(cond) submit a single bulk wait instruction —
+// not x per-round handoffs — annotated with the declarative Conditions
+// (condition.go) that may cut the wait short. Because the engine sees wait
+// intent and interruption conditions up front, it can fast-forward the
+// global clock over stretches in which every awake agent is idle
+// (engine.go), which is what makes the paper's astronomically wait-heavy
+// algorithms simulable at scale.
 package sim
 
 import "fmt"
@@ -17,11 +25,34 @@ type observation struct {
 	degree     int
 	entryPort  int // port through which the agent last entered; -1 before any move
 	curCard    int // number of agents (incl. self) at the current node
+
+	// Walk results, set only when the observation ends a bulk walk.
+	walkEntries []int // entry ports recorded during the walk, in move order
+	walkMin     int   // smallest CurCard observed after any move of the walk
 }
 
-// move is the instruction an agent issues for the current round.
-type move struct {
-	port int // -1 means wait
+// instruction is what an agent submits to the engine for its next rounds:
+// a one-round move through a port, a bulk walk of one move per round, or a
+// bulk wait of up to `rounds` rounds (unbounded when rounds < 0). Bulk
+// instructions end early as soon as one of the attached armed conditions
+// holds, handing control back to the agent for the usual interrupt check.
+type instruction struct {
+	port   int       // >= 0: move through this port (other fields ignored)
+	walk   *walkSpec // non-nil: bulk walk, one move per round
+	rounds int       // wait duration in rounds; < 0 means until a condition fires
+	conds  []armedCond
+}
+
+// walkSpec describes a bulk walk the engine executes without per-round
+// agent handoffs. Exactly one of the two fields is non-empty.
+type walkSpec struct {
+	// offsets drives a universal-exploration-rule walk: in each round take
+	// port q = (entry + offsets[i]) mod degree, where entry is the port of
+	// last entry WITHIN the walk, starting at 0 (the UXS convention).
+	offsets []int
+	// ports is a literal walk: take ports[i] in round i (backtracks,
+	// shortest-path walks).
+	ports []int
 }
 
 // Report carries the algorithm-specific results an agent program returns when
@@ -43,7 +74,7 @@ type API struct {
 	label int
 	obs   observation
 	obsCh chan observation
-	mvCh  chan move
+	mvCh  chan instruction
 	quit  chan struct{}
 
 	oracleSize int // see OracleGraphSize
@@ -74,14 +105,90 @@ func (a *API) CurCard() int { return a.obs.curCard }
 
 // Wait spends the current round idle at the current node.
 func (a *API) Wait() {
-	a.step(move{port: -1})
+	a.WaitRounds(1)
 }
 
 // WaitRounds waits for x consecutive rounds (the paper's "wait x rounds").
+//
+// The whole wait is submitted to the engine as ONE instruction: unless a
+// closure predicate (RunInterruptible) is active, the agent goroutine is not
+// scheduled again until the wait expires or an enclosing declarative
+// condition (RunUntil) fires — at which point the usual interrupt unwinding
+// happens exactly as it would under per-round stepping.
 func (a *API) WaitRounds(x int) {
-	for i := 0; i < x; i++ {
-		a.Wait()
+	for x > 0 {
+		if a.hasClosurePredicate() {
+			// Escape hatch: an opaque predicate must be re-evaluated by the
+			// agent against every round's observation.
+			a.step(instruction{port: -1, rounds: 1})
+			x--
+			continue
+		}
+		x -= a.bulkWait(x, nil)
 	}
+}
+
+// WaitUntil waits until cond holds, evaluating it against the observation of
+// each new round reached (and against the current observation on entry, where
+// a true condition makes the call free). It returns the number of rounds
+// waited. The wait is engine-evaluated: the agent goroutine sleeps in a
+// single bulk instruction until the engine observes the condition.
+//
+// A condition that can never fire stalls the agent; the run then terminates
+// with ErrMaxRounds like any non-halting program.
+func (a *API) WaitUntil(cond Condition) int {
+	waited, _ := a.waitCond(cond, -1)
+	return waited
+}
+
+// WaitUntilFor waits until cond holds, but at most max rounds. It returns
+// the number of rounds waited and whether the condition fired (false when the
+// budget elapsed first). A true condition on entry returns (0, true).
+func (a *API) WaitUntilFor(cond Condition, max int) (waited int, fired bool) {
+	return a.waitCond(cond, max)
+}
+
+// waitCond implements WaitUntil (budget < 0) and WaitUntilFor.
+func (a *API) waitCond(cond Condition, budget int) (waited int, fired bool) {
+	if !cond.valid() {
+		panic("sim: invalid Condition (use the condition constructors)")
+	}
+	ac := armedCond{c: cond, base: a.obs.curCard}
+	for {
+		if ac.holds(a.obs.curCard, a.obs.localRound) {
+			return waited, true
+		}
+		if budget >= 0 && waited >= budget {
+			return waited, false
+		}
+		rem := -1
+		if budget >= 0 {
+			rem = budget - waited
+		}
+		if a.hasClosurePredicate() {
+			a.step(instruction{port: -1, rounds: 1})
+			waited++
+			continue
+		}
+		waited += a.bulkWait(rem, []armedCond{ac})
+	}
+}
+
+// bulkWait submits one wait instruction of up to x rounds (unbounded when
+// x < 0), attaching every active declarative interrupt condition plus extra,
+// and returns the number of rounds actually waited. On wake it re-checks the
+// interrupt frames, so a fired RunUntil condition unwinds exactly as under
+// per-round stepping.
+func (a *API) bulkWait(x int, extra []armedCond) int {
+	conds := extra
+	for _, f := range a.frames {
+		conds = append(conds, f.armed)
+	}
+	before := a.obs.localRound
+	a.submit(instruction{port: -1, rounds: x, conds: conds})
+	a.receive()
+	a.checkInterrupts()
+	return a.obs.localRound - before
 }
 
 // TakePort leaves the current node through port p and returns the port of
@@ -89,8 +196,78 @@ func (a *API) WaitRounds(x int) {
 // with an error: the algorithms under study never do this, so it is treated
 // as a bug, not an agent-visible event.
 func (a *API) TakePort(p int) (entryPort int) {
-	a.step(move{port: p})
+	a.step(instruction{port: p})
 	return a.obs.entryPort
+}
+
+// WalkOffsets performs len(offsets) moves, one per round, following the
+// universal-exploration rule: in each round the agent leaves through port
+// q = (entry + offset) mod degree, where entry is the port of last entry
+// within this walk (0 before the first move, per the UXS convention). It
+// returns the recorded entry ports — the material for a backtrack via
+// WalkPorts — and the smallest CurCard observed after any of the moves.
+//
+// The whole walk is ONE engine-side instruction: the engine computes each
+// port itself, so no agent handoff happens until the walk completes or an
+// enclosing declarative condition (RunUntil) fires — interrupting mid-walk
+// exactly as per-round stepping would. An active closure predicate
+// (RunInterruptible) falls back to per-round moves.
+func (a *API) WalkOffsets(offsets []int) (entries []int, minCard int) {
+	if len(offsets) == 0 {
+		return nil, a.obs.curCard
+	}
+	if a.hasClosurePredicate() {
+		entries = make([]int, 0, len(offsets))
+		minCard = maxInt
+		entry := 0
+		for _, x := range offsets {
+			entry = a.TakePort((entry + x) % a.obs.degree)
+			entries = append(entries, entry)
+			if a.obs.curCard < minCard {
+				minCard = a.obs.curCard
+			}
+		}
+		return entries, minCard
+	}
+	return a.bulkWalk(&walkSpec{offsets: offsets})
+}
+
+// WalkPorts performs len(ports) moves, one per round, taking the given ports
+// literally, as one engine-side instruction (see WalkOffsets). It returns
+// the recorded entry ports and the smallest CurCard observed after any of
+// the moves. A nonexistent port aborts the run, as with TakePort.
+func (a *API) WalkPorts(ports []int) (entries []int, minCard int) {
+	if len(ports) == 0 {
+		return nil, a.obs.curCard
+	}
+	if a.hasClosurePredicate() {
+		entries = make([]int, 0, len(ports))
+		minCard = maxInt
+		for _, p := range ports {
+			entries = append(entries, a.TakePort(p))
+			if a.obs.curCard < minCard {
+				minCard = a.obs.curCard
+			}
+		}
+		return entries, minCard
+	}
+	return a.bulkWalk(&walkSpec{ports: ports})
+}
+
+// bulkWalk submits one walk instruction with every active declarative
+// interrupt condition attached, then re-checks the frames on wake so a fired
+// RunUntil condition unwinds the walk mid-flight, exactly as under per-round
+// stepping.
+func (a *API) bulkWalk(spec *walkSpec) (entries []int, minCard int) {
+	var conds []armedCond
+	for _, f := range a.frames {
+		conds = append(conds, f.armed)
+	}
+	a.submit(instruction{port: -1, walk: spec, conds: conds})
+	a.receive()
+	entries, minCard = a.obs.walkEntries, a.obs.walkMin
+	a.checkInterrupts()
+	return entries, minCard
 }
 
 // OracleGraphSize returns the true number of nodes of the graph.
@@ -102,15 +279,36 @@ func (a *API) TakePort(p int) (entryPort int) {
 // must only be called by the est package.
 func (a *API) OracleGraphSize() int { return a.oracleSize }
 
-// step submits the instruction for this round and blocks until the engine
-// delivers the next round's observation. It then re-checks all active
-// interruption predicates (innermost first).
-func (a *API) step(m move) {
+// hasClosurePredicate reports whether any active interrupt frame carries an
+// opaque Go predicate, which only the agent goroutine can evaluate and which
+// therefore forces per-round stepping.
+func (a *API) hasClosurePredicate() bool {
+	for _, f := range a.frames {
+		if f.pred != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// step submits a one-round instruction and blocks until the engine delivers
+// the next round's observation. It then re-checks all active interruption
+// predicates (innermost first).
+func (a *API) step(in instruction) {
+	a.submit(in)
+	a.receive()
+	a.checkInterrupts()
+}
+
+func (a *API) submit(in instruction) {
 	select {
-	case a.mvCh <- m:
+	case a.mvCh <- in:
 	case <-a.quit:
 		panic(errRunAborted)
 	}
+}
+
+func (a *API) receive() {
 	select {
 	case obs, ok := <-a.obsCh:
 		if !ok {
@@ -120,9 +318,11 @@ func (a *API) step(m move) {
 	case <-a.quit:
 		panic(errRunAborted)
 	}
-	a.checkInterrupts()
 }
 
 // errRunAborted unwinds an agent goroutine when the engine stops early
 // (max-rounds exceeded or another agent failed). Recovered by the runner.
 var errRunAborted = fmt.Errorf("sim: run aborted")
+
+// maxInt is the identity of min over CurCard observations.
+const maxInt = int(^uint(0) >> 1)

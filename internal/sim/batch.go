@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Runner executes scenarios with shared defaults, sequentially via Run or as
+// a parallel batch via RunBatch. Construct it with NewRunner and functional
+// options; the zero Runner is valid and equivalent to plain Run with
+// GOMAXPROCS-wide batches.
+type Runner struct {
+	maxRounds   int
+	onRound     func(RoundView)
+	parallelism int
+}
+
+// Option configures a Runner.
+type Option func(*Runner)
+
+// WithMaxRounds sets the default round budget applied to every scenario that
+// does not set its own MaxRounds.
+func WithMaxRounds(n int) Option {
+	return func(r *Runner) { r.maxRounds = n }
+}
+
+// WithOnRound sets a default per-round hook applied to every scenario that
+// does not set its own OnRound. The hook forces per-round stepping (see
+// Scenario.OnRound). With parallelism > 1 it is invoked concurrently from
+// different scenarios, so a stateful hook must either synchronize or be set
+// per scenario instead.
+func WithOnRound(f func(RoundView)) Option {
+	return func(r *Runner) { r.onRound = f }
+}
+
+// WithParallelism sets the number of scenarios RunBatch executes
+// concurrently. Values < 1 select GOMAXPROCS. Parallelism never affects
+// results: scenarios are independent and each run is deterministic.
+func WithParallelism(p int) Option {
+	return func(r *Runner) { r.parallelism = p }
+}
+
+// NewRunner returns a Runner with the given options applied.
+func NewRunner(opts ...Option) *Runner {
+	r := &Runner{}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// apply fills the runner's defaults into a scenario.
+func (r *Runner) apply(sc Scenario) Scenario {
+	if sc.MaxRounds == 0 && r.maxRounds != 0 {
+		sc.MaxRounds = r.maxRounds
+	}
+	if sc.OnRound == nil && r.onRound != nil {
+		sc.OnRound = r.onRound
+	}
+	return sc
+}
+
+// Run executes one scenario under the runner's defaults.
+func (r *Runner) Run(sc Scenario) (*RunResult, error) {
+	return Run(r.apply(sc))
+}
+
+// BatchResult is the outcome of one scenario of a batch, in input order.
+type BatchResult struct {
+	Index  int
+	Result *RunResult
+	Err    error
+}
+
+// RunBatch executes all scenarios on a worker pool and returns one result
+// per scenario, in input order. Each scenario runs to completion
+// independently; an error in one does not stop the others.
+func (r *Runner) RunBatch(scs []Scenario) []BatchResult {
+	out := make([]BatchResult, len(scs))
+	p := r.parallelism
+	if p < 1 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > len(scs) {
+		p = len(scs)
+	}
+	if p <= 1 {
+		for i, sc := range scs {
+			res, err := r.Run(sc)
+			out[i] = BatchResult{Index: i, Result: res, Err: err}
+		}
+		return out
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res, err := r.Run(scs[i])
+				out[i] = BatchResult{Index: i, Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range scs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// RunBatch executes scenarios on a worker pool with the given options; see
+// Runner.RunBatch.
+func RunBatch(scs []Scenario, opts ...Option) []BatchResult {
+	return NewRunner(opts...).RunBatch(scs)
+}

@@ -1,0 +1,233 @@
+// Differential equivalence tests for the event-driven engine: every
+// scenario is run twice — once event-driven (the default) and once forced
+// into per-round stepping by a no-op OnRound hook — and the complete
+// RunResults (halt rounds, final nodes, woken rounds, leaders, learned
+// sizes, gossip maps) must be identical. The matrix spans graph families,
+// wake schedules and all three algorithm families of the paper.
+package sim_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"nochatter/internal/gather"
+	"nochatter/internal/gossip"
+	"nochatter/internal/graph"
+	"nochatter/internal/sim"
+	"nochatter/internal/ues"
+	"nochatter/internal/unknown"
+)
+
+// runBoth executes the scenario event-driven and force-stepped and fails the
+// test on any observable divergence. It returns the event-driven result.
+func runBoth(t *testing.T, name string, sc sim.Scenario) *sim.RunResult {
+	t.Helper()
+	event, err := sim.Run(sc)
+	if err != nil {
+		t.Fatalf("%s: event-driven run failed: %v", name, err)
+	}
+	stepped := sc
+	stepped.OnRound = func(sim.RoundView) {}
+	perRound, err := sim.Run(stepped)
+	if err != nil {
+		t.Fatalf("%s: per-round run failed: %v", name, err)
+	}
+	if event.Rounds != perRound.Rounds {
+		t.Errorf("%s: rounds diverge: event-driven %d, per-round %d", name, event.Rounds, perRound.Rounds)
+	}
+	if !reflect.DeepEqual(event.Agents, perRound.Agents) {
+		t.Errorf("%s: agent results diverge:\n event-driven: %+v\n per-round:    %+v",
+			name, event.Agents, perRound.Agents)
+	}
+	if event.SteppedRounds > perRound.SteppedRounds {
+		t.Errorf("%s: event-driven engine stepped %d rounds, more than per-round's %d",
+			name, event.SteppedRounds, perRound.SteppedRounds)
+	}
+	return event
+}
+
+func TestDifferentialGather(t *testing.T) {
+	type tc struct {
+		name   string
+		g      *graph.Graph
+		labels []int
+		starts []int
+		wakes  []int // nil = all zero
+	}
+	cases := []tc{
+		{"two-nodes", graph.TwoNodes(), []int{1, 2}, []int{0, 1}, nil},
+		{"ring6", graph.Ring(6), []int{3, 5, 9}, []int{0, 2, 4}, nil},
+		{"ring8-delayed", graph.Ring(8), []int{5, 9}, []int{0, 4}, []int{0, 37}},
+		{"path5-dormant", graph.Path(5), []int{2, 7}, []int{0, 4}, []int{0, sim.DormantUntilVisited}},
+		{"star5", graph.Star(5), []int{1, 2, 3}, []int{1, 2, 3}, nil},
+		{"grid3x3-dormant", graph.Grid(3, 3), []int{4, 6}, []int{0, 8}, []int{0, sim.DormantUntilVisited}},
+		{"hypercube3", graph.Hypercube(3), []int{1, 2}, []int{0, 7}, nil},
+		{"gnp8", graph.GNP(8, 0.3, 5), []int{5, 11}, []int{0, 7}, nil},
+		{"torus3x3-delayed", graph.Torus(3, 3), []int{2, 9}, []int{0, 4}, []int{0, 11}},
+		{"tree9", graph.RandomTree(9, 3), []int{6, 8}, []int{0, 8}, []int{0, 25}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			seq := ues.Build(c.g)
+			team := make([]sim.AgentSpec, len(c.labels))
+			for i := range c.labels {
+				wake := 0
+				if c.wakes != nil {
+					wake = c.wakes[i]
+				}
+				team[i] = sim.AgentSpec{
+					Label: c.labels[i], Start: c.starts[i], WakeRound: wake,
+					Program: gather.NewProgram(seq),
+				}
+			}
+			res := runBoth(t, c.name, sim.Scenario{Graph: c.g, Agents: team})
+			if !res.AllHaltedTogether() {
+				t.Errorf("%s: agents did not gather", c.name)
+			}
+			if len(res.Leaders()) != 1 {
+				t.Errorf("%s: leader split %v", c.name, res.Leaders())
+			}
+		})
+	}
+}
+
+func TestDifferentialGossip(t *testing.T) {
+	type tc struct {
+		name  string
+		g     *graph.Graph
+		wakes []int
+	}
+	cases := []tc{
+		{"ring4", graph.Ring(4), nil},
+		{"path4-delayed", graph.Path(4), []int{0, 9}},
+		{"star4-dormant", graph.Star(4), []int{0, sim.DormantUntilVisited}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			seq := ues.Build(c.g)
+			msgs := []string{"1011", "0"}
+			starts := []int{0, c.g.N() - 1}
+			team := make([]sim.AgentSpec, 2)
+			for i := range team {
+				wake := 0
+				if c.wakes != nil {
+					wake = c.wakes[i]
+				}
+				team[i] = sim.AgentSpec{
+					Label: i + 1, Start: starts[i], WakeRound: wake,
+					Program: gossip.NewProgram(seq, msgs[i]),
+				}
+			}
+			res := runBoth(t, c.name, sim.Scenario{Graph: c.g, Agents: team})
+			for _, a := range res.Agents {
+				for _, m := range msgs {
+					if a.Report.Gossip[m] != 1 {
+						t.Errorf("%s: agent %d gossip %v misses %q", c.name, a.Label, a.Report.Gossip, m)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestDifferentialUnknownBound(t *testing.T) {
+	p := unknown.DefaultParams()
+	sched := unknown.NewSchedule(p)
+	for _, h := range []int{1, 3, 4} {
+		h := h
+		t.Run(fmt.Sprintf("phi%d", h), func(t *testing.T) {
+			t.Parallel()
+			cfg := sched.Config(h)
+			res := runBoth(t, fmt.Sprintf("phi%d", h),
+				sim.Scenario{Graph: cfg.G, Agents: unknown.ScenarioFor(cfg, p)})
+			if !res.AllHaltedTogether() {
+				t.Errorf("phi%d: not gathered", h)
+			}
+			for _, a := range res.Agents {
+				if a.Report.Size != cfg.N() {
+					t.Errorf("phi%d: agent %d learned size %d, want %d", h, a.Label, a.Report.Size, cfg.N())
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialSkipIsReal asserts the event-driven engine actually
+// fast-forwards: on a wait-heavy gather run it must step well under half of
+// the simulated rounds.
+func TestDifferentialSkipIsReal(t *testing.T) {
+	g := graph.Ring(8)
+	seq := ues.Build(g)
+	res, err := sim.Run(sim.Scenario{
+		Graph: g,
+		Agents: []sim.AgentSpec{
+			{Label: 1, Start: 0, WakeRound: 0, Program: gather.NewProgram(seq)},
+			{Label: 2, Start: 4, WakeRound: 0, Program: gather.NewProgram(seq)},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SteppedRounds*2 >= res.Rounds {
+		t.Errorf("no fast-forward win: stepped %d of %d simulated rounds", res.SteppedRounds, res.Rounds)
+	}
+}
+
+// TestDifferentialClosureVsCondition runs the same interruptible program
+// once with a closure predicate (per-round stepping) and once with the
+// equivalent declarative Condition (engine-evaluated) and demands identical
+// results — the direct equivalence of the two evaluation paths.
+func TestDifferentialClosureVsCondition(t *testing.T) {
+	g := graph.Path(3)
+	build := func(declarative bool) sim.Scenario {
+		watcher := func(a *sim.API) sim.Report {
+			c := a.CurCard()
+			var hit bool
+			block := func(a *sim.API) { a.WaitRounds(1000) }
+			if declarative {
+				hit = a.RunUntil(sim.CardAtLeast(c+1), block)
+			} else {
+				hit = a.RunInterruptible(func(a *sim.API) bool { return a.CurCard() > c }, block)
+			}
+			if !hit {
+				t.Error("block should have been interrupted")
+			}
+			a.WaitRounds(3)
+			return sim.Report{}
+		}
+		walker := func(a *sim.API) sim.Report {
+			a.WaitRounds(5)
+			a.TakePort(0) // 2 -> 1
+			a.TakePort(0) // 1 -> 0
+			return sim.Report{}
+		}
+		return sim.Scenario{
+			Graph: g,
+			Agents: []sim.AgentSpec{
+				{Label: 1, Start: 0, WakeRound: 0, Program: watcher},
+				{Label: 2, Start: 2, WakeRound: 0, Program: walker},
+			},
+		}
+	}
+	closure, err := sim.Run(build(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond, err := sim.Run(build(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(closure.Agents, cond.Agents) || closure.Rounds != cond.Rounds {
+		t.Errorf("closure and condition runs diverge:\n closure:   %+v (rounds %d)\n condition: %+v (rounds %d)",
+			closure.Agents, closure.Rounds, cond.Agents, cond.Rounds)
+	}
+	if cond.SteppedRounds >= closure.SteppedRounds {
+		t.Errorf("condition run stepped %d rounds, expected fewer than closure's %d",
+			cond.SteppedRounds, closure.SteppedRounds)
+	}
+}

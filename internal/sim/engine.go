@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"nochatter/internal/graph"
 )
@@ -37,6 +38,9 @@ type Scenario struct {
 	MaxRounds int
 
 	// OnRound, if non-nil, observes every round before moves are applied.
+	// Setting it forces the engine into per-round stepping: every simulated
+	// round is processed so the hook misses nothing, at the cost of the
+	// event-driven fast-forward (see Run).
 	OnRound func(RoundView)
 }
 
@@ -57,6 +61,11 @@ type AgentResult struct {
 type RunResult struct {
 	Rounds int // rounds elapsed until the last agent halted
 	Agents []AgentResult
+
+	// SteppedRounds counts the rounds the engine actually processed; the
+	// difference to Rounds is what the event-driven clock fast-forwarded
+	// over. It is diagnostic only and carries no model semantics.
+	SteppedRounds int
 }
 
 // AllHaltedTogether reports whether every agent halted, all in the same round
@@ -100,6 +109,20 @@ var (
 	ErrMaxRounds      = errors.New("sim: exceeded max rounds without all agents halting")
 )
 
+// Cumulative counters across all runs of the process, for throughput
+// reporting (cmd/benchharness -json).
+var (
+	totalSimulated atomic.Int64
+	totalStepped   atomic.Int64
+)
+
+// SimulatedRounds returns the process-wide totals of logical rounds simulated
+// and engine rounds actually stepped, accumulated over every completed Run.
+// The ratio is the measured win of the event-driven clock.
+func SimulatedRounds() (logical, stepped int64) {
+	return totalSimulated.Load(), totalStepped.Load()
+}
+
 // agentState is the engine-side state of one agent.
 type agentState struct {
 	spec      AgentSpec
@@ -112,12 +135,74 @@ type agentState struct {
 	haltRound int
 	report    Report
 	started   bool // goroutine launched
-	failure   error
+	finished  bool // goroutine exited and its done message was consumed
 	doneCh    chan agentDone
+
+	// Pending bulk instruction: while sleeping, the agent goroutine is
+	// blocked and the engine advances it without any channel traffic.
+	sleeping bool
+	resumeAt int         // global round to deliver the next observation; -1 = only a condition wakes it
+	conds    []armedCond // armed wake conditions, engine-evaluated
+	walk     *walkState  // in-progress bulk walk, one engine-computed move per round
+}
+
+// walkState is the engine-side progress of one bulk walk instruction.
+type walkState struct {
+	spec    *walkSpec
+	i       int   // next move index
+	entry   int   // UXS-rule entry state (offsets mode), 0 at walk start
+	entries []int // entry ports recorded so far
+	minCard int   // smallest post-move CurCard so far
+}
+
+func (w *walkState) steps() int {
+	if w.spec.offsets != nil {
+		return len(w.spec.offsets)
+	}
+	return len(w.spec.ports)
+}
+
+// nextPort computes the port of move i at the given node and advances.
+func (w *walkState) nextPort(g *graph.Graph, node int) (int, error) {
+	if w.spec.offsets != nil {
+		q := (w.entry + w.spec.offsets[w.i]) % g.Degree(node)
+		w.i++
+		return q, nil
+	}
+	p := w.spec.ports[w.i]
+	if !g.HasPort(node, p) {
+		return 0, fmt.Errorf("walked nonexistent port %d at a degree-%d node", p, g.Degree(node))
+	}
+	w.i++
+	return p, nil
+}
+
+// wakesNow reports whether a sleeping agent must be handed the observation of
+// the current round: its bulk wait expired or an armed condition holds.
+func (st *agentState) wakesNow(r int, obs observation) bool {
+	if st.resumeAt >= 0 && r >= st.resumeAt {
+		return true
+	}
+	for _, ac := range st.conds {
+		if ac.holds(obs.curCard, obs.localRound) {
+			return true
+		}
+	}
+	return false
 }
 
 // Run executes the scenario to completion (all agents halted) and returns the
 // result. It is deterministic: identical scenarios produce identical traces.
+//
+// The engine is event-driven: agents submit bulk wait instructions (see
+// api.go), so a sleeping agent costs nothing per round, and when every awake
+// agent is mid-wait and no engine-evaluable condition, wait expiry or
+// scheduled wake-up can fire before round R, the global clock jumps straight
+// to R. Observations are invariant while nobody moves — positions, and hence
+// every CurCard, are frozen — so the fast-forward is unobservable to agents.
+// The engine falls back to per-round stepping whenever Scenario.OnRound is
+// set (the hook must see every round) or an agent keeps itself live through a
+// closure predicate (RunInterruptible) or per-round calls.
 func Run(sc Scenario) (*RunResult, error) {
 	if err := validate(sc); err != nil {
 		return nil, err
@@ -131,9 +216,12 @@ func Run(sc Scenario) (*RunResult, error) {
 	quit := make(chan struct{})
 	defer func() {
 		close(quit)
-		// Unblock and drain every started goroutine so none leaks.
+		// Unblock and drain every started goroutine so none leaks. Agents
+		// whose done message was already consumed (halted, panicked or
+		// failed) have no goroutine left to drain — waiting on them would
+		// deadlock.
 		for _, st := range states {
-			if st.started && !st.halted && st.failure == nil {
+			if st.started && !st.finished {
 				drain(st)
 			}
 		}
@@ -149,7 +237,7 @@ func Run(sc Scenario) (*RunResult, error) {
 			api: &API{
 				label:      spec.Label,
 				obsCh:      make(chan observation, 1),
-				mvCh:       make(chan move, 1),
+				mvCh:       make(chan instruction, 1),
 				quit:       quit,
 				oracleSize: sc.Graph.N(),
 			},
@@ -159,16 +247,30 @@ func Run(sc Scenario) (*RunResult, error) {
 	positions := make([]int, n)
 	awake := make([]bool, n)
 	halted := make([]bool, n)
-	cardAt := make(map[int]int, n)
+	// Node-indexed bookkeeping. Entries are reset agent-wise before use, so
+	// only slots under a current agent position are ever valid — stale values
+	// elsewhere are never read.
+	cardAt := make([]int, sc.Graph.N())
+	occupiedByWoken := make([]bool, sc.Graph.N())
+
+	type pending struct {
+		st   *agentState
+		port int
+	}
+	moves := make([]pending, 0, n)
 
 	lastHalt := 0
-	for r := 0; ; r++ {
+	steppedRounds := 0
+	for r := 0; ; {
 		if r > maxRounds {
 			return nil, fmt.Errorf("%w (%d)", ErrMaxRounds, maxRounds)
 		}
+		steppedRounds++
 		// Wake-ups: adversary first, then visit-triggered. A dormant agent is
 		// woken when an already-woken agent occupies its start node.
-		occupiedByWoken := make(map[int]bool, n)
+		for _, st := range states {
+			occupiedByWoken[st.node] = false
+		}
 		for _, st := range states {
 			if st.awake || st.halted {
 				occupiedByWoken[st.node] = true
@@ -185,7 +287,9 @@ func Run(sc Scenario) (*RunResult, error) {
 		}
 		// CurCard counts every agent body at the node: dormant and halted
 		// agents are physically present.
-		clear(cardAt)
+		for _, st := range states {
+			cardAt[st.node] = 0
+		}
 		for _, st := range states {
 			cardAt[st.node]++
 		}
@@ -197,12 +301,10 @@ func Run(sc Scenario) (*RunResult, error) {
 			}
 			sc.OnRound(RoundView{Round: r, Positions: positions, Awake: awake, Halted: halted})
 		}
-		// Deliver observations and collect moves, in fixed agent order.
-		type pending struct {
-			st   *agentState
-			port int
-		}
-		moves := make([]pending, 0, n)
+		// Deliver observations and collect instructions, in fixed agent
+		// order. Sleeping agents whose wait neither expires nor fires are
+		// passed over without any goroutine handoff.
+		moves = moves[:0]
 		allHalted := true
 		for _, st := range states {
 			if st.halted {
@@ -218,13 +320,43 @@ func Run(sc Scenario) (*RunResult, error) {
 				entryPort:  st.entryPort,
 				curCard:    cardAt[st.node],
 			}
+			if st.sleeping {
+				if w := st.walk; w != nil {
+					// Every round of a walk is post-move: fold the fresh
+					// CurCard into the walk minimum before wake checks.
+					if obs.curCard < w.minCard {
+						w.minCard = obs.curCard
+					}
+					if w.i < w.steps() && !st.wakesNow(r, obs) {
+						// Execute the next move engine-side, no handoff.
+						port, err := w.nextPort(sc.Graph, st.node)
+						if err != nil {
+							return nil, fmt.Errorf("sim: agent label %d %v in round %d",
+								st.spec.Label, err, r)
+						}
+						moves = append(moves, pending{st: st, port: port})
+						allHalted = false
+						continue
+					}
+					// Walk complete, or a condition fired mid-walk: wake the
+					// agent with the (possibly partial) results attached.
+					obs.walkEntries = w.entries
+					obs.walkMin = w.minCard
+					st.walk = nil
+				} else if !st.wakesNow(r, obs) {
+					allHalted = false
+					continue
+				}
+				st.sleeping = false
+				st.conds = nil
+			}
 			if !st.started {
 				st.started = true
 				launch(st, obs)
 			} else {
 				st.api.obsCh <- obs
 			}
-			m, halt, rep, err := await(st)
+			in, halt, rep, err := await(st)
 			if err != nil {
 				return nil, fmt.Errorf("sim: agent %d (label %d) failed in round %d: %w",
 					indexOf(states, st), st.spec.Label, r, err)
@@ -237,12 +369,40 @@ func Run(sc Scenario) (*RunResult, error) {
 				continue
 			}
 			allHalted = false
-			if m.port >= 0 {
-				if !sc.Graph.HasPort(st.node, m.port) {
+			if in.port >= 0 {
+				if !sc.Graph.HasPort(st.node, in.port) {
 					return nil, fmt.Errorf("sim: agent label %d took nonexistent port %d at a degree-%d node in round %d",
-						st.spec.Label, m.port, sc.Graph.Degree(st.node), r)
+						st.spec.Label, in.port, sc.Graph.Degree(st.node), r)
 				}
-				moves = append(moves, pending{st: st, port: m.port})
+				moves = append(moves, pending{st: st, port: in.port})
+				st.sleeping = true
+				st.resumeAt = r + 1
+				st.conds = nil
+			} else if in.walk != nil {
+				w := &walkState{spec: in.walk, minCard: maxInt}
+				w.entries = make([]int, 0, w.steps())
+				port, err := w.nextPort(sc.Graph, st.node)
+				if err != nil {
+					return nil, fmt.Errorf("sim: agent label %d %v in round %d",
+						st.spec.Label, err, r)
+				}
+				moves = append(moves, pending{st: st, port: port})
+				st.sleeping = true
+				st.resumeAt = -1 // woken by walk completion or a condition
+				st.conds = in.conds
+				st.walk = w
+			} else {
+				rounds := in.rounds
+				if rounds == 0 {
+					rounds = 1
+				}
+				st.sleeping = true
+				if rounds < 0 {
+					st.resumeAt = -1
+				} else {
+					st.resumeAt = r + rounds
+				}
+				st.conds = in.conds
 			}
 		}
 		// Apply all moves simultaneously.
@@ -250,13 +410,27 @@ func Run(sc Scenario) (*RunResult, error) {
 			to, entry := sc.Graph.Traverse(mv.st.node, mv.port)
 			mv.st.node = to
 			mv.st.entryPort = entry
+			if w := mv.st.walk; w != nil {
+				w.entries = append(w.entries, entry)
+				w.entry = entry
+			}
 		}
 		if allHalted {
 			break
 		}
+		if sc.OnRound != nil || len(moves) > 0 {
+			// Per-round stepping: the hook observes every round, and a move
+			// changes positions, so the next round must be processed (cards
+			// and visit-wakes may shift, and walkers move every round).
+			r++
+			continue
+		}
+		r = nextEventRound(states, r, cardAt, maxRounds)
 	}
 
-	res := &RunResult{Rounds: lastHalt, Agents: make([]AgentResult, n)}
+	totalSimulated.Add(int64(lastHalt))
+	totalStepped.Add(int64(steppedRounds))
+	res := &RunResult{Rounds: lastHalt, Agents: make([]AgentResult, n), SteppedRounds: steppedRounds}
 	for i, st := range states {
 		res.Agents[i] = AgentResult{
 			Label:      st.spec.Label,
@@ -268,6 +442,60 @@ func Run(sc Scenario) (*RunResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// nextEventRound returns the next global round at which anything observable
+// can happen after round r: a bulk wait expires, an armed condition could
+// fire, or the adversary wakes an agent. Every round strictly between can be
+// skipped: no agent moved in round r (a mover's next observation is due at
+// r+1, which caps the result), so positions — and with them every CurCard
+// and visit-triggered wake — are frozen.
+func nextEventRound(states []*agentState, r int, cardAt []int, maxRounds int) int {
+	next := -1
+	consider := func(x int) {
+		if x > r && (next < 0 || x < next) {
+			next = x
+		}
+	}
+	for _, st := range states {
+		if st.halted {
+			continue
+		}
+		if !st.awake {
+			if st.spec.WakeRound > r {
+				consider(st.spec.WakeRound)
+			}
+			// DormantUntilVisited cannot newly trigger while positions are
+			// frozen; a wake caused by this round's moves is covered by the
+			// movers' resumeAt of r+1.
+			continue
+		}
+		// Every awake non-halted agent is sleeping at this point: each
+		// interaction ends with a halt or a new pending instruction.
+		if st.walk != nil {
+			// Unreachable in practice: a mid-walk agent moved this round, and
+			// any move forces stepping to r+1 before this function is called.
+			consider(r + 1)
+			continue
+		}
+		if st.resumeAt >= 0 {
+			consider(st.resumeAt)
+		}
+		card := cardAt[st.node]
+		for _, ac := range st.conds {
+			if fb := ac.fireBound(r+1, card, st.wokeAt); fb != neverFires {
+				consider(fb)
+			}
+		}
+	}
+	if next < 0 {
+		// No future event exists: every remaining wait is unbounded on
+		// conditions that cannot fire while the world is frozen. The
+		// per-round engine would grind to the budget and fail with
+		// ErrMaxRounds; jump there directly.
+		return maxRounds + 1
+	}
+	return next
 }
 
 // agentDone is the message an agent goroutine posts when its program ends.
@@ -295,16 +523,17 @@ func launch(st *agentState, first observation) {
 	}()
 }
 
-// await blocks until the agent either issues a move or halts.
-func await(st *agentState) (m move, halt bool, rep Report, err error) {
+// await blocks until the agent either issues an instruction or halts.
+func await(st *agentState) (in instruction, halt bool, rep Report, err error) {
 	select {
-	case m = <-st.api.mvCh:
-		return m, false, Report{}, nil
+	case in = <-st.api.mvCh:
+		return in, false, Report{}, nil
 	case d := <-st.doneCh:
+		st.finished = true
 		if d.err != nil {
-			return move{}, false, Report{}, d.err
+			return instruction{}, false, Report{}, d.err
 		}
-		return move{}, true, d.report, nil
+		return instruction{}, true, d.report, nil
 	}
 }
 
@@ -316,8 +545,8 @@ func drain(st *agentState) {
 	for {
 		select {
 		case <-st.api.mvCh:
-			// The goroutine may be blocked sending a move; consume it. After
-			// quit closes, its next step panics with errRunAborted.
+			// The goroutine may be blocked sending an instruction; consume
+			// it. After quit closes, its next step panics with errRunAborted.
 		case d := <-st.doneCh:
 			_ = d
 			return

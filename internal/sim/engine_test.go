@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"testing"
+	"time"
 
 	"nochatter/internal/graph"
 )
@@ -349,5 +350,37 @@ func TestDelayedWake(t *testing.T) {
 	}
 	if res.Agents[1].HaltRound != 8 {
 		t.Errorf("halted at %d, want 8", res.Agents[1].HaltRound)
+	}
+}
+
+func TestAgentPanicFailsRunWithoutHanging(t *testing.T) {
+	// A panicking agent program must surface as a run error promptly; the
+	// cleanup path must not try to drain the already-exited goroutine.
+	g := graph.Ring(4)
+	sc := Scenario{
+		Graph: g,
+		Agents: []AgentSpec{
+			{Label: 1, Start: 0, WakeRound: 0, Program: func(a *API) Report {
+				a.Wait()
+				panic("agent bug")
+			}},
+			{Label: 2, Start: 2, WakeRound: 0, Program: func(a *API) Report {
+				a.WaitRounds(1000) // mid-bulk-wait while the other agent dies
+				return Report{}
+			}},
+		},
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := Run(sc)
+		errCh <- err
+	}()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("want error from panicking agent")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run hung after agent panic (drain deadlock)")
 	}
 }

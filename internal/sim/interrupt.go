@@ -1,24 +1,69 @@
 package sim
 
-// interruptFrame tracks one active RunInterruptible scope.
+// interruptFrame tracks one active interruptible scope: either a declarative
+// RunUntil frame (armed Condition, engine-evaluable) or a RunInterruptible
+// frame (opaque closure, forces per-round stepping).
 type interruptFrame struct {
-	id   int
-	pred func(*API) bool
+	id    int
+	pred  func(*API) bool // closure escape hatch; nil for declarative frames
+	armed armedCond       // declarative condition; valid iff pred == nil
+}
+
+// fires evaluates the frame's predicate against the agent's current
+// observation.
+func (f *interruptFrame) fires(a *API) bool {
+	if f.pred != nil {
+		return f.pred(a)
+	}
+	return f.armed.holds(a.obs.curCard, a.obs.localRound)
 }
 
 type interruptSignal struct{ id int }
 
-// RunInterruptible executes block, aborting it as soon as pred holds at a
-// round boundary inside the block (the paper's "execute the following
-// begin-end block and interrupt it before its completion as soon as ...").
-// The predicate is evaluated against the observation of each new round
-// reached while the block runs, and also on entry. It returns true if the
-// block was interrupted, false if it ran to completion.
+// RunUntil executes block, aborting it as soon as cond holds at a round
+// boundary inside the block (the paper's "execute the following begin-end
+// block and interrupt it before its completion as soon as ..."). The
+// condition is evaluated against the observation of each new round reached
+// while the block runs, and also on entry; CardChanged is relative to the
+// CurCard observed at entry. It returns true if the block was interrupted,
+// false if it ran to completion.
 //
-// Frames nest: an inner RunInterruptible is checked before an outer one, and
-// an outer interruption correctly unwinds through inner frames.
+// Because cond is declarative, the engine evaluates it on the engine side:
+// bulk waits inside the block stay single instructions and the event-driven
+// core keeps fast-forwarding the clock (see engine.go). This is the preferred
+// replacement for RunInterruptible; keep closures only for predicates the
+// Condition algebra cannot express.
+//
+// Frames nest (RunUntil and RunInterruptible freely mixed): an inner frame is
+// checked before an outer one, and an outer interruption correctly unwinds
+// through inner frames.
+func (a *API) RunUntil(cond Condition, block func(*API)) (interrupted bool) {
+	if !cond.valid() {
+		panic("sim: invalid Condition (use the condition constructors)")
+	}
+	return a.runFrame(&interruptFrame{armed: armedCond{c: cond, base: a.obs.curCard}}, block)
+}
+
+// RunInterruptible executes block, aborting it as soon as pred holds at a
+// round boundary inside the block. The predicate is evaluated against the
+// observation of each new round reached while the block runs, and also on
+// entry. It returns true if the block was interrupted, false if it ran to
+// completion.
+//
+// pred is an opaque closure the engine cannot inspect, so while any
+// RunInterruptible frame is active the agent is stepped round by round —
+// every Wait costs a full agent↔engine handoff and the clock cannot be
+// fast-forwarded past the agent. Prefer RunUntil with a declarative
+// Condition; this closure form remains as the escape hatch for predicates
+// outside the Condition algebra.
 func (a *API) RunInterruptible(pred func(*API) bool, block func(*API)) (interrupted bool) {
-	frame := &interruptFrame{id: len(a.frames), pred: pred}
+	return a.runFrame(&interruptFrame{pred: pred}, block)
+}
+
+// runFrame pushes frame, runs block under it, and handles the interrupt
+// unwinding shared by RunUntil and RunInterruptible.
+func (a *API) runFrame(frame *interruptFrame, block func(*API)) (interrupted bool) {
+	frame.id = len(a.frames)
 	a.frames = append(a.frames, frame)
 	defer func() {
 		// Pop our frame regardless of how the block exits.
@@ -31,7 +76,7 @@ func (a *API) RunInterruptible(pred func(*API) bool, block func(*API)) (interrup
 			interrupted = true
 		}
 	}()
-	if pred(a) {
+	if frame.fires(a) {
 		return true
 	}
 	block(a)
@@ -41,7 +86,7 @@ func (a *API) RunInterruptible(pred func(*API) bool, block func(*API)) (interrup
 // checkInterrupts fires the innermost satisfied predicate, if any.
 func (a *API) checkInterrupts() {
 	for i := len(a.frames) - 1; i >= 0; i-- {
-		if a.frames[i].pred(a) {
+		if a.frames[i].fires(a) {
 			panic(interruptSignal{id: a.frames[i].id})
 		}
 	}

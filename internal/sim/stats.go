@@ -12,6 +12,9 @@ type Meeting struct {
 
 // Stats collects run statistics through the OnRound hook. Create one with
 // NewStats, pass Observe as Scenario.OnRound, and read the fields after Run.
+// Like any OnRound hook, a Stats collector forces the engine into per-round
+// stepping (it must see every round), trading the event-driven fast-forward
+// for complete observability.
 type Stats struct {
 	// FirstMeetings holds the earliest co-location per agent pair.
 	FirstMeetings []Meeting

@@ -36,27 +36,21 @@ func (s *NaiveSchedule) Run(a *sim.API, rounds int) {
 		a.WaitRounds(rounds)
 		return
 	}
+	// Block-wise, like Schedule.Run: a 0-bit block is one bulk wait the
+	// engine can fast-forward; a 1-bit block is a per-round explore walk.
 	block := 2 * e
-	var w *ues.Walker
-	for t := 0; t < rounds; t++ {
+	for t := 0; t < rounds; {
 		bit := s.pattern[(t/block)%len(s.pattern)]
+		n := block - t%block
+		if n > rounds-t {
+			n = rounds - t
+		}
 		if bit == '0' {
-			a.Wait()
-			continue
-		}
-		off := t % block
-		if off == 0 {
-			w = s.seq.NewWalker(a)
-		}
-		if w == nil {
-			a.Wait()
-			continue
-		}
-		if off < e {
-			w.StepEffective()
+			a.WaitRounds(n)
 		} else {
-			w.StepBacktrack()
+			s.seq.ExploPartial(a, n)
 		}
+		t += n
 	}
 }
 

@@ -61,39 +61,32 @@ func (s *Schedule) Run(a *sim.API, rounds int) {
 		a.WaitRounds(rounds)
 		return
 	}
+	// The schedule is processed half-block by half-block: each 2E-round
+	// waiting window is ONE bulk wait instruction, so the engine sees the
+	// idle stretch and can fast-forward it; the complementary explore window
+	// is per-round by nature (one move per round). Truncation by `rounds`
+	// can cut the final window short, matching the per-round semantics.
 	block := 4 * e
-	var w *ues.Walker
-	for t := 0; t < rounds; t++ {
+	for t := 0; t < rounds; {
 		bit := s.pattern[(t/block)%len(s.pattern)]
 		phase := t % block
-		var active bool
-		var off int // rounds into the explore window
-		if bit == '1' {
-			active = phase < 2*e
-			off = phase
+		segEnd := 2 * e // end of the current half-block within the block
+		if phase >= 2*e {
+			segEnd = block
+		}
+		n := segEnd - phase
+		if n > rounds-t {
+			n = rounds - t
+		}
+		// bit 1 explores in the first half-block and waits in the second;
+		// bit 0 is the complement. Windows are always entered at their
+		// start: t advances in whole (possibly truncated) windows from 0.
+		if exploring := (bit == '1') == (phase < 2*e); !exploring {
+			a.WaitRounds(n)
 		} else {
-			active = phase >= 2*e
-			off = phase - 2*e
+			s.seq.ExploPartial(a, n)
 		}
-		if !active {
-			a.Wait()
-			continue
-		}
-		if off == 0 {
-			w = s.seq.NewWalker(a)
-		}
-		if w == nil {
-			// Entered mid-window (Run called with a phase-offset pattern
-			// position, possible only on the first block after an odd start);
-			// treat the remainder of the window as waiting.
-			a.Wait()
-			continue
-		}
-		if off < e {
-			w.StepEffective()
-		} else {
-			w.StepBacktrack()
-		}
+		t += n
 	}
 }
 

@@ -165,30 +165,51 @@ func (w *Walker) StepBacktrack() bool {
 }
 
 // Explo runs a full EXPLO (effective + backtrack), consuming exactly
-// Duration() rounds, and leaves the agent where it started.
+// Duration() rounds, and leaves the agent where it started. Both halves are
+// engine-side bulk walks (sim.WalkOffsets / sim.WalkPorts): the engine
+// computes every port itself, so the whole execution costs two agent
+// handoffs instead of 2·E.
 func (s *Sequence) Explo(a *sim.API) {
-	w := s.NewWalker(a)
-	for w.StepEffective() {
-	}
-	for w.StepBacktrack() {
-	}
+	entries, _ := a.WalkOffsets(s.offsets)
+	a.WalkPorts(reversed(entries))
 }
 
 // ExploMinCard runs a full EXPLO and returns the smallest CurCard observed
 // after each of the 2·E moves (the paper's "smallest value reached by
 // CurCard during the latest execution of EXPLO").
 func (s *Sequence) ExploMinCard(a *sim.API) int {
-	w := s.NewWalker(a)
 	min := a.CurCard()
-	for w.StepEffective() {
-		if c := a.CurCard(); c < min {
-			min = c
-		}
+	entries, m := a.WalkOffsets(s.offsets)
+	if m < min {
+		min = m
 	}
-	for w.StepBacktrack() {
-		if c := a.CurCard(); c < min {
-			min = c
-		}
+	if _, m = a.WalkPorts(reversed(entries)); m < min {
+		min = m
 	}
 	return min
+}
+
+// ExploPartial runs only the first n rounds of an EXPLO (n <= Duration()):
+// the truncated prefix of the effective half followed by the truncated
+// prefix of the backtrack. Rendezvous schedules use it for explore windows
+// cut short by their round budget.
+func (s *Sequence) ExploPartial(a *sim.API, n int) {
+	e := len(s.offsets)
+	eff := n
+	if eff > e {
+		eff = e
+	}
+	entries, _ := a.WalkOffsets(s.offsets[:eff])
+	if back := n - e; back > 0 {
+		a.WalkPorts(reversed(entries)[:back])
+	}
+}
+
+// reversed returns a new slice with the elements in reverse order.
+func reversed(xs []int) []int {
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[len(xs)-1-i] = x
+	}
+	return out
 }

@@ -47,6 +47,30 @@ func (t *cardTracker) observe(a *sim.API) {
 	}
 }
 
+// waitOnce submits ONE engine-visible bulk wait of at most max rounds that
+// is cut short only when CurCard moves, and folds the outcome into the
+// tracker — after every round the tracker state is identical to a
+// Wait/observe loop, but unchanged stretches cost nothing and can be
+// fast-forwarded.
+func (t *cardTracker) waitOnce(a *sim.API, max int) (waited int, fired bool) {
+	waited, fired = a.WaitUntilFor(sim.CardChanged(), max)
+	if fired {
+		t.last, t.stable = a.CurCard(), 1
+	} else {
+		t.stable += waited
+	}
+	return waited, fired
+}
+
+// waitTracked waits for exactly `rounds` rounds while keeping the tracker's
+// shared CurCard clock up to date.
+func (t *cardTracker) waitTracked(a *sim.API, rounds int) {
+	for rounds > 0 {
+		w, _ := t.waitOnce(a, rounds)
+		rounds -= w
+	}
+}
+
 // hypothesis is Algorithm 6: the preprocessing part (ball traversal + wait),
 // the main part (the four checks), and on failure the slowed return walk
 // plus padding to exactly T_h rounds.
@@ -63,14 +87,8 @@ func (r *runner) hypothesis(h int) bool {
 		// whose start IS the central node shares its CurCard history with
 		// every later arrival.
 		tr := newCardTracker(r.a)
-		for r.a.LocalRound()-start < d.TBall { // pad traversal to TBall
-			r.a.Wait()
-			tr.observe(r.a)
-		}
-		for i := 0; i < d.S; i++ { // line 4 of Algorithm 6: wait S_h
-			r.a.Wait()
-			tr.observe(r.a)
-		}
+		tr.waitTracked(r.a, d.TBall-(r.a.LocalRound()-start)) // pad traversal to TBall
+		tr.waitTracked(r.a, d.S)                              // line 4 of Algorithm 6: wait S_h
 		ok = r.moveToCentralNode(cfg, d, tr) &&
 			r.starCheck(cfg) &&
 			r.ensureCleanExploration(cfg, d) &&
@@ -85,9 +103,7 @@ func (r *runner) hypothesis(h int) bool {
 		r.a.WaitRounds(d.Slow)
 		r.a.TakePort(r.entries[i])
 	}
-	for r.a.LocalRound()-start < d.T {
-		r.a.Wait()
-	}
+	r.a.WaitRounds(d.T - (r.a.LocalRound() - start))
 	return false
 }
 
@@ -161,12 +177,23 @@ func (r *runner) moveToCentralNode(cfg *config.Configuration, d Dims, tr cardTra
 	}
 	z := d.S + d.N
 	timeout := 2*z + 4
-	for j := 0; j < timeout; j++ {
+	// Event-driven form of "check, wait one round, observe" × timeout: the
+	// success predicate can only flip when CurCard changes (resetting the
+	// clock) or when the stability counter reaches z with the cardinality
+	// already at k_h — both engine-predictable, so the whole vigil costs a
+	// handful of bulk waits instead of ~2·S_h round trips.
+	for waited := 0; waited < timeout; {
 		if tr.last == cfg.K() && tr.stable >= z {
 			return true
 		}
-		r.a.Wait()
-		tr.observe(r.a)
+		rem := timeout - waited
+		if tr.last == cfg.K() {
+			if need := z - tr.stable; need < rem {
+				rem = need
+			}
+		}
+		w, _ := tr.waitOnce(r.a, rem)
+		waited += w
 	}
 	return false
 }
@@ -257,9 +284,7 @@ func (r *runner) graphSizeCheck(cfg *config.Configuration, d Dims) bool {
 			res := r.estPlus(d)
 			ok = res.SizeOK
 		}
-		for r.a.LocalRound()-start < 2*i*d.EstDur {
-			r.a.Wait()
-		}
+		r.a.WaitRounds(2*i*d.EstDur - (r.a.LocalRound() - start))
 	}
 	return ok
 }

@@ -27,9 +27,39 @@
 // simultaneous declaration and every agent's Report.Leader carries the
 // elected leader (Theorem 3.1).
 //
-// See DESIGN.md for the system inventory and the three documented
-// substitutions (exploration sequences, rendezvous procedure, EST), and
-// EXPERIMENTS.md for the reproduced claims.
+// # The event-driven agent↔engine contract
+//
+// Agent programs talk to the engine through an instruction contract the
+// engine can reason about: API.WaitRounds and API.WaitUntil submit a single
+// bulk wait (not one handoff per round), API.WalkOffsets and API.WalkPorts
+// submit whole multi-round walks the engine executes itself, and
+// interruption conditions are declarative Condition values (CardAtLeast,
+// CardChanged, LocalRoundReached, Any) evaluated engine-side via
+// API.RunUntil. Whenever every awake agent is mid-wait and no condition can
+// fire, the engine fast-forwards the global clock to the next event — the
+// paper's astronomically long waiting phases cost almost nothing to
+// simulate. RunResult.SteppedRounds reports the rounds actually processed.
+//
+// Migration note: API.RunInterruptible(pred, block) with an opaque Go
+// predicate still works but pins its agent to per-round stepping. Replace
+// predicates of the form "CurCard() > c" with RunUntil(CardAtLeast(c+1),
+// block), and stability waits with WaitUntilFor(CardChanged(), d); keep the
+// closure form only for predicates the Condition algebra cannot express.
+//
+// # Batch runs
+//
+// RunBatch (and the configurable Runner with WithMaxRounds, WithOnRound,
+// WithParallelism) executes many independent scenarios on a worker pool —
+// the building block of every scenario sweep in internal/experiments:
+//
+//	results := nochatter.RunBatch(scenarios, nochatter.WithParallelism(8))
+//
+// Parallelism never changes results: each run is deterministic and results
+// arrive in input order.
+//
+// See DESIGN.md for the system inventory, the documented substitutions
+// (exploration sequences, rendezvous procedure, EST) and the experiment
+// index, and EXPERIMENTS.md for the reproduced claims.
 package nochatter
 
 import (
@@ -66,6 +96,17 @@ type (
 	AgentResult = sim.AgentResult
 	// RoundView is the per-round snapshot passed to Scenario.OnRound.
 	RoundView = sim.RoundView
+	// Condition is a declarative wake/interrupt predicate the engine
+	// evaluates itself (see CardAtLeast, CardChanged, LocalRoundReached,
+	// Any, API.WaitUntil and API.RunUntil).
+	Condition = sim.Condition
+	// Runner executes scenarios with shared defaults and a worker pool.
+	Runner = sim.Runner
+	// RunnerOption configures a Runner (WithMaxRounds, WithOnRound,
+	// WithParallelism).
+	RunnerOption = sim.Option
+	// BatchResult is one scenario's outcome within a RunBatch.
+	BatchResult = sim.BatchResult
 	// Sequence is a universal exploration sequence — the operational form
 	// of a known upper bound on the network size.
 	Sequence = ues.Sequence
@@ -91,6 +132,32 @@ const DormantUntilVisited = sim.DormantUntilVisited
 
 // Run executes a scenario to completion, deterministically.
 func Run(sc Scenario) (*RunResult, error) { return sim.Run(sc) }
+
+// Declarative wait/interrupt conditions and the batch API, re-exported from
+// the engine.
+var (
+	// CardAtLeast fires when CurCard reaches k (the paper's "as soon as
+	// CurCard > c" with k = c+1).
+	CardAtLeast = sim.CardAtLeast
+	// CardChanged fires when CurCard moves off its value at arming time.
+	CardChanged = sim.CardChanged
+	// LocalRoundReached fires when the agent's local round counter hits r.
+	LocalRoundReached = sim.LocalRoundReached
+	// Any fires when any sub-condition fires.
+	Any = sim.Any
+	// NewRunner builds a scenario runner with shared defaults.
+	NewRunner = sim.NewRunner
+	// RunBatch executes independent scenarios on a worker pool, results in
+	// input order.
+	RunBatch = sim.RunBatch
+	// WithMaxRounds sets a Runner's default round budget.
+	WithMaxRounds = sim.WithMaxRounds
+	// WithOnRound sets a Runner's default per-round hook (forces per-round
+	// stepping).
+	WithOnRound = sim.WithOnRound
+	// WithParallelism sets how many scenarios a Runner executes concurrently.
+	WithParallelism = sim.WithParallelism
+)
 
 // NewGraphBuilder starts building a custom port-labeled graph with n nodes.
 func NewGraphBuilder(name string, n int) *GraphBuilder { return graph.NewBuilder(name, n) }

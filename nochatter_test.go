@@ -153,3 +153,65 @@ func TestPaperUnknownDims(t *testing.T) {
 		t.Errorf("ball radius %v", d.BallRadius)
 	}
 }
+
+func TestPublicConditionsAndBatch(t *testing.T) {
+	// The declarative condition API and the batch runner through the façade:
+	// a sweep of watcher/walker scenarios, each watcher waiting on
+	// CardAtLeast engine-side.
+	sizes := []int{3, 4, 5}
+	scs := make([]nochatter.Scenario, len(sizes))
+	for i, n := range sizes {
+		n := n
+		watcher := func(a *nochatter.API) nochatter.Report {
+			a.WaitUntil(nochatter.Any(nochatter.CardAtLeast(2), nochatter.LocalRoundReached(1000)))
+			return nochatter.Report{Leader: a.LocalRound()}
+		}
+		walker := func(a *nochatter.API) nochatter.Report {
+			for j := 0; j < n-1; j++ {
+				a.TakePort(0)
+			}
+			a.Wait()
+			return nochatter.Report{}
+		}
+		scs[i] = nochatter.Scenario{
+			Graph: nochatter.Path(n),
+			Agents: []nochatter.AgentSpec{
+				{Label: 1, Start: 0, WakeRound: 0, Program: watcher},
+				{Label: 2, Start: n - 1, WakeRound: 0, Program: walker},
+			},
+		}
+	}
+	for i, br := range nochatter.RunBatch(scs, nochatter.WithParallelism(2)) {
+		if br.Err != nil {
+			t.Fatalf("case %d: %v", i, br.Err)
+		}
+		// The walker needs n-1 moves to reach node 0; the watcher must
+		// resume exactly then.
+		if got, want := br.Result.Agents[0].Report.Leader, sizes[i]-1; got != want {
+			t.Errorf("case %d: watcher resumed at local round %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestPublicRunUntil(t *testing.T) {
+	g := nochatter.TwoNodes()
+	prog := func(a *nochatter.API) nochatter.Report {
+		hit := a.RunUntil(nochatter.LocalRoundReached(7), func(a *nochatter.API) {
+			a.WaitRounds(1_000_000)
+		})
+		if !hit {
+			t.Error("want interruption at local round 7")
+		}
+		return nochatter.Report{}
+	}
+	res, err := nochatter.Run(nochatter.Scenario{
+		Graph:  g,
+		Agents: []nochatter.AgentSpec{{Label: 1, Start: 0, WakeRound: 0, Program: prog}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Agents[0].HaltRound != 7 {
+		t.Errorf("halted at %d, want 7", res.Agents[0].HaltRound)
+	}
+}

@@ -23,10 +23,8 @@ import (
 	"time"
 
 	"nochatter/internal/experiments"
-	"nochatter/internal/gather"
-	"nochatter/internal/graph"
 	"nochatter/internal/sim"
-	"nochatter/internal/ues"
+	"nochatter/internal/spec"
 )
 
 // experimentRecord is one experiment's entry of the -json perf record.
@@ -58,20 +56,24 @@ type perfRecord struct {
 
 // gatherBench measures one wait-heavy end-to-end gathering (the scenario of
 // BenchmarkGatherRing8 / BenchmarkGatherRing16 in bench_test.go), best of
-// three runs.
+// three runs. The scenario is declared as a spec and compiled once;
+// compiled scenarios are re-runnable (programs are stateless closures).
 func gatherBench(name string, n int, labels [2]int) (benchRecord, error) {
-	g := graph.Ring(n)
-	seq := ues.Build(g)
 	rec := benchRecord{Name: name}
+	sc, err := spec.ScenarioSpec{
+		Name:  name,
+		Graph: spec.GraphSpec{Family: "ring", N: n},
+		Agents: []spec.AgentSpec{
+			{Label: labels[0], Start: 0, Algorithm: spec.Known()},
+			{Label: labels[1], Start: n / 2, Algorithm: spec.Known()},
+		},
+	}.Compile()
+	if err != nil {
+		return rec, err
+	}
 	for i := 0; i < 3; i++ {
 		start := time.Now()
-		res, err := sim.Run(sim.Scenario{
-			Graph: g,
-			Agents: []sim.AgentSpec{
-				{Label: labels[0], Start: 0, WakeRound: 0, Program: gather.NewProgram(seq)},
-				{Label: labels[1], Start: n / 2, WakeRound: 0, Program: gather.NewProgram(seq)},
-			},
-		})
+		res, err := sim.Run(sc)
 		wall := float64(time.Since(start).Microseconds()) / 1000
 		if err != nil {
 			return rec, err

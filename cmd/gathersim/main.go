@@ -1,11 +1,16 @@
 // Command gathersim runs one gathering scenario and reports the outcome,
-// optionally tracing agent positions.
+// optionally tracing agent positions. Scenarios are data: the flags below
+// assemble a spec.ScenarioSpec, -dump-spec prints that spec as JSON instead
+// of running, and -spec runs a saved spec file — so every invocation is
+// reproducible from a serialized artifact.
 //
 // Usage:
 //
 //	gathersim [-graph ring] [-n 8] [-rows 0] [-labels 5,9] [-starts 0,4]
-//	          [-wakes 0,-1] [-algo known|gossip|unknown] [-msg 101,0110]
-//	          [-trace-every 1000] [-max-rounds 0]
+//	          [-wakes 0,-1] [-algo known|gossip|unknown|randomized|baseline]
+//	          [-msg 101,0110] [-trace-every 1000] [-max-rounds 0]
+//	gathersim -dump-spec > scenario.json
+//	gathersim -spec scenario.json
 //
 // -wakes accepts -1 for "dormant until visited". For -algo unknown the
 // scenario must match a configuration of at most 3 nodes (see DESIGN.md).
@@ -22,12 +27,8 @@ import (
 	"strconv"
 	"strings"
 
-	"nochatter/internal/gather"
-	"nochatter/internal/gossip"
-	"nochatter/internal/graph"
 	"nochatter/internal/sim"
-	"nochatter/internal/ues"
-	"nochatter/internal/unknown"
+	"nochatter/internal/spec"
 )
 
 func main() {
@@ -39,75 +40,76 @@ func main() {
 
 func run() error {
 	var (
-		family     = flag.String("graph", "ring", "graph family: ring|path|complete|star|grid|torus|hypercube|tree|gnp|two")
+		family     = flag.String("graph", "ring", "graph family: "+strings.Join(spec.GraphFamilies(), "|"))
 		n          = flag.Int("n", 8, "graph size parameter (nodes, or dimension for hypercube)")
 		rows       = flag.Int("rows", 0, "rows for grid/torus shapes (0 = most balanced)")
+		seed       = flag.Int64("seed", 1, "seed for random graph families")
 		labelsFlag = flag.String("labels", "5,9", "comma-separated agent labels")
 		startsFlag = flag.String("starts", "", "comma-separated start nodes (default: spread)")
 		wakesFlag  = flag.String("wakes", "", "comma-separated wake rounds, -1 = dormant (default: all 0)")
-		algo       = flag.String("algo", "known", "algorithm: known|gossip|unknown")
+		algo       = flag.String("algo", "known", "algorithm: "+strings.Join(spec.Algorithms(), "|"))
 		msgFlag    = flag.String("msg", "", "comma-separated binary messages (gossip)")
 		traceEvery = flag.Int("trace-every", 0, "print positions every k rounds (0 = off)")
 		maxRounds  = flag.Int("max-rounds", 0, "abort after this many rounds (0 = engine default)")
-		seed       = flag.Int64("seed", 1, "seed for random graph families")
+		specPath   = flag.String("spec", "", "run a saved scenario spec (JSON file) instead of building one from flags")
+		dumpSpec   = flag.Bool("dump-spec", false, "print the spec the flags assemble as JSON and exit")
 	)
 	flag.Parse()
 
-	g, err := makeGraph(*family, *n, *rows, *seed)
+	var sp spec.ScenarioSpec
+	if *specPath != "" {
+		// The file defines the scenario: scenario-shaping flags would be
+		// silently ignored, so reject them instead. -max-rounds (run
+		// control) overrides the file, including an explicit 0 to restore
+		// the engine default; -trace-every and -dump-spec also compose.
+		var conflict error
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "spec", "max-rounds", "trace-every", "dump-spec":
+			default:
+				conflict = fmt.Errorf("-%s conflicts with -spec: the spec file defines the scenario", f.Name)
+			}
+		})
+		if conflict != nil {
+			return conflict
+		}
+		var err error
+		if sp, err = spec.Load(*specPath); err != nil {
+			return err
+		}
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "max-rounds" {
+				sp.MaxRounds = *maxRounds
+			}
+		})
+	} else {
+		nSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "n" {
+				nSet = true
+			}
+		})
+		var err error
+		sp, err = specFromFlags(*family, *n, nSet, *rows, *seed, *labelsFlag, *startsFlag,
+			*wakesFlag, *algo, *msgFlag, *maxRounds)
+		if err != nil {
+			return err
+		}
+	}
+	if *dumpSpec {
+		buf, err := sp.MarshalIndentJSON()
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+
+	sc, ar, err := sp.CompileArtifacts()
 	if err != nil {
 		return err
 	}
-	labels, err := parseInts(*labelsFlag)
-	if err != nil {
-		return fmt.Errorf("labels: %w", err)
-	}
-	starts, err := defaultInts(*startsFlag, len(labels), func(i int) int {
-		return (i * g.N()) / len(labels)
-	})
-	if err != nil {
-		return fmt.Errorf("starts: %w", err)
-	}
-	wakes, err := defaultInts(*wakesFlag, len(labels), func(int) int { return 0 })
-	if err != nil {
-		return fmt.Errorf("wakes: %w", err)
-	}
-	if len(starts) != len(labels) || len(wakes) != len(labels) {
-		return fmt.Errorf("labels/starts/wakes length mismatch")
-	}
-
-	var msgs []string
-	if *msgFlag != "" {
-		msgs = strings.Split(*msgFlag, ",")
-	}
-	seq := ues.Build(g)
-	team := make([]sim.AgentSpec, len(labels))
-	for i := range labels {
-		var prog sim.Program
-		switch *algo {
-		case "known":
-			prog = gather.NewProgram(seq)
-		case "gossip":
-			msg := ""
-			if i < len(msgs) {
-				msg = msgs[i]
-			}
-			prog = gossip.NewProgram(seq, msg)
-		case "unknown":
-			p := unknown.DefaultParams()
-			if err := p.ValidateFor(g); err != nil {
-				return err
-			}
-			prog = unknown.NewProgram(p)
-		default:
-			return fmt.Errorf("unknown algorithm %q", *algo)
-		}
-		team[i] = sim.AgentSpec{Label: labels[i], Start: starts[i], WakeRound: wakes[i], Program: prog}
-	}
-
 	var opts []sim.Option
-	if *maxRounds > 0 {
-		opts = append(opts, sim.WithMaxRounds(*maxRounds))
-	}
 	if *traceEvery > 0 {
 		every := *traceEvery
 		opts = append(opts, sim.WithOnRound(func(v sim.RoundView) {
@@ -117,11 +119,12 @@ func run() error {
 		}))
 	}
 
-	res, err := sim.NewRunner(opts...).Run(sim.Scenario{Graph: g, Agents: team})
+	res, err := sim.NewRunner(opts...).Run(sc)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("graph %s (n=%d, diameter %d), T(EXPLO)=%d\n", g.Name(), g.N(), g.Diameter(), seq.Duration())
+	g := ar.Graph()
+	fmt.Printf("graph %s (n=%d, diameter %d), T(EXPLO)=%d\n", g.Name(), g.N(), g.Diameter(), ar.Sequence().Duration())
 	for _, a := range res.Agents {
 		fmt.Printf("agent %-4d woke %-6d declared %-8d node %-3d leader %-4d",
 			a.Label, a.WokenRound, a.HaltRound, a.FinalNode, a.Report.Leader)
@@ -148,77 +151,60 @@ func run() error {
 	return fmt.Errorf("agents did not gather")
 }
 
-func makeGraph(family string, n, rows int, seed int64) (*graph.Graph, error) {
+// specFromFlags assembles the scenario spec the scenario flags describe.
+// Graph construction, algorithm lookup and validation all happen later, at
+// compile time — this function only shapes data.
+func specFromFlags(family string, n int, nSet bool, rows int, seed int64, labelsFlag, startsFlag,
+	wakesFlag, algo, msgFlag string, maxRounds int) (spec.ScenarioSpec, error) {
 	if rows != 0 && family != "grid" && family != "torus" {
-		return nil, fmt.Errorf("-rows applies only to grid and torus, not %q", family)
+		return spec.ScenarioSpec{}, fmt.Errorf("-rows applies only to grid and torus, not %q", family)
 	}
+	labels, err := parseInts(labelsFlag)
+	if err != nil {
+		return spec.ScenarioSpec{}, fmt.Errorf("labels: %w", err)
+	}
+	gs := spec.GraphSpec{Family: family, N: n, Rows: rows}
 	switch family {
-	case "ring":
-		return graph.Ring(n), nil
-	case "path":
-		return graph.Path(n), nil
-	case "complete":
-		return graph.Complete(n), nil
-	case "star":
-		return graph.Star(n), nil
-	case "grid":
-		r, c, err := rectShape(n, rows, 1)
-		if err != nil {
-			return nil, fmt.Errorf("grid: %w", err)
-		}
-		return graph.Grid(r, c), nil
-	case "torus":
-		r, c, err := rectShape(n, rows, 3)
-		if err != nil {
-			return nil, fmt.Errorf("torus: %w", err)
-		}
-		return graph.Torus(r, c), nil
-	case "hypercube":
-		return graph.Hypercube(n), nil
-	case "tree":
-		return graph.RandomTree(n, seed), nil
-	case "gnp":
-		return graph.GNP(n, 0.3, seed), nil
+	case "tree", "gnp":
+		gs.Seed = seed
 	case "two":
-		return graph.TwoNodes(), nil
-	default:
-		return nil, fmt.Errorf("unknown graph family %q", family)
-	}
-}
-
-// rectShape resolves an r×c factorization of n nodes with both sides at
-// least minSide. rows == 0 picks the most balanced shape (largest divisor of
-// n not exceeding √n); otherwise rows is validated as given.
-func rectShape(n, rows, minSide int) (r, c int, err error) {
-	if n < minSide*minSide {
-		return 0, 0, fmt.Errorf("%d nodes cannot form a %d×%d or larger shape", n, minSide, minSide)
-	}
-	if rows == 0 {
-		for d := isqrt(n); d >= minSide; d-- {
-			if n%d == 0 && n/d >= minSide {
-				return d, n / d, nil
-			}
+		if !nSet {
+			gs.N = 0 // the flag's default of 8 is not a user choice; an
+			// explicit -n is kept so the registry can validate it
 		}
-		return 0, 0, fmt.Errorf("no valid rows×cols factorization of %d nodes with sides >= %d (pick -n accordingly)", n, minSide)
 	}
-	if rows < minSide {
-		return 0, 0, fmt.Errorf("rows %d below the minimum of %d", rows, minSide)
+	var starts []int
+	if startsFlag == "" {
+		if starts, err = spec.SpreadStarts(gs, len(labels)); err != nil {
+			return spec.ScenarioSpec{}, err
+		}
+	} else if starts, err = parseInts(startsFlag); err != nil {
+		return spec.ScenarioSpec{}, fmt.Errorf("starts: %w", err)
 	}
-	if n%rows != 0 {
-		return 0, 0, fmt.Errorf("rows %d does not divide %d nodes", rows, n)
+	wakes, err := defaultInts(wakesFlag, len(labels), func(int) int { return 0 })
+	if err != nil {
+		return spec.ScenarioSpec{}, fmt.Errorf("wakes: %w", err)
 	}
-	if c := n / rows; c >= minSide {
-		return rows, c, nil
+	if len(starts) != len(labels) || len(wakes) != len(labels) {
+		return spec.ScenarioSpec{}, fmt.Errorf("labels/starts/wakes length mismatch")
 	}
-	return 0, 0, fmt.Errorf("rows %d leaves only %d columns (minimum %d)", rows, n/rows, minSide)
-}
-
-func isqrt(n int) int {
-	r := 0
-	for (r+1)*(r+1) <= n {
-		r++
+	var msgs []string
+	if msgFlag != "" {
+		msgs = strings.Split(msgFlag, ",")
 	}
-	return r
+	agents := make([]spec.AgentSpec, len(labels))
+	for i := range labels {
+		as := spec.AlgorithmSpec{Name: algo}
+		if algo == "gossip" {
+			msg := ""
+			if i < len(msgs) {
+				msg = msgs[i]
+			}
+			as = spec.Gossip(msg)
+		}
+		agents[i] = spec.AgentSpec{Label: labels[i], Start: starts[i], Wake: wakes[i], Algorithm: as}
+	}
+	return spec.ScenarioSpec{Graph: gs, Agents: agents, MaxRounds: maxRounds}, nil
 }
 
 func parseInts(s string) ([]int, error) {

@@ -1,13 +1,14 @@
-// Batch sweep: the parallel scenario runner executes many independent
-// simulations on a worker pool — the workhorse behind every experiment
-// table. Here, a sweep of ring sizes measures how the gathering time of
-// Theorem 3.1 grows with the network size, all sizes running concurrently.
+// Batch sweep: scenarios as data. A spec.Sweep declares a family × size
+// product with a two-agent team — no hand-rolled scenario loops — and every
+// generated ScenarioSpec is pure data (JSON-round-trippable; one is printed
+// below). The compiled scenarios run on the parallel worker pool with
+// STREAMED results: Runner.Stream delivers each outcome in input order as
+// soon as its turn completes, without materializing the result slice — the
+// consumption pattern of sweeps too large to hold in memory.
 //
 // The event-driven engine reports, per run, how many rounds it actually
 // processed (SteppedRounds) versus how many rounds the agents lived through
-// (Rounds): the difference is waiting time the engine fast-forwarded because
-// every agent had declared its wait up front (WaitRounds / WaitUntil /
-// RunUntil — see the package documentation's migration note).
+// (Rounds): the difference is waiting time the engine fast-forwarded.
 //
 // Run with: go run ./examples/batchsweep
 package main
@@ -27,38 +28,45 @@ func main() {
 }
 
 func run() error {
-	sizes := []int{4, 6, 8, 10, 12, 14, 16}
-
-	// One scenario per ring size: two agents at antipodal nodes.
-	scenarios := make([]nochatter.Scenario, len(sizes))
-	for i, n := range sizes {
-		g := nochatter.Ring(n)
-		seq := nochatter.BuildSequence(g)
-		scenarios[i] = nochatter.Scenario{
-			Graph: g,
-			Agents: []nochatter.AgentSpec{
-				{Label: 1, Start: 0, WakeRound: 0, Program: nochatter.GatherKnownUpperBound(seq)},
-				{Label: 2, Start: n / 2, WakeRound: 0, Program: nochatter.GatherKnownUpperBound(seq)},
-			},
-		}
+	// One spec per ring size: two agents at antipodal nodes (the default
+	// team spread), gathering under a known upper bound.
+	sweep := nochatter.NewSweep().
+		Families("ring").Sizes(4, 6, 8, 10, 12, 14, 16).
+		Teams(nochatter.SweepTeam{Labels: []int{1, 2}}).
+		Name("ring-sweep-n{n}")
+	specs, err := sweep.Specs()
+	if err != nil {
+		return err
 	}
 
-	// The whole sweep runs on a worker pool; results come back in input
-	// order, identical regardless of parallelism.
-	results := nochatter.RunBatch(scenarios, nochatter.WithParallelism(4))
+	// Every spec is a serializable artifact; dump the first as proof.
+	buf, err := specs[0].MarshalIndentJSON()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("spec %q as JSON:\n%s\n", specs[0].Name, buf)
 
-	fmt.Println("ring size | declared round | engine-stepped rounds | fast-forwarded")
-	for i, br := range results {
+	scenarios, err := nochatter.CompileSpecs(specs)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("name            | declared round | engine-stepped rounds | fast-forwarded")
+	var firstErr error
+	nochatter.RunStream(scenarios, func(br nochatter.BatchResult) bool {
 		if br.Err != nil {
-			return fmt.Errorf("ring %d: %w", sizes[i], br.Err)
+			firstErr = fmt.Errorf("%s: %w", specs[br.Index].Name, br.Err)
+			return false
 		}
 		res := br.Result
 		if !res.AllHaltedTogether() {
-			return fmt.Errorf("ring %d: agents failed to gather", sizes[i])
+			firstErr = fmt.Errorf("%s: agents failed to gather", specs[br.Index].Name)
+			return false
 		}
-		fmt.Printf("%9d | %14d | %21d | %13.1f%%\n",
-			sizes[i], res.Rounds, res.SteppedRounds,
+		fmt.Printf("%-15s | %14d | %21d | %13.1f%%\n",
+			specs[br.Index].Name, res.Rounds, res.SteppedRounds,
 			100*(1-float64(res.SteppedRounds)/float64(res.Rounds+1)))
-	}
-	return nil
+		return true
+	}, nochatter.WithParallelism(4))
+	return firstErr
 }

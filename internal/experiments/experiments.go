@@ -6,20 +6,25 @@
 //
 // Every experiment returns a trace.Table; cmd/benchharness renders them all,
 // and bench_test.go wraps each in a testing.B benchmark. Independent
-// scenarios of one experiment execute on the sim.RunBatch worker pool;
-// results are deterministic regardless of parallelism, and row order always
-// matches the case order.
+// scenarios of one experiment execute on the sim worker pool (streamed in
+// input order); results are deterministic regardless of parallelism, and
+// row order always matches the case order.
+//
+// Scenario sweeps are declared as data: each gathering experiment is a
+// spec.Sweep (axes of graphs, teams, wake schedules and algorithms)
+// yielding serializable ScenarioSpecs, compiled and executed by the shared
+// runSpecs machinery — the former per-experiment case structs and scenario
+// assembly loops live in internal/spec now.
 package experiments
 
 import (
 	"fmt"
 
-	"nochatter/internal/baseline"
 	"nochatter/internal/bits"
 	"nochatter/internal/gather"
-	"nochatter/internal/gossip"
 	"nochatter/internal/graph"
 	"nochatter/internal/sim"
+	"nochatter/internal/spec"
 	"nochatter/internal/trace"
 	"nochatter/internal/tz"
 	"nochatter/internal/ues"
@@ -35,32 +40,6 @@ const (
 	// Full runs the sizes reported in EXPERIMENTS.md.
 	Full
 )
-
-// gatherCase is one GatherKnownUpperBound scenario of a sweep.
-type gatherCase struct {
-	g      *graph.Graph
-	labels []int
-	starts []int
-	wakes  []int // nil = all zero
-	name   string
-}
-
-// scenario assembles the sim scenario (and the run's sequence) for a case.
-func (tc gatherCase) scenario() (sim.Scenario, *ues.Sequence) {
-	seq := ues.Build(tc.g)
-	team := make([]sim.AgentSpec, len(tc.labels))
-	for i := range tc.labels {
-		wake := 0
-		if tc.wakes != nil {
-			wake = tc.wakes[i]
-		}
-		team[i] = sim.AgentSpec{
-			Label: tc.labels[i], Start: tc.starts[i], WakeRound: wake,
-			Program: gather.NewProgram(seq),
-		}
-	}
-	return sim.Scenario{Graph: tc.g, Agents: team}, seq
-}
 
 // gatherOutcome validates Theorem 3.1's postconditions on one batch result
 // and extracts (declaration round, leader).
@@ -79,24 +58,58 @@ func gatherOutcome(g *graph.Graph, br sim.BatchResult) (int, int, error) {
 	return res.Rounds, leaders[0], nil
 }
 
-// runGatherBatch executes all cases on the worker pool and returns
-// (rounds, leader, sequence) per case, in case order.
-func runGatherBatch(cases []gatherCase) ([]int, []int, []*ues.Sequence, error) {
-	scs := make([]sim.Scenario, len(cases))
-	seqs := make([]*ues.Sequence, len(cases))
-	for i, tc := range cases {
-		scs[i], seqs[i] = tc.scenario()
+// runSpecs compiles every spec, streams the batch over the worker pool in
+// input order, verifies Theorem 3.1's postconditions, and returns the
+// compiled scenarios plus (rounds, leader, sequence) per spec.
+func runSpecs(specs []spec.ScenarioSpec) ([]sim.Scenario, []int, []int, []*ues.Sequence, error) {
+	scs, ars, err := spec.CompileAllArtifacts(specs)
+	if err != nil {
+		return nil, nil, nil, nil, err
 	}
-	rounds := make([]int, len(cases))
-	leaders := make([]int, len(cases))
-	for i, br := range sim.RunBatch(scs) {
-		r, l, err := gatherOutcome(cases[i].g, br)
+	seqs := make([]*ues.Sequence, len(specs))
+	for i, ar := range ars {
+		seqs[i] = ar.Sequence()
+	}
+	rounds := make([]int, len(specs))
+	leaders := make([]int, len(specs))
+	var firstErr error
+	sim.RunStream(scs, func(br sim.BatchResult) bool {
+		r, l, err := gatherOutcome(scs[br.Index].Graph, br)
 		if err != nil {
-			return nil, nil, nil, err
+			firstErr = err
+			return false
 		}
-		rounds[i], leaders[i] = r, l
+		rounds[br.Index], leaders[br.Index] = r, l
+		return true
+	})
+	if firstErr != nil {
+		return nil, nil, nil, nil, firstErr
 	}
-	return rounds, leaders, seqs, nil
+	return scs, rounds, leaders, seqs, nil
+}
+
+// runSweep materializes a sweep and executes it via runSpecs.
+func runSweep(sw *spec.Sweep) ([]spec.ScenarioSpec, []sim.Scenario, []int, []int, []*ues.Sequence, error) {
+	specs, err := sw.Specs()
+	if err != nil {
+		return nil, nil, nil, nil, nil, err
+	}
+	scs, rounds, leaders, seqs, err := runSpecs(specs)
+	return specs, scs, rounds, leaders, seqs, err
+}
+
+// wakeKind names a spec's wake schedule the way the E1 table reports it.
+func wakeKind(sp spec.ScenarioSpec) string {
+	kind := "simultaneous"
+	for _, ag := range sp.Agents {
+		if ag.Wake == sim.DormantUntilVisited {
+			return "dormant"
+		}
+		if ag.Wake != 0 {
+			kind = "delayed"
+		}
+	}
+	return kind
 }
 
 // E1Correctness sweeps graph families, team sizes and wake schedules and
@@ -105,32 +118,51 @@ func E1Correctness(scale Scale) (*trace.Table, error) {
 	t := trace.NewTable(
 		"E1 — Theorem 3.1 correctness: gathering + simultaneous declaration + unique leader",
 		"graph", "n", "agents", "wake", "rounds", "leader", "ok")
-	cases := []gatherCase{
-		{graph.TwoNodes(), []int{1, 2}, []int{0, 1}, nil, "simultaneous"},
-		{graph.Ring(4), []int{1, 2}, []int{0, 2}, nil, "simultaneous"},
-		{graph.Ring(6), []int{3, 5, 9}, []int{0, 2, 4}, nil, "simultaneous"},
-		{graph.Path(5), []int{2, 7}, []int{0, 4}, []int{0, 9}, "delayed"},
-		{graph.Star(5), []int{1, 2, 3}, []int{1, 2, 3}, nil, "simultaneous"},
-		{graph.Grid(3, 3), []int{4, 6}, []int{0, 8}, []int{0, sim.DormantUntilVisited}, "dormant"},
-		{graph.Hypercube(3), []int{1, 2}, []int{0, 7}, nil, "simultaneous"},
-		{graph.GNP(8, 0.3, 5), []int{5, 11}, []int{0, 7}, nil, "simultaneous"},
-	}
+	sw := spec.NewSweep().Zip().Name("E1-{i}-{family}").
+		Graphs(
+			spec.GraphSpec{Family: "two"},
+			spec.GraphSpec{Family: "ring", N: 4},
+			spec.GraphSpec{Family: "ring", N: 6},
+			spec.GraphSpec{Family: "path", N: 5},
+			spec.GraphSpec{Family: "star", N: 5},
+			spec.GraphSpec{Family: "grid", N: 9, Rows: 3},
+			spec.GraphSpec{Family: "hypercube", N: 3},
+			spec.GraphSpec{Family: "gnp", N: 8, P: 0.3, Seed: 5},
+		).
+		Teams(
+			spec.Team{Labels: []int{1, 2}, Starts: []int{0, 1}},
+			spec.Team{Labels: []int{1, 2}, Starts: []int{0, 2}},
+			spec.Team{Labels: []int{3, 5, 9}, Starts: []int{0, 2, 4}},
+			spec.Team{Labels: []int{2, 7}, Starts: []int{0, 4}, Wakes: []int{0, 9}},
+			spec.Team{Labels: []int{1, 2, 3}, Starts: []int{1, 2, 3}},
+			spec.Team{Labels: []int{4, 6}, Starts: []int{0, 8}, Wakes: []int{0, sim.DormantUntilVisited}},
+			spec.Team{Labels: []int{1, 2}, Starts: []int{0, 7}},
+			spec.Team{Labels: []int{5, 11}, Starts: []int{0, 7}},
+		)
 	if scale == Full {
-		cases = append(cases,
-			gatherCase{graph.Ring(8), []int{1, 2, 3, 4}, []int{0, 2, 4, 6}, nil, "simultaneous"},
-			gatherCase{graph.Torus(3, 3), []int{2, 9}, []int{0, 4}, nil, "simultaneous"},
-			gatherCase{graph.RandomTree(9, 3), []int{6, 8}, []int{0, 8}, []int{0, 25}, "delayed"},
-			gatherCase{graph.Complete(6), []int{1, 2, 3}, []int{0, 2, 4}, nil, "simultaneous"},
-			gatherCase{graph.Barbell(3, 2), []int{4, 5}, []int{0, 6}, nil, "simultaneous"},
-			gatherCase{graph.Lollipop(4, 3), []int{2, 3}, []int{0, 6}, nil, "simultaneous"},
+		sw.Graphs(
+			spec.GraphSpec{Family: "ring", N: 8},
+			spec.GraphSpec{Family: "torus", N: 9, Rows: 3},
+			spec.GraphSpec{Family: "tree", N: 9, Seed: 3},
+			spec.GraphSpec{Family: "complete", N: 6},
+			spec.GraphSpec{Family: "barbell", N: 3, Tail: 2},
+			spec.GraphSpec{Family: "lollipop", N: 4, Tail: 3},
+		).Teams(
+			spec.Team{Labels: []int{1, 2, 3, 4}, Starts: []int{0, 2, 4, 6}},
+			spec.Team{Labels: []int{2, 9}, Starts: []int{0, 4}},
+			spec.Team{Labels: []int{6, 8}, Starts: []int{0, 8}, Wakes: []int{0, 25}},
+			spec.Team{Labels: []int{1, 2, 3}, Starts: []int{0, 2, 4}},
+			spec.Team{Labels: []int{4, 5}, Starts: []int{0, 6}},
+			spec.Team{Labels: []int{2, 3}, Starts: []int{0, 6}},
 		)
 	}
-	rounds, leaders, _, err := runGatherBatch(cases)
+	specs, scs, rounds, leaders, _, err := runSweep(sw)
 	if err != nil {
 		return nil, err
 	}
-	for i, tc := range cases {
-		t.AddRow(tc.g.Name(), tc.g.N(), len(tc.labels), tc.name, rounds[i], leaders[i], "yes")
+	for i, sp := range specs {
+		g := scs[i].Graph
+		t.AddRow(g.Name(), g.N(), len(sp.Agents), wakeKind(sp), rounds[i], leaders[i], "yes")
 	}
 	return t, nil
 }
@@ -145,19 +177,23 @@ func E2TimeVsN(scale Scale) (*trace.Table, error) {
 	if scale == Full {
 		sizes = append(sizes, 24, 32)
 	}
-	var cases []gatherCase
+	// The graph axis pairs each size's ring with a same-size random graph
+	// seeded by n; the single two-agent team spreads to antipodal starts.
+	sw := spec.NewSweep().Name("E2-{family}-n{n}").
+		Teams(spec.Team{Labels: []int{1, 2}})
 	for _, n := range sizes {
-		for _, g := range []*graph.Graph{graph.Ring(n), graph.GNP(n, 0.3, int64(n))} {
-			cases = append(cases, gatherCase{g: g, labels: []int{1, 2}, starts: []int{0, n / 2}})
-		}
+		sw.Graphs(
+			spec.GraphSpec{Family: "ring", N: n},
+			spec.GraphSpec{Family: "gnp", N: n, P: 0.3, Seed: int64(n)},
+		)
 	}
-	rounds, _, seqs, err := runGatherBatch(cases)
+	_, scs, rounds, _, seqs, err := runSweep(sw)
 	if err != nil {
 		return nil, err
 	}
-	for i, tc := range cases {
+	for i, sc := range scs {
 		d := seqs[i].Duration()
-		t.AddRow(tc.g.Name(), tc.g.N(), d, rounds[i], float64(rounds[i])/float64(d))
+		t.AddRow(sc.Graph.Name(), sc.Graph.N(), d, rounds[i], float64(rounds[i])/float64(d))
 	}
 	return t, nil
 }
@@ -172,12 +208,11 @@ func E3TimeVsLabelLength(scale Scale) (*trace.Table, error) {
 	if scale == Full {
 		smallest = append(smallest, 129, 1025)
 	}
-	g := graph.Ring(6)
-	cases := make([]gatherCase, len(smallest))
-	for i, l := range smallest {
-		cases[i] = gatherCase{g: g, labels: []int{l, l + 1}, starts: []int{0, 3}}
+	sw := spec.NewSweep().Name("E3-l{i}").Graphs(spec.GraphSpec{Family: "ring", N: 6})
+	for _, l := range smallest {
+		sw.Teams(spec.Team{Labels: []int{l, l + 1}, Starts: []int{0, 3}})
 	}
-	rounds, _, _, err := runGatherBatch(cases)
+	_, _, rounds, _, _, err := runSweep(sw)
 	if err != nil {
 		return nil, err
 	}
@@ -192,27 +227,23 @@ func E4TimeVsTeamSize(scale Scale) (*trace.Table, error) {
 	t := trace.NewTable(
 		"E4 — time vs team size k (ring of 8)",
 		"k", "rounds", "leader")
-	g := graph.Ring(8)
 	maxK := 4
 	if scale == Full {
 		maxK = 7
 	}
-	var cases []gatherCase
+	ks := make([]int, 0, maxK-1)
 	for k := 2; k <= maxK; k++ {
-		labels := make([]int, k)
-		starts := make([]int, k)
-		for i := 0; i < k; i++ {
-			labels[i] = i + 1
-			starts[i] = i
-		}
-		cases = append(cases, gatherCase{g: g, labels: labels, starts: starts})
+		ks = append(ks, k)
 	}
-	rounds, leaders, _, err := runGatherBatch(cases)
+	sw := spec.NewSweep().Name("E4-k{k}").
+		Graphs(spec.GraphSpec{Family: "ring", N: 8}).
+		TeamSizes(ks...)
+	specs, _, rounds, leaders, _, err := runSweep(sw)
 	if err != nil {
 		return nil, err
 	}
-	for i := range cases {
-		t.AddRow(len(cases[i].labels), rounds[i], leaders[i])
+	for i := range specs {
+		t.AddRow(len(specs[i].Agents), rounds[i], leaders[i])
 	}
 	return t, nil
 }
@@ -282,32 +313,48 @@ func E6ChatterOverhead(scale Scale) (*trace.Table, error) {
 	t := trace.NewTable(
 		"E6 — price of removing chatter: GatherKnownUpperBound vs talking baseline",
 		"graph", "k", "chatter-free rounds", "talking rounds", "overhead")
-	cases := []gatherCase{
-		{g: graph.Ring(6), labels: []int{5, 9}, starts: []int{0, 3}},
-		{g: graph.Grid(3, 3), labels: []int{2, 7}, starts: []int{0, 8}},
-	}
+	// The algorithm axis runs every case twice — chatter-free, then the
+	// talking baseline — so the comparison is one sweep, not two code paths.
+	sw := spec.NewSweep().Zip().Name("E6-{i}-{family}-{algo}").
+		Algorithms(spec.Known(), spec.Baseline()).
+		Graphs(
+			spec.GraphSpec{Family: "ring", N: 6},
+			spec.GraphSpec{Family: "grid", N: 9, Rows: 3},
+		).
+		Teams(
+			spec.Team{Labels: []int{5, 9}, Starts: []int{0, 3}},
+			spec.Team{Labels: []int{2, 7}, Starts: []int{0, 8}},
+		)
 	if scale == Full {
-		cases = append(cases,
-			gatherCase{g: graph.Ring(10), labels: []int{3, 4, 8}, starts: []int{0, 3, 6}},
-			gatherCase{g: graph.Hypercube(3), labels: []int{1, 6}, starts: []int{0, 7}},
-			gatherCase{g: graph.GNP(10, 0.3, 7), labels: []int{2, 5, 11}, starts: []int{0, 4, 9}},
+		sw.Graphs(
+			spec.GraphSpec{Family: "ring", N: 10},
+			spec.GraphSpec{Family: "hypercube", N: 3},
+			spec.GraphSpec{Family: "gnp", N: 10, P: 0.3, Seed: 7},
+		).Teams(
+			spec.Team{Labels: []int{3, 4, 8}, Starts: []int{0, 3, 6}},
+			spec.Team{Labels: []int{1, 6}, Starts: []int{0, 7}},
+			spec.Team{Labels: []int{2, 5, 11}, Starts: []int{0, 4, 9}},
 		)
 	}
-	rounds, _, seqs, err := runGatherBatch(cases)
+	specs, scs, rounds, _, _, err := runSweep(sw)
 	if err != nil {
 		return nil, err
 	}
-	for i, tc := range cases {
-		specs := make([]baseline.Spec, len(tc.labels))
-		for j := range tc.labels {
-			specs[j] = baseline.Spec{Label: tc.labels[j], Start: tc.starts[j]}
+	if len(specs)%2 != 0 {
+		return nil, fmt.Errorf("E6: sweep emitted %d specs, want known/baseline pairs", len(specs))
+	}
+	for i := 0; i+1 < len(specs); i += 2 {
+		// The pairing relies on the algorithm axis being innermost; fail
+		// loudly if a future edit to the sweep breaks that.
+		if a, b := specs[i].Agents[0].Algorithm.Name, specs[i+1].Agents[0].Algorithm.Name; a != "known" || b != "baseline" {
+			return nil, fmt.Errorf("E6: specs %d/%d carry algorithms %s/%s, want known/baseline", i, i+1, a, b)
 		}
-		base, err := baseline.Gather(tc.g, seqs[i], specs)
-		if err != nil {
-			return nil, err
+		if specs[i].Graph != specs[i+1].Graph {
+			return nil, fmt.Errorf("E6: specs %d/%d compare different graphs", i, i+1)
 		}
-		t.AddRow(tc.g.Name(), len(tc.labels), rounds[i], base.Rounds,
-			float64(rounds[i])/float64(base.Rounds))
+		g := scs[i].Graph
+		t.AddRow(g.Name(), len(specs[i].Agents), rounds[i], rounds[i+1],
+			float64(rounds[i])/float64(rounds[i+1]))
 	}
 	return t, nil
 }
@@ -322,8 +369,6 @@ func E7GossipVsMessageLen(scale Scale) (*trace.Table, error) {
 	if scale == Full {
 		lens = append(lens, 32, 64)
 	}
-	g := graph.Ring(4)
-	seq := ues.Build(g)
 	msgs := make([]string, len(lens))
 	scs := make([]sim.Scenario, len(lens))
 	for ci, ln := range lens {
@@ -332,10 +377,20 @@ func E7GossipVsMessageLen(scale Scale) (*trace.Table, error) {
 			msg[i] = byte('0' + (i % 2))
 		}
 		msgs[ci] = string(msg)
-		scs[ci] = sim.Scenario{Graph: g, Agents: []sim.AgentSpec{
-			{Label: 1, Start: 0, WakeRound: 0, Program: gossip.NewProgram(seq, msgs[ci])},
-			{Label: 2, Start: 2, WakeRound: 0, Program: gossip.NewProgram(seq, "1")},
-		}}
+		// Per-agent algorithm parameters (each agent gossips its own
+		// message) are the hand-built spec form, below the Sweep axes.
+		sc, err := spec.ScenarioSpec{
+			Name:  fmt.Sprintf("E7-len%d", ln),
+			Graph: spec.GraphSpec{Family: "ring", N: 4},
+			Agents: []spec.AgentSpec{
+				{Label: 1, Start: 0, Algorithm: spec.Gossip(msgs[ci])},
+				{Label: 2, Start: 2, Algorithm: spec.Gossip("1")},
+			},
+		}.Compile()
+		if err != nil {
+			return nil, err
+		}
+		scs[ci] = sc
 	}
 	for ci, br := range sim.RunBatch(scs) {
 		if br.Err != nil {
@@ -398,32 +453,43 @@ func E9LeaderElection(scale Scale) (*trace.Table, error) {
 	t := trace.NewTable(
 		"E9 — leader election by-product: unique leader from the team, known to all",
 		"graph", "labels", "leader", "unanimous")
-	cases := []gatherCase{
-		{g: graph.Ring(5), labels: []int{9, 4}, starts: []int{0, 2}},
-		{g: graph.Star(5), labels: []int{7, 2, 5}, starts: []int{0, 1, 2}},
-		{g: graph.Grid(2, 3), labels: []int{12, 30}, starts: []int{0, 5}},
-	}
+	sw := spec.NewSweep().Zip().Name("E9-{i}-{family}").
+		Graphs(
+			spec.GraphSpec{Family: "ring", N: 5},
+			spec.GraphSpec{Family: "star", N: 5},
+			spec.GraphSpec{Family: "grid", N: 6, Rows: 2},
+		).
+		Teams(
+			spec.Team{Labels: []int{9, 4}, Starts: []int{0, 2}},
+			spec.Team{Labels: []int{7, 2, 5}, Starts: []int{0, 1, 2}},
+			spec.Team{Labels: []int{12, 30}, Starts: []int{0, 5}},
+		)
 	if scale == Full {
-		cases = append(cases,
-			gatherCase{g: graph.Ring(9), labels: []int{21, 14, 35}, starts: []int{0, 3, 6}},
-			gatherCase{g: graph.Hypercube(3), labels: []int{6, 10, 12, 18}, starts: []int{0, 3, 5, 7}},
+		sw.Graphs(
+			spec.GraphSpec{Family: "ring", N: 9},
+			spec.GraphSpec{Family: "hypercube", N: 3},
+		).Teams(
+			spec.Team{Labels: []int{21, 14, 35}, Starts: []int{0, 3, 6}},
+			spec.Team{Labels: []int{6, 10, 12, 18}, Starts: []int{0, 3, 5, 7}},
 		)
 	}
-	_, leaders, _, err := runGatherBatch(cases)
+	specs, scs, _, leaders, _, err := runSweep(sw)
 	if err != nil {
 		return nil, err
 	}
-	for i, tc := range cases {
+	for i, sp := range specs {
+		labels := make([]int, len(sp.Agents))
 		member := false
-		for _, l := range tc.labels {
-			if l == leaders[i] {
+		for j, ag := range sp.Agents {
+			labels[j] = ag.Label
+			if ag.Label == leaders[i] {
 				member = true
 			}
 		}
 		if !member {
-			return nil, fmt.Errorf("%s: leader %d not in team", tc.g.Name(), leaders[i])
+			return nil, fmt.Errorf("%s: leader %d not in team", scs[i].Graph.Name(), leaders[i])
 		}
-		t.AddRow(tc.g.Name(), fmt.Sprintf("%v", tc.labels), leaders[i], "yes")
+		t.AddRow(scs[i].Graph.Name(), fmt.Sprintf("%v", labels), leaders[i], "yes")
 	}
 	return t, nil
 }

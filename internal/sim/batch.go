@@ -74,7 +74,9 @@ type BatchResult struct {
 
 // RunBatch executes all scenarios on a worker pool and returns one result
 // per scenario, in input order. Each scenario runs to completion
-// independently; an error in one does not stop the others.
+// independently; an error in one does not stop the others. Unlike Stream,
+// workers write straight into the result slice with no delivery window, so
+// one slow scenario never idles the rest of the pool.
 func (r *Runner) RunBatch(scs []Scenario) []BatchResult {
 	out := make([]BatchResult, len(scs))
 	p := r.parallelism
@@ -111,8 +113,117 @@ func (r *Runner) RunBatch(scs []Scenario) []BatchResult {
 	return out
 }
 
+// Stream executes all scenarios on a worker pool and delivers each result
+// to yield in input order, without materializing the result slice — the
+// consumer of a million-scenario sweep holds one result at a time. Workers
+// run ahead of the consumer by at most the parallelism degree (completed
+// out-of-order results are buffered until their turn). yield returning
+// false stops the stream: no new scenarios start, and Stream returns after
+// in-flight runs finish.
+func (r *Runner) Stream(scs []Scenario, yield func(BatchResult) bool) {
+	p := r.parallelism
+	if p < 1 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > len(scs) {
+		p = len(scs)
+	}
+	if p <= 1 {
+		for i, sc := range scs {
+			res, err := r.Run(sc)
+			if !yield(BatchResult{Index: i, Result: res, Err: err}) {
+				return
+			}
+		}
+		return
+	}
+	jobs := make(chan int)
+	results := make(chan BatchResult, p)
+	stop := make(chan struct{})
+	// credits caps the number of scenarios that are running or completed
+	// but not yet delivered: the feeder takes a credit per job, the
+	// consumer returns one per in-order delivery. Without it, one slow
+	// early scenario would let the pool race ahead and buffer the whole
+	// batch in the reorder map.
+	credits := make(chan struct{}, p)
+	for w := 0; w < p; w++ {
+		credits <- struct{}{}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				select {
+				case <-stop:
+					continue // drain handed-out jobs without running them
+				default:
+				}
+				res, err := r.Run(scs[i])
+				results <- BatchResult{Index: i, Result: res, Err: err}
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for i := range scs {
+			select {
+			case <-credits:
+			case <-stop:
+				return
+			}
+			select {
+			case <-stop: // checked with priority: both cases of the next
+				return // select can be ready at once
+			default:
+			}
+			select {
+			case jobs <- i:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	// Reorder: deliver strictly by index, buffering results that finish
+	// ahead of their turn (at most p of them, by the credit window).
+	pending := make(map[int]BatchResult, p)
+	next := 0
+	stopped := false
+	for br := range results {
+		if stopped {
+			continue // drain so workers can exit
+		}
+		pending[br.Index] = br
+		for !stopped {
+			b, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if !yield(b) {
+				stopped = true
+				close(stop)
+				break
+			}
+			credits <- struct{}{}
+		}
+	}
+}
+
 // RunBatch executes scenarios on a worker pool with the given options; see
 // Runner.RunBatch.
 func RunBatch(scs []Scenario, opts ...Option) []BatchResult {
 	return NewRunner(opts...).RunBatch(scs)
+}
+
+// RunStream executes scenarios on a worker pool with the given options,
+// streaming results in input order; see Runner.Stream.
+func RunStream(scs []Scenario, yield func(BatchResult) bool, opts ...Option) {
+	NewRunner(opts...).Stream(scs, yield)
 }

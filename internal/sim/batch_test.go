@@ -110,3 +110,53 @@ func TestRunBatchEmpty(t *testing.T) {
 		t.Errorf("empty batch returned %d results", len(out))
 	}
 }
+
+func TestStreamMatchesRunBatchInOrder(t *testing.T) {
+	scs := batchScenarios(9)
+	want := RunBatch(scs, WithParallelism(1))
+	for _, p := range []int{1, 4} {
+		var got []BatchResult
+		RunStream(scs, func(br BatchResult) bool {
+			got = append(got, br)
+			return true
+		}, WithParallelism(p))
+		if len(got) != len(want) {
+			t.Fatalf("parallelism %d: streamed %d results, want %d", p, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Index != i {
+				t.Fatalf("parallelism %d: result %d arrived with index %d", p, i, got[i].Index)
+			}
+			if !reflect.DeepEqual(got[i].Result.Agents, want[i].Result.Agents) {
+				t.Errorf("parallelism %d: case %d diverges from RunBatch", p, i)
+			}
+		}
+	}
+}
+
+func TestStreamEarlyStop(t *testing.T) {
+	scs := batchScenarios(9)
+	for _, p := range []int{1, 3} {
+		seen := 0
+		RunStream(scs, func(br BatchResult) bool {
+			seen++
+			return seen < 4
+		}, WithParallelism(p))
+		if seen != 4 {
+			t.Errorf("parallelism %d: yield called %d times after stop at 4", p, seen)
+		}
+	}
+}
+
+func TestStreamErrorIsolation(t *testing.T) {
+	scs := batchScenarios(3)
+	scs[1].Agents = nil
+	var errs []error
+	RunStream(scs, func(br BatchResult) bool {
+		errs = append(errs, br.Err)
+		return true
+	}, WithParallelism(2))
+	if len(errs) != 3 || errs[0] != nil || errs[1] == nil || errs[2] != nil {
+		t.Errorf("stream errors %v, want only the middle scenario failing", errs)
+	}
+}

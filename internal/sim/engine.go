@@ -204,7 +204,7 @@ func (st *agentState) wakesNow(r int, obs observation) bool {
 // set (the hook must see every round) or an agent keeps itself live through a
 // closure predicate (RunInterruptible) or per-round calls.
 func Run(sc Scenario) (*RunResult, error) {
-	if err := validate(sc); err != nil {
+	if err := Validate(sc); err != nil {
 		return nil, err
 	}
 	maxRounds := sc.MaxRounds
@@ -563,7 +563,12 @@ func indexOf(states []*agentState, target *agentState) int {
 	return -1
 }
 
-func validate(sc Scenario) error {
+// Validate checks a scenario up front — duplicate or non-positive labels,
+// duplicate or out-of-range start nodes, invalid wake rounds, missing
+// programs, nobody awake at round 0 — and returns a descriptive error
+// instead of leaving the engine to misbehave mid-run. Run calls it first;
+// spec compilation applies the same checks to compiled scenarios.
+func Validate(sc Scenario) error {
 	if sc.Graph == nil || len(sc.Agents) == 0 {
 		return ErrNoAgents
 	}

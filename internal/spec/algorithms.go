@@ -1,0 +1,202 @@
+package spec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"nochatter/internal/baseline"
+	"nochatter/internal/gather"
+	"nochatter/internal/gossip"
+	"nochatter/internal/randomized"
+	"nochatter/internal/sim"
+	"nochatter/internal/unknown"
+)
+
+// ProgramBuilder compiles one agent's AlgorithmSpec into a runnable
+// sim.Program. Builders receive the compilation's shared Artifacts (graph,
+// memoized exploration sequence, the whole spec) and the agent being built,
+// and must be deterministic: equal inputs produce programs with identical
+// behavior.
+type ProgramBuilder func(ar *Artifacts, ag AgentSpec) (sim.Program, error)
+
+var (
+	algoMu  sync.RWMutex
+	algoReg = map[string]ProgramBuilder{}
+)
+
+// RegisterAlgorithm registers (or replaces) an algorithm under name, making
+// it compilable from AlgorithmSpec{Name: name}. User programs registered
+// here become first-class citizens of specs, sweeps and the CLI.
+func RegisterAlgorithm(name string, b ProgramBuilder) {
+	if name == "" || b == nil {
+		panic("spec: RegisterAlgorithm needs a name and a builder")
+	}
+	algoMu.Lock()
+	defer algoMu.Unlock()
+	algoReg[name] = b
+}
+
+// Algorithms returns the registered algorithm names, sorted.
+func Algorithms() []string {
+	algoMu.RLock()
+	defer algoMu.RUnlock()
+	out := make([]string, 0, len(algoReg))
+	for name := range algoReg {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func algorithmBuilder(name string) (ProgramBuilder, error) {
+	algoMu.RLock()
+	b, ok := algoReg[name]
+	algoMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("unknown algorithm %q (have %v)", name, Algorithms())
+	}
+	return b, nil
+}
+
+// Known returns the spec of GatherKnownUpperBound (Algorithm 3): gathering
+// with simultaneous declaration plus leader election under a known upper
+// bound on the network size.
+func Known() AlgorithmSpec { return AlgorithmSpec{Name: "known"} }
+
+// Gossip returns the spec of GossipKnownUpperBound (Section 5): gather,
+// then make this agent's binary message known to all agents.
+func Gossip(message string) AlgorithmSpec {
+	return AlgorithmSpec{Name: "gossip", Params: map[string]any{"message": message}}
+}
+
+// Unknown returns the spec of GatherUnknownUpperBound (Algorithm 5) under
+// the scaled duration profile with the given radius cap and maximum size;
+// zero values select unknown.DefaultParams.
+func Unknown(radiusCap, maxN int) AlgorithmSpec {
+	p := map[string]any{}
+	if radiusCap != 0 {
+		p["radius_cap"] = radiusCap
+	}
+	if maxN != 0 {
+		p["max_n"] = maxN
+	}
+	if len(p) == 0 {
+		return AlgorithmSpec{Name: "unknown"}
+	}
+	return AlgorithmSpec{Name: "unknown", Params: p}
+}
+
+// Randomized returns the spec of the two-agent randomized rendezvous
+// (Section 6 open problem): lazy random walk until co-location. A zero
+// horizon selects 100·n³ rounds of walking before the agent gives up.
+func Randomized(seed uint64, horizon int) AlgorithmSpec {
+	p := map[string]any{"seed": seed}
+	if horizon != 0 {
+		p["horizon"] = horizon
+	}
+	return AlgorithmSpec{Name: "randomized", Params: p}
+}
+
+// Baseline returns the spec of the traditional-model (talking) baseline,
+// the comparison point of experiment E6. See the registration note below
+// for its compilation semantics.
+func Baseline() AlgorithmSpec { return AlgorithmSpec{Name: "baseline"} }
+
+// baselineOutcome is the memoized result type referenced from Artifacts.
+type baselineOutcome = baseline.Result
+
+// baselineResult runs the centralized baseline simulation once per
+// compilation, memoized on the Artifacts value.
+func baselineResult(ar *Artifacts) (baseline.Result, error) {
+	if ar.baselineDone {
+		return ar.baselineRes, ar.baselineErr
+	}
+	ar.baselineDone = true
+	s := ar.Spec()
+	specs := make([]baseline.Spec, len(s.Agents))
+	for i, ag := range s.Agents {
+		if ag.Algorithm.Name != "baseline" {
+			ar.baselineErr = fmt.Errorf("baseline agents cannot mix with %q: the baseline is a whole-team algorithm", ag.Algorithm.Name)
+			return ar.baselineRes, ar.baselineErr
+		}
+		if ag.Wake != 0 {
+			ar.baselineErr = fmt.Errorf("baseline requires simultaneous wake-up (agent label %d wakes at %d)", ag.Label, ag.Wake)
+			return ar.baselineRes, ar.baselineErr
+		}
+		specs[i] = baseline.Spec{Label: ag.Label, Start: ag.Start}
+	}
+	ar.baselineRes, ar.baselineErr = baseline.Gather(ar.Graph(), ar.Sequence(), specs)
+	return ar.baselineRes, ar.baselineErr
+}
+
+func init() {
+	RegisterAlgorithm("known", func(ar *Artifacts, ag AgentSpec) (sim.Program, error) {
+		return gather.NewProgram(ar.Sequence()), nil
+	})
+	RegisterAlgorithm("gossip", func(ar *Artifacts, ag AgentSpec) (sim.Program, error) {
+		message, err := ag.Algorithm.ParamString("message", "")
+		if err != nil {
+			return nil, err
+		}
+		return gossip.NewProgram(ar.Sequence(), message), nil
+	})
+	RegisterAlgorithm("unknown", func(ar *Artifacts, ag AgentSpec) (sim.Program, error) {
+		def := unknown.DefaultParams()
+		radiusCap, err := ag.Algorithm.ParamInt("radius_cap", def.RadiusCap)
+		if err != nil {
+			return nil, err
+		}
+		maxN, err := ag.Algorithm.ParamInt("max_n", def.MaxN)
+		if err != nil {
+			return nil, err
+		}
+		p := unknown.Params{RadiusCap: radiusCap, MaxN: maxN}
+		if err := p.ValidateFor(ar.Graph()); err != nil {
+			return nil, err
+		}
+		return unknown.NewProgram(p), nil
+	})
+	RegisterAlgorithm("randomized", func(ar *Artifacts, ag AgentSpec) (sim.Program, error) {
+		n := ar.Graph().N()
+		horizon, err := ag.Algorithm.ParamInt("horizon", 100*n*n*n)
+		if err != nil {
+			return nil, err
+		}
+		if horizon <= 0 {
+			return nil, fmt.Errorf("randomized horizon must be positive, got %d", horizon)
+		}
+		seed, err := ag.Algorithm.ParamUint64("seed", 1)
+		if err != nil {
+			return nil, err
+		}
+		return randomized.RendezvousProgram(seed, horizon), nil
+	})
+	// The baseline lives in the TRADITIONAL model, where co-located agents
+	// share all state instantly; internal/baseline simulates it centrally
+	// (with chatter, group state is global anyway). Its spec form runs that
+	// centralized simulation once at compile time and compiles each agent
+	// into a replay program that waits, walks a shortest path to the
+	// gathering node, and declares in the centralized declaration round —
+	// outcome-faithful (same rounds, node and leader, AllHaltedTogether
+	// holds) while trajectories between start and gathering are not
+	// reproduced move for move.
+	RegisterAlgorithm("baseline", func(ar *Artifacts, ag AgentSpec) (sim.Program, error) {
+		res, err := baselineResult(ar)
+		if err != nil {
+			return nil, err
+		}
+		path := ar.Graph().ShortestPathPorts(ag.Start, res.Node)
+		if len(path) > res.Rounds {
+			return nil, fmt.Errorf("baseline declared in round %d, before agent label %d could arrive (%d moves away)",
+				res.Rounds, ag.Label, len(path))
+		}
+		leader := res.Leader
+		wait := res.Rounds - len(path)
+		return func(a *sim.API) sim.Report {
+			a.WaitRounds(wait)
+			a.WalkPorts(path)
+			return sim.Report{Leader: leader}
+		}, nil
+	})
+}

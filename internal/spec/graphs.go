@@ -1,0 +1,196 @@
+package spec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"nochatter/internal/graph"
+)
+
+// GraphBuilderFunc builds a graph from its family's parameters. Builders
+// must be deterministic and must return errors (not panic) on out-of-range
+// parameters: specs arrive from files and flags, so bad values are user
+// input, not bugs.
+type GraphBuilderFunc func(GraphSpec) (*graph.Graph, error)
+
+var (
+	graphMu  sync.RWMutex
+	graphReg = map[string]GraphBuilderFunc{}
+)
+
+// RegisterGraphFamily registers (or replaces) a graph family under name,
+// making it compilable from GraphSpec{Family: name} and usable in sweeps.
+func RegisterGraphFamily(name string, b GraphBuilderFunc) {
+	if name == "" || b == nil {
+		panic("spec: RegisterGraphFamily needs a name and a builder")
+	}
+	graphMu.Lock()
+	defer graphMu.Unlock()
+	graphReg[name] = b
+}
+
+// GraphFamilies returns the registered family names, sorted.
+func GraphFamilies() []string {
+	graphMu.RLock()
+	defer graphMu.RUnlock()
+	out := make([]string, 0, len(graphReg))
+	for name := range graphReg {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BuildGraph compiles a GraphSpec through the family registry.
+func BuildGraph(gs GraphSpec) (*graph.Graph, error) {
+	graphMu.RLock()
+	b, ok := graphReg[gs.Family]
+	graphMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("spec: unknown graph family %q (have %v)", gs.Family, GraphFamilies())
+	}
+	g, err := b(gs)
+	if err != nil {
+		return nil, fmt.Errorf("spec: graph family %q: %w", gs.Family, err)
+	}
+	return g, nil
+}
+
+// needN guards the size parameter of a family.
+func needN(gs GraphSpec, min int, what string) error {
+	if gs.N < min {
+		return fmt.Errorf("%s needs n >= %d, got %d", what, min, gs.N)
+	}
+	return nil
+}
+
+// rectShape resolves an r×c factorization of n nodes with both sides at
+// least minSide. rows == 0 picks the most balanced shape (largest divisor of
+// n not exceeding √n); otherwise rows is validated as given.
+func rectShape(n, rows, minSide int) (r, c int, err error) {
+	if n < minSide*minSide {
+		return 0, 0, fmt.Errorf("%d nodes cannot form a %d×%d or larger shape", n, minSide, minSide)
+	}
+	if rows == 0 {
+		for d := isqrt(n); d >= minSide; d-- {
+			if n%d == 0 && n/d >= minSide {
+				return d, n / d, nil
+			}
+		}
+		return 0, 0, fmt.Errorf("no valid rows×cols factorization of %d nodes with sides >= %d (pick n accordingly)", n, minSide)
+	}
+	if rows < minSide {
+		return 0, 0, fmt.Errorf("rows %d below the minimum of %d", rows, minSide)
+	}
+	if n%rows != 0 {
+		return 0, 0, fmt.Errorf("rows %d does not divide %d nodes", rows, n)
+	}
+	if c := n / rows; c >= minSide {
+		return rows, c, nil
+	}
+	return 0, 0, fmt.Errorf("rows %d leaves only %d columns (minimum %d)", rows, n/rows, minSide)
+}
+
+func isqrt(n int) int {
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}
+
+// tailOf defaults the barbell/lollipop tail parameter to 1.
+func tailOf(gs GraphSpec) int {
+	if gs.Tail == 0 {
+		return 1
+	}
+	return gs.Tail
+}
+
+func init() {
+	RegisterGraphFamily("ring", func(gs GraphSpec) (*graph.Graph, error) {
+		if err := needN(gs, 3, "ring"); err != nil {
+			return nil, err
+		}
+		return graph.Ring(gs.N), nil
+	})
+	RegisterGraphFamily("path", func(gs GraphSpec) (*graph.Graph, error) {
+		if err := needN(gs, 2, "path"); err != nil {
+			return nil, err
+		}
+		return graph.Path(gs.N), nil
+	})
+	RegisterGraphFamily("complete", func(gs GraphSpec) (*graph.Graph, error) {
+		if err := needN(gs, 2, "complete"); err != nil {
+			return nil, err
+		}
+		return graph.Complete(gs.N), nil
+	})
+	RegisterGraphFamily("star", func(gs GraphSpec) (*graph.Graph, error) {
+		if err := needN(gs, 2, "star"); err != nil {
+			return nil, err
+		}
+		return graph.Star(gs.N), nil
+	})
+	RegisterGraphFamily("grid", func(gs GraphSpec) (*graph.Graph, error) {
+		r, c, err := rectShape(gs.N, gs.Rows, 1)
+		if err != nil {
+			return nil, err
+		}
+		if r*c < 2 {
+			return nil, fmt.Errorf("grid needs at least 2 nodes")
+		}
+		return graph.Grid(r, c), nil
+	})
+	RegisterGraphFamily("torus", func(gs GraphSpec) (*graph.Graph, error) {
+		r, c, err := rectShape(gs.N, gs.Rows, 3)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Torus(r, c), nil
+	})
+	RegisterGraphFamily("hypercube", func(gs GraphSpec) (*graph.Graph, error) {
+		if gs.N < 1 || gs.N > 16 {
+			return nil, fmt.Errorf("hypercube dimension n must be in 1..16, got %d", gs.N)
+		}
+		return graph.Hypercube(gs.N), nil
+	})
+	RegisterGraphFamily("tree", func(gs GraphSpec) (*graph.Graph, error) {
+		if err := needN(gs, 2, "tree"); err != nil {
+			return nil, err
+		}
+		return graph.RandomTree(gs.N, gs.Seed), nil
+	})
+	RegisterGraphFamily("gnp", func(gs GraphSpec) (*graph.Graph, error) {
+		if err := needN(gs, 2, "gnp"); err != nil {
+			return nil, err
+		}
+		p := gs.P
+		if p == 0 {
+			p = 0.3
+		}
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("gnp edge probability p must be in [0,1], got %v", p)
+		}
+		return graph.GNP(gs.N, p, gs.Seed), nil
+	})
+	RegisterGraphFamily("barbell", func(gs GraphSpec) (*graph.Graph, error) {
+		if err := needN(gs, 3, "barbell clique size"); err != nil {
+			return nil, err
+		}
+		return graph.Barbell(gs.N, tailOf(gs)), nil
+	})
+	RegisterGraphFamily("lollipop", func(gs GraphSpec) (*graph.Graph, error) {
+		if err := needN(gs, 3, "lollipop clique size"); err != nil {
+			return nil, err
+		}
+		return graph.Lollipop(gs.N, tailOf(gs)), nil
+	})
+	RegisterGraphFamily("two", func(gs GraphSpec) (*graph.Graph, error) {
+		if gs.N != 0 && gs.N != 2 {
+			return nil, fmt.Errorf("the two-node graph has exactly 2 nodes, got n=%d", gs.N)
+		}
+		return graph.TwoNodes(), nil
+	})
+}

@@ -1,0 +1,304 @@
+// Package spec makes scenarios data. A ScenarioSpec is a pure-value,
+// JSON-round-trippable description of one simulation — graph family and
+// parameters, agents with algorithms referenced by registered name — that
+// compiles to a runnable sim.Scenario. Because a spec carries no live
+// *graph.Graph and no Program closures, it can be saved, replayed, diffed,
+// queued, sharded and served: the same scenario a CLI invocation builds from
+// flags can be dumped to a file (cmd/gathersim -dump-spec), checked into a
+// repo, and re-run bit-identically anywhere (-spec file.json).
+//
+// Compilation goes through two registries: the graph-family registry
+// (RegisterGraphFamily; ring, path, complete, star, grid, torus, hypercube,
+// tree, gnp, barbell, lollipop, two are built in) and the algorithm registry
+// (RegisterAlgorithm; known, gossip, unknown, randomized, baseline are built
+// in). Per-run artifacts that the paper's algorithms share across the whole
+// team — the universal exploration sequence operationalizing "all agents
+// know N" — are constructed once per compilation and handed to every
+// program builder through Artifacts.
+//
+// On top of single specs, Sweep (sweep.go) composes cartesian products of
+// graph families, sizes, teams, wake schedules and algorithms into streams
+// of specs — the declarative form of the scenario sweeps that used to be
+// hand-rolled loops in internal/experiments.
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+
+	"nochatter/internal/graph"
+	"nochatter/internal/sim"
+	"nochatter/internal/ues"
+)
+
+// GraphSpec selects a graph by registered family name plus parameters. The
+// zero values of unused parameters are omitted from JSON.
+type GraphSpec struct {
+	// Family is the registered family name (see GraphFamilies).
+	Family string `json:"family"`
+	// N is the size parameter: node count for most families, the dimension
+	// for hypercube, the clique size for barbell and lollipop.
+	N int `json:"n,omitempty"`
+	// Rows shapes grid and torus: rows × (N/Rows); 0 picks the most
+	// balanced factorization of N.
+	Rows int `json:"rows,omitempty"`
+	// P is the edge probability for gnp (0 means the default 0.3).
+	P float64 `json:"p,omitempty"`
+	// Seed drives the random families (tree, gnp) deterministically.
+	Seed int64 `json:"seed,omitempty"`
+	// Tail is the bridge length for barbell and the tail length for
+	// lollipop (0 means 1).
+	Tail int `json:"tail,omitempty"`
+}
+
+// AlgorithmSpec references an agent algorithm by registered name, with
+// JSON-value parameters interpreted by the algorithm's builder (see the
+// Param accessors). The Known/Gossip/Unknown/Randomized/Baseline
+// constructors build specs for the built-in algorithms.
+type AlgorithmSpec struct {
+	Name   string         `json:"name"`
+	Params map[string]any `json:"params,omitempty"`
+}
+
+// ParamInt returns the integer parameter key, or def when absent. Parsed
+// JSON numbers arrive as json.Number (Parse decodes with UseNumber, so
+// 64-bit values survive exactly); a non-integral or out-of-range value is
+// an error, never a silent truncation.
+func (a AlgorithmSpec) ParamInt(key string, def int) (int, error) {
+	switch v := a.Params[key].(type) {
+	case nil:
+		return def, nil
+	case int:
+		return v, nil
+	case json.Number:
+		n, err := strconv.ParseInt(v.String(), 10, 64)
+		if err != nil || int64(int(n)) != n {
+			return 0, fmt.Errorf("param %q: %q is not an int-sized integer", key, v.String())
+		}
+		return int(n), nil
+	case float64:
+		// float64(MaxInt64) rounds to 2^63, one past the largest int64, so
+		// the upper bound must be exclusive.
+		if v != math.Trunc(v) || v < math.MinInt64 || v >= math.MaxInt64 {
+			return 0, fmt.Errorf("param %q: %v is not an integer", key, v)
+		}
+		return int(v), nil
+	default:
+		return 0, fmt.Errorf("param %q: %T is not an integer", key, v)
+	}
+}
+
+// ParamUint64 returns the uint64 parameter key, or def when absent; full
+// 64-bit precision is preserved through JSON (see ParamInt).
+func (a AlgorithmSpec) ParamUint64(key string, def uint64) (uint64, error) {
+	switch v := a.Params[key].(type) {
+	case nil:
+		return def, nil
+	case uint64:
+		return v, nil
+	case int:
+		if v < 0 {
+			return 0, fmt.Errorf("param %q: %d is negative", key, v)
+		}
+		return uint64(v), nil
+	case json.Number:
+		n, err := strconv.ParseUint(v.String(), 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("param %q: %q is not a non-negative integer", key, v.String())
+		}
+		return n, nil
+	case float64:
+		if v != math.Trunc(v) || v < 0 || v >= math.MaxUint64 {
+			return 0, fmt.Errorf("param %q: %v is not a non-negative integer", key, v)
+		}
+		return uint64(v), nil
+	default:
+		return 0, fmt.Errorf("param %q: %T is not a non-negative integer", key, v)
+	}
+}
+
+// ParamString returns the string parameter key, or def when absent; a
+// present non-string value is an error, never a silent default.
+func (a AlgorithmSpec) ParamString(key, def string) (string, error) {
+	switch v := a.Params[key].(type) {
+	case nil:
+		return def, nil
+	case string:
+		return v, nil
+	default:
+		return "", fmt.Errorf("param %q: %T is not a string", key, v)
+	}
+}
+
+// AgentSpec is the pure-data description of one agent: where it starts,
+// when the adversary wakes it, and which registered algorithm it runs. It
+// compiles to a sim.AgentSpec whose Program is built by the algorithm
+// registry.
+type AgentSpec struct {
+	Label int `json:"label"`
+	Start int `json:"start"`
+	// Wake is the adversarial wake round; sim.DormantUntilVisited (-1)
+	// marks an agent woken only by a visiting agent.
+	Wake      int           `json:"wake,omitempty"`
+	Algorithm AlgorithmSpec `json:"algorithm"`
+}
+
+// ScenarioSpec is a complete scenario as data. It is the serializable
+// counterpart of sim.Scenario: Compile builds the graph through the family
+// registry, the programs through the algorithm registry, and validates the
+// result with the same checks sim.Run applies.
+type ScenarioSpec struct {
+	// Name is a free-form identifier (sweeps template it); it does not
+	// affect the run.
+	Name      string      `json:"name,omitempty"`
+	Graph     GraphSpec   `json:"graph"`
+	Agents    []AgentSpec `json:"agents"`
+	MaxRounds int         `json:"max_rounds,omitempty"`
+}
+
+// MarshalIndentJSON renders the spec as indented JSON, the artifact format
+// of cmd/gathersim -dump-spec.
+func (s ScenarioSpec) MarshalIndentJSON() ([]byte, error) {
+	buf, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// Parse decodes a ScenarioSpec from JSON. Hand-edited specs fail loudly:
+// unknown fields and trailing content after the spec are rejected, and
+// numbers decode as json.Number so 64-bit parameters (randomized seeds)
+// survive with full precision.
+func Parse(data []byte) (ScenarioSpec, error) {
+	var s ScenarioSpec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	dec.UseNumber()
+	if err := dec.Decode(&s); err != nil {
+		return ScenarioSpec{}, fmt.Errorf("spec: parse: %w", err)
+	}
+	if dec.More() {
+		return ScenarioSpec{}, fmt.Errorf("spec: parse: trailing content after the scenario spec")
+	}
+	return s, nil
+}
+
+// Load reads and parses a ScenarioSpec from a JSON file.
+func Load(path string) (ScenarioSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return ScenarioSpec{}, fmt.Errorf("spec: %w", err)
+	}
+	return Parse(data)
+}
+
+// Artifacts carries the per-compilation objects shared by the whole team:
+// the compiled graph and lazily built, memoized derivations of it. Program
+// builders receive the compilation's Artifacts so that all agents of a run
+// share one ues.Sequence (the paper's public knowledge of N) instead of
+// each rebuilding it.
+type Artifacts struct {
+	scenario *ScenarioSpec
+	g        *graph.Graph
+	seq      *ues.Sequence
+
+	// Memoized centralized baseline run (algorithms.go); compilation is
+	// single-goroutine, so a plain flag suffices.
+	baselineDone bool
+	baselineRes  baselineOutcome
+	baselineErr  error
+}
+
+// Spec returns the full scenario spec under compilation, for builders whose
+// program depends on the whole team (the baseline's centralized precompute).
+func (ar *Artifacts) Spec() *ScenarioSpec { return ar.scenario }
+
+// Graph returns the compiled graph.
+func (ar *Artifacts) Graph() *graph.Graph { return ar.g }
+
+// Sequence returns the run's universal exploration sequence, built once on
+// first use and shared by every agent of the compilation.
+func (ar *Artifacts) Sequence() *ues.Sequence {
+	if ar.seq == nil {
+		ar.seq = ues.Build(ar.g)
+	}
+	return ar.seq
+}
+
+// Compile builds the runnable sim.Scenario a spec describes. The result is
+// deterministic: compiling equal specs yields scenarios whose runs produce
+// bit-identical RunResults. Compilation validates the scenario with
+// sim.Validate, so a bad spec fails here with a descriptive error rather
+// than mid-run.
+func (s ScenarioSpec) Compile() (sim.Scenario, error) {
+	sc, _, err := s.CompileArtifacts()
+	return sc, err
+}
+
+// CompileArtifacts is Compile, additionally returning the compilation's
+// shared Artifacts — callers that report on the run (experiment tables
+// printing T(EXPLO)) need the sequence the team was compiled with.
+func (s ScenarioSpec) CompileArtifacts() (sim.Scenario, *Artifacts, error) {
+	g, err := BuildGraph(s.Graph)
+	if err != nil {
+		return sim.Scenario{}, nil, err
+	}
+	ar := &Artifacts{scenario: &s, g: g}
+	team := make([]sim.AgentSpec, len(s.Agents))
+	for i, ag := range s.Agents {
+		b, err := algorithmBuilder(ag.Algorithm.Name)
+		if err != nil {
+			return sim.Scenario{}, nil, fmt.Errorf("spec: agent label %d: %w", ag.Label, err)
+		}
+		prog, err := b(ar, ag)
+		if err != nil {
+			return sim.Scenario{}, nil, fmt.Errorf("spec: agent label %d (%s): %w", ag.Label, ag.Algorithm.Name, err)
+		}
+		team[i] = sim.AgentSpec{Label: ag.Label, Start: ag.Start, WakeRound: ag.Wake, Program: prog}
+	}
+	sc := sim.Scenario{Graph: g, Agents: team, MaxRounds: s.MaxRounds}
+	if err := sim.Validate(sc); err != nil {
+		return sim.Scenario{}, nil, fmt.Errorf("spec: %w", err)
+	}
+	return sc, ar, nil
+}
+
+// Run compiles and executes the spec in one step.
+func (s ScenarioSpec) Run() (*sim.RunResult, error) {
+	sc, err := s.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(sc)
+}
+
+// CompileAll compiles every spec (a sweep's output, typically), failing on
+// the first error; the result feeds sim.RunBatch or sim.RunStream directly.
+func CompileAll(specs []ScenarioSpec) ([]sim.Scenario, error) {
+	scs, _, err := CompileAllArtifacts(specs)
+	return scs, err
+}
+
+// CompileAllArtifacts is CompileAll, additionally returning each
+// compilation's shared Artifacts (for callers that report on the runs).
+func CompileAllArtifacts(specs []ScenarioSpec) ([]sim.Scenario, []*Artifacts, error) {
+	scs := make([]sim.Scenario, len(specs))
+	ars := make([]*Artifacts, len(specs))
+	for i, sp := range specs {
+		sc, ar, err := sp.CompileArtifacts()
+		if err != nil {
+			name := sp.Name
+			if name == "" {
+				name = fmt.Sprintf("spec %d", i)
+			}
+			return nil, nil, fmt.Errorf("%s: %w", name, err)
+		}
+		scs[i], ars[i] = sc, ar
+	}
+	return scs, ars, nil
+}

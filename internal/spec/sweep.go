@@ -1,0 +1,286 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Team is the team axis of a sweep: labels plus optional explicit start
+// nodes and wake rounds. Nil Starts spreads the team evenly over the graph
+// (agent i at node ⌊i·N/k⌋); nil Wakes wakes everyone at round 0.
+type Team struct {
+	Labels []int `json:"labels"`
+	Starts []int `json:"starts,omitempty"`
+	Wakes  []int `json:"wakes,omitempty"`
+}
+
+// TeamOfSize returns the canonical k-agent team: labels 1..k at nodes
+// 0..k-1 — the team-size axis of sweeps like experiment E4.
+func TeamOfSize(k int) Team {
+	labels := make([]int, k)
+	starts := make([]int, k)
+	for i := 0; i < k; i++ {
+		labels[i] = i + 1
+		starts[i] = i
+	}
+	return Team{Labels: labels, Starts: starts}
+}
+
+// Sweep composes scenario specs from axes: graphs (explicit GraphSpecs
+// and/or a families × sizes product), teams, optional wake-schedule
+// overrides and algorithms. By default the axes multiply cartesianly in
+// fixed order (graphs outermost, algorithms innermost); Zip pairs the
+// graph and team axes index-wise instead, for case lists like experiment
+// E1 where each graph comes with its own team.
+//
+// A Sweep yields ScenarioSpecs — pure data — so a sweep definition is three
+// lines of configuration, and everything downstream (compilation, batching,
+// streaming) is shared machinery:
+//
+//	specs, err := spec.NewSweep().
+//		Families("ring", "gnp").Sizes(8, 16, 32).
+//		Teams(spec.Team{Labels: []int{1, 2}}).
+//		Name("sweep-{family}-n{n}-k{k}").
+//		Specs()
+type Sweep struct {
+	name      string
+	graphs    []GraphSpec
+	families  []string
+	sizes     []int
+	teams     []Team
+	wakes     [][]int
+	algos     []AlgorithmSpec
+	maxRounds int
+	zip       bool
+	filters   []func(ScenarioSpec) bool
+}
+
+// NewSweep returns an empty sweep; add axes with the chainable setters.
+func NewSweep() *Sweep { return &Sweep{} }
+
+// Name sets the spec-name template. Placeholders {i}, {family}, {n}, {k},
+// {algo} and {wake} expand per generated spec ({wake} is the index into the
+// wake-schedule axis, 0 without one).
+func (s *Sweep) Name(template string) *Sweep { s.name = template; return s }
+
+// Graphs appends explicit graph specs to the graph axis.
+func (s *Sweep) Graphs(gs ...GraphSpec) *Sweep { s.graphs = append(s.graphs, gs...); return s }
+
+// Families sets the family half of the families × sizes product, appended
+// to the graph axis after any explicit Graphs.
+func (s *Sweep) Families(fams ...string) *Sweep { s.families = append(s.families, fams...); return s }
+
+// Sizes sets the size half of the families × sizes product.
+func (s *Sweep) Sizes(ns ...int) *Sweep { s.sizes = append(s.sizes, ns...); return s }
+
+// Teams appends teams to the team axis.
+func (s *Sweep) Teams(ts ...Team) *Sweep { s.teams = append(s.teams, ts...); return s }
+
+// TeamSizes appends canonical teams (labels 1..k at nodes 0..k-1) for each
+// size to the team axis.
+func (s *Sweep) TeamSizes(ks ...int) *Sweep {
+	for _, k := range ks {
+		s.teams = append(s.teams, TeamOfSize(k))
+	}
+	return s
+}
+
+// WakeSchedules adds a wake-schedule axis: each schedule overrides the
+// team's own Wakes (lengths must match the team size; nil restores the
+// team's default).
+func (s *Sweep) WakeSchedules(ws ...[]int) *Sweep { s.wakes = append(s.wakes, ws...); return s }
+
+// Algorithms sets the algorithm axis; every agent of a generated spec runs
+// the same algorithm. Omitting it selects Known. Per-agent algorithms
+// (gossip messages) are a property of Teams-less hand-built specs, not of
+// sweeps.
+func (s *Sweep) Algorithms(as ...AlgorithmSpec) *Sweep { s.algos = append(s.algos, as...); return s }
+
+// MaxRounds sets the round budget of every generated spec.
+func (s *Sweep) MaxRounds(n int) *Sweep { s.maxRounds = n; return s }
+
+// Zip pairs the graph and team axes index-wise (they must have equal
+// lengths) instead of multiplying them.
+func (s *Sweep) Zip() *Sweep { s.zip = true; return s }
+
+// Filter keeps only specs for which keep returns true; multiple filters
+// conjoin.
+func (s *Sweep) Filter(keep func(ScenarioSpec) bool) *Sweep {
+	s.filters = append(s.filters, keep)
+	return s
+}
+
+// graphAxis materializes explicit graphs plus the families × sizes product.
+func (s *Sweep) graphAxis() []GraphSpec {
+	out := append([]GraphSpec{}, s.graphs...)
+	for _, fam := range s.families {
+		for _, n := range s.sizes {
+			out = append(out, GraphSpec{Family: fam, N: n})
+		}
+	}
+	return out
+}
+
+// Each generates the sweep's specs in deterministic order and hands each to
+// yield; returning false stops early. It streams: nothing is materialized
+// beyond the spec under construction.
+func (s *Sweep) Each(yield func(ScenarioSpec) bool) error {
+	graphs := s.graphAxis()
+	if len(graphs) == 0 {
+		return fmt.Errorf("spec: sweep has no graphs (use Graphs or Families+Sizes)")
+	}
+	if len(s.teams) == 0 {
+		return fmt.Errorf("spec: sweep has no teams (use Teams or TeamSizes)")
+	}
+	if s.zip && len(graphs) != len(s.teams) {
+		return fmt.Errorf("spec: Zip needs equally long graph and team axes, got %d graphs and %d teams",
+			len(graphs), len(s.teams))
+	}
+	wakes := s.wakes
+	if len(wakes) == 0 {
+		wakes = [][]int{nil}
+	}
+	algos := s.algos
+	if len(algos) == 0 {
+		algos = []AlgorithmSpec{Known()}
+	}
+	i := 0
+	emit := func(gs GraphSpec, team Team) (bool, error) {
+		// Spread starts depend only on (graph, team): resolve them once,
+		// not per wake × algorithm combination.
+		starts, err := resolveStarts(gs, team)
+		if err != nil {
+			return false, err
+		}
+		for wi, wake := range wakes {
+			for _, algo := range algos {
+				sp, err := s.buildSpec(gs, team, starts, wake, algo, i, wi)
+				if err != nil {
+					return false, err
+				}
+				i++
+				if !s.keep(sp) {
+					continue
+				}
+				if !yield(sp) {
+					return false, nil
+				}
+			}
+		}
+		return true, nil
+	}
+	if s.zip {
+		for gi, gs := range graphs {
+			if cont, err := emit(gs, s.teams[gi]); !cont || err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, gs := range graphs {
+		for _, team := range s.teams {
+			if cont, err := emit(gs, team); !cont || err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Specs materializes the whole sweep as a slice.
+func (s *Sweep) Specs() ([]ScenarioSpec, error) {
+	var out []ScenarioSpec
+	err := s.Each(func(sp ScenarioSpec) bool {
+		out = append(out, sp)
+		return true
+	})
+	return out, err
+}
+
+// SpreadStarts returns the default start placement for a k-agent team on
+// the given graph: agent j at node ⌊j·N/k⌋, spreading the team evenly.
+// It is the single source of the spread policy, shared by sweeps and
+// cmd/gathersim. The spread needs the built graph's size, which for most
+// families is gs.N but not for all (hypercube, grid shapes), so the graph
+// is built through the registry — cheap, and the compile step rebuilds it
+// anyway.
+func SpreadStarts(gs GraphSpec, k int) ([]int, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("spec: spread needs a positive team size, got %d", k)
+	}
+	g, err := BuildGraph(gs)
+	if err != nil {
+		return nil, err
+	}
+	starts := make([]int, k)
+	for j := 0; j < k; j++ {
+		starts[j] = (j * g.N()) / k
+	}
+	return starts, nil
+}
+
+// resolveStarts returns the team's start nodes, spreading agents evenly
+// over the graph when none are given.
+func resolveStarts(gs GraphSpec, team Team) ([]int, error) {
+	if team.Starts != nil {
+		return team.Starts, nil
+	}
+	if len(team.Labels) == 0 {
+		return nil, fmt.Errorf("spec: sweep team %v has no labels", team)
+	}
+	return SpreadStarts(gs, len(team.Labels))
+}
+
+// buildSpec assembles one spec of the product.
+func (s *Sweep) buildSpec(gs GraphSpec, team Team, starts []int, wake []int, algo AlgorithmSpec, i, wi int) (ScenarioSpec, error) {
+	k := len(team.Labels)
+	if k == 0 {
+		return ScenarioSpec{}, fmt.Errorf("spec: sweep team %v has no labels", team)
+	}
+	if wake == nil {
+		wake = team.Wakes
+	}
+	if len(starts) != k || (wake != nil && len(wake) != k) {
+		return ScenarioSpec{}, fmt.Errorf("spec: sweep team labels/starts/wakes length mismatch (%d/%d/%d)",
+			k, len(starts), len(wake))
+	}
+	agents := make([]AgentSpec, k)
+	for j := 0; j < k; j++ {
+		w := 0
+		if wake != nil {
+			w = wake[j]
+		}
+		agents[j] = AgentSpec{Label: team.Labels[j], Start: starts[j], Wake: w, Algorithm: algo}
+	}
+	return ScenarioSpec{
+		Name:      expandName(s.name, gs, k, algo, i, wi),
+		Graph:     gs,
+		Agents:    agents,
+		MaxRounds: s.maxRounds,
+	}, nil
+}
+
+func (s *Sweep) keep(sp ScenarioSpec) bool {
+	for _, f := range s.filters {
+		if !f(sp) {
+			return false
+		}
+	}
+	return true
+}
+
+// expandName fills the {placeholder}s of a name template.
+func expandName(template string, gs GraphSpec, k int, algo AlgorithmSpec, i, wi int) string {
+	if template == "" {
+		return ""
+	}
+	return strings.NewReplacer(
+		"{i}", strconv.Itoa(i),
+		"{family}", gs.Family,
+		"{n}", strconv.Itoa(gs.N),
+		"{k}", strconv.Itoa(k),
+		"{algo}", algo.Name,
+		"{wake}", strconv.Itoa(wi),
+	).Replace(template)
+}

@@ -13,6 +13,26 @@
 //
 // # Quick start
 //
+// Scenarios are data. A ScenarioSpec describes a run as a pure value —
+// graph family, agents, algorithms by registered name — and compiles to a
+// runnable scenario; the spec itself is JSON-round-trippable, so it can be
+// saved, diffed and replayed (cmd/gathersim -dump-spec / -spec):
+//
+//	res, err := nochatter.ScenarioSpec{
+//		Graph: nochatter.GraphSpec{Family: "ring", N: 8},
+//		Agents: []nochatter.SpecAgent{
+//			{Label: 23, Start: 0, Algorithm: nochatter.KnownAlgorithm()},
+//			{Label: 8, Start: 4, Wake: nochatter.DormantUntilVisited, Algorithm: nochatter.KnownAlgorithm()},
+//		},
+//	}.Run()
+//
+// After a successful run, res.AllHaltedTogether() reports gathering with
+// simultaneous declaration and every agent's Report.Leader carries the
+// elected leader (Theorem 3.1).
+//
+// The closure form remains first-class for custom programs — build the
+// graph and shared sequence yourself and pass Programs directly:
+//
 //	g := nochatter.Ring(8)
 //	seq := nochatter.BuildSequence(g) // operational form of "knowing N"
 //	res, err := nochatter.Run(nochatter.Scenario{
@@ -23,9 +43,8 @@
 //		},
 //	})
 //
-// After a successful run, res.AllHaltedTogether() reports gathering with
-// simultaneous declaration and every agent's Report.Leader carries the
-// elected leader (Theorem 3.1).
+// Registering a custom program under a name (RegisterAlgorithm) makes it
+// addressable from specs, sweeps and the CLI like the built-ins.
 //
 // # The event-driven agent↔engine contract
 //
@@ -55,7 +74,11 @@
 //	results := nochatter.RunBatch(scenarios, nochatter.WithParallelism(8))
 //
 // Parallelism never changes results: each run is deterministic and results
-// arrive in input order.
+// arrive in input order. RunStream (and Runner.Stream) delivers results
+// one at a time in input order without materializing the slice, and
+// NewSweep builds cartesian families × sizes × teams × wake schedules ×
+// algorithms products of ScenarioSpecs declaratively (see
+// examples/batchsweep).
 //
 // See DESIGN.md for the system inventory, the documented substitutions
 // (exploration sequences, rendezvous procedure, EST) and the experiment
@@ -70,6 +93,7 @@ import (
 	"nochatter/internal/graph"
 	"nochatter/internal/randomized"
 	"nochatter/internal/sim"
+	"nochatter/internal/spec"
 	"nochatter/internal/ues"
 	"nochatter/internal/unknown"
 )
@@ -126,6 +150,72 @@ type (
 	BaselineResult = baseline.Result
 )
 
+// Scenarios as data: pure-value, JSON-round-trippable scenario descriptions
+// that compile to runnable scenarios through the graph-family and algorithm
+// registries, re-exported from internal/spec.
+type (
+	// ScenarioSpec is a complete scenario as data; Compile or Run it.
+	ScenarioSpec = spec.ScenarioSpec
+	// GraphSpec selects a graph by registered family name plus parameters.
+	GraphSpec = spec.GraphSpec
+	// SpecAgent is the pure-data description of one agent (label, start,
+	// wake, algorithm by name) — the serializable counterpart of AgentSpec.
+	SpecAgent = spec.AgentSpec
+	// AlgorithmSpec references an agent algorithm by registered name.
+	AlgorithmSpec = spec.AlgorithmSpec
+	// SpecArtifacts carries the per-compilation objects shared by a team
+	// (graph, memoized exploration sequence); program builders receive it.
+	SpecArtifacts = spec.Artifacts
+	// ProgramBuilder compiles an AlgorithmSpec into a Program; register
+	// one with RegisterAlgorithm to make a custom algorithm spec-addressable.
+	ProgramBuilder = spec.ProgramBuilder
+	// GraphBuilderFunc builds a graph family from its parameters; register
+	// one with RegisterGraphFamily.
+	GraphBuilderFunc = spec.GraphBuilderFunc
+	// Sweep composes cartesian products of graphs, teams, wake schedules
+	// and algorithms into streams of ScenarioSpecs.
+	Sweep = spec.Sweep
+	// SweepTeam is the team axis of a Sweep: labels plus optional starts
+	// and wakes.
+	SweepTeam = spec.Team
+)
+
+// Spec construction, parsing and registries, re-exported from internal/spec.
+var (
+	// ParseSpec decodes a ScenarioSpec from JSON (unknown fields rejected).
+	ParseSpec = spec.Parse
+	// LoadSpec reads and parses a ScenarioSpec from a JSON file.
+	LoadSpec = spec.Load
+	// BuildGraph compiles a GraphSpec through the family registry.
+	BuildGraph = spec.BuildGraph
+	// CompileSpecs compiles a slice of specs (a sweep's output) into
+	// scenarios ready for RunBatch or RunStream.
+	CompileSpecs = spec.CompileAll
+	// RegisterGraphFamily adds a graph family to the registry.
+	RegisterGraphFamily = spec.RegisterGraphFamily
+	// GraphFamilies lists the registered family names.
+	GraphFamilies = spec.GraphFamilies
+	// RegisterAlgorithm adds an algorithm to the registry.
+	RegisterAlgorithm = spec.RegisterAlgorithm
+	// Algorithms lists the registered algorithm names.
+	Algorithms = spec.Algorithms
+	// NewSweep starts a declarative scenario sweep.
+	NewSweep = spec.NewSweep
+	// TeamOfSize returns the canonical k-agent team (labels 1..k at nodes
+	// 0..k-1).
+	TeamOfSize = spec.TeamOfSize
+	// KnownAlgorithm is the spec of GatherKnownUpperBound (Algorithm 3).
+	KnownAlgorithm = spec.Known
+	// GossipAlgorithm is the spec of GossipKnownUpperBound (Section 5).
+	GossipAlgorithm = spec.Gossip
+	// UnknownAlgorithm is the spec of GatherUnknownUpperBound (Algorithm 5).
+	UnknownAlgorithm = spec.Unknown
+	// RandomizedAlgorithm is the spec of the randomized rendezvous (Sec. 6).
+	RandomizedAlgorithm = spec.Randomized
+	// BaselineAlgorithm is the spec of the traditional-model baseline.
+	BaselineAlgorithm = spec.Baseline
+)
+
 // DormantUntilVisited marks an agent the adversary never wakes; it starts
 // when another agent first visits its start node.
 const DormantUntilVisited = sim.DormantUntilVisited
@@ -150,6 +240,13 @@ var (
 	// RunBatch executes independent scenarios on a worker pool, results in
 	// input order.
 	RunBatch = sim.RunBatch
+	// RunStream executes independent scenarios on a worker pool, streaming
+	// results in input order without materializing the result slice.
+	RunStream = sim.RunStream
+	// ValidateScenario checks a scenario up front (labels, starts, wake
+	// rounds, programs) and returns a descriptive error; Run and spec
+	// compilation apply the same checks.
+	ValidateScenario = sim.Validate
 	// WithMaxRounds sets a Runner's default round budget.
 	WithMaxRounds = sim.WithMaxRounds
 	// WithOnRound sets a Runner's default per-round hook (forces per-round

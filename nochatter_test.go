@@ -193,6 +193,80 @@ func TestPublicConditionsAndBatch(t *testing.T) {
 	}
 }
 
+func TestPublicScenarioSpec(t *testing.T) {
+	// The spec form of the Quick start: scenario as data, through JSON and
+	// back, compiled via the registries and bit-identical to the closure
+	// form.
+	sp := nochatter.ScenarioSpec{
+		Graph: nochatter.GraphSpec{Family: "ring", N: 6},
+		Agents: []nochatter.SpecAgent{
+			{Label: 4, Start: 0, Algorithm: nochatter.KnownAlgorithm()},
+			{Label: 9, Start: 3, Wake: nochatter.DormantUntilVisited, Algorithm: nochatter.KnownAlgorithm()},
+		},
+	}
+	buf, err := sp.MarshalIndentJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := nochatter.ParseSpec(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := parsed.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllHaltedTogether() {
+		t.Fatal("spec run did not gather")
+	}
+
+	g := nochatter.Ring(6)
+	seq := nochatter.BuildSequence(g)
+	hand, err := nochatter.Run(nochatter.Scenario{
+		Graph: g,
+		Agents: []nochatter.AgentSpec{
+			{Label: 4, Start: 0, WakeRound: 0, Program: nochatter.GatherKnownUpperBound(seq)},
+			{Label: 9, Start: 3, WakeRound: nochatter.DormantUntilVisited, Program: nochatter.GatherKnownUpperBound(seq)},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != hand.Rounds || res.Agents[0].FinalNode != hand.Agents[0].FinalNode {
+		t.Errorf("spec run (round %d, node %d) diverges from closure run (round %d, node %d)",
+			res.Rounds, res.Agents[0].FinalNode, hand.Rounds, hand.Agents[0].FinalNode)
+	}
+}
+
+func TestPublicSweepStream(t *testing.T) {
+	specs, err := nochatter.NewSweep().
+		Families("ring").Sizes(4, 6).
+		Teams(nochatter.SweepTeam{Labels: []int{1, 2}}).
+		Name("pub-{n}").
+		Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs, err := nochatter.CompileSpecs(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := 0
+	nochatter.RunStream(scs, func(br nochatter.BatchResult) bool {
+		if br.Index != next {
+			t.Errorf("stream delivered index %d, want %d", br.Index, next)
+		}
+		next++
+		if br.Err != nil {
+			t.Errorf("%s: %v", specs[br.Index].Name, br.Err)
+		}
+		return true
+	}, nochatter.WithParallelism(2))
+	if next != len(scs) {
+		t.Errorf("streamed %d results, want %d", next, len(scs))
+	}
+}
+
 func TestPublicRunUntil(t *testing.T) {
 	g := nochatter.TwoNodes()
 	prog := func(a *nochatter.API) nochatter.Report {

@@ -11,18 +11,26 @@
 // machine-readable perf record — per experiment: wall time, table rows,
 // logical rounds simulated and engine rounds actually stepped (the gap is
 // the event-driven clock's fast-forward win) — to the given file, for
-// tracking the performance trajectory across PRs.
+// tracking the performance trajectory across PRs. The record also carries
+// service-throughput numbers: distinct specs POSTed to an in-process
+// gatherd cold (cache misses) and hot (cache hits), with requests/sec for
+// both phases.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"strings"
 	"time"
 
 	"nochatter/internal/experiments"
+	"nochatter/internal/service"
 	"nochatter/internal/sim"
 	"nochatter/internal/spec"
 )
@@ -44,6 +52,23 @@ type benchRecord struct {
 	SteppedRounds   int     `json:"stepped_rounds"`
 }
 
+// serviceRecord is the gatherd service-throughput entry of the -json perf
+// record: a cold pass (every spec a cache miss) followed by hot passes
+// (every request a cache hit) over the same distinct specs, all through
+// real HTTP round trips against an in-process server.
+type serviceRecord struct {
+	DistinctSpecs  int     `json:"distinct_specs"`
+	Requests       int     `json:"requests"`
+	WallMS         float64 `json:"wall_ms"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	ColdWallMS     float64 `json:"cold_wall_ms"`
+	HotWallMS      float64 `json:"hot_wall_ms"`
+	HotPerSec      float64 `json:"hot_requests_per_sec"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	RoundsServed   int64   `json:"rounds_simulated"`
+}
+
 // perfRecord is the top-level -json document.
 type perfRecord struct {
 	Scale                string             `json:"scale"`
@@ -52,6 +77,7 @@ type perfRecord struct {
 	TotalSteppedRounds   int64              `json:"total_stepped_rounds"`
 	Experiments          []experimentRecord `json:"experiments"`
 	Benchmarks           []benchRecord      `json:"benchmarks"`
+	Service              *serviceRecord     `json:"service,omitempty"`
 }
 
 // gatherBench measures one wait-heavy end-to-end gathering (the scenario of
@@ -87,6 +113,98 @@ func gatherBench(name string, n int, labels [2]int) (benchRecord, error) {
 		rec.SimulatedRounds = res.Rounds
 		rec.SteppedRounds = res.SteppedRounds
 	}
+	return rec, nil
+}
+
+// serviceBench measures the gatherd HTTP path: distinct specs POSTed cold
+// (each compiles and runs), then hot passes of the same specs (each an
+// O(1) cache lookup), 8 concurrent clients against an in-process server.
+func serviceBench() (*serviceRecord, error) {
+	svc := service.New(service.Config{})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	specs, err := spec.NewSweep().
+		Name("svc-{family}-n{n}").
+		Families("ring", "path", "complete").Sizes(6, 8, 10, 12, 14, 16).
+		Teams(spec.Team{Labels: []int{1, 2}}).
+		Specs()
+	if err != nil {
+		return nil, err
+	}
+	bodies := make([][]byte, len(specs))
+	for i, sp := range specs {
+		if bodies[i], err = json.Marshal(sp); err != nil {
+			return nil, err
+		}
+	}
+	const clients = 8
+	const hotPasses = 20
+	post := func(reqs [][]byte) error {
+		idx := make(chan int)
+		errCh := make(chan error, clients)
+		for w := 0; w < clients; w++ {
+			go func() {
+				var werr error
+				// Keep draining idx after a failure: an early return would
+				// strand the feeder on the unbuffered channel.
+				for i := range idx {
+					if werr != nil {
+						continue
+					}
+					resp, err := http.Post(srv.URL+"/v1/run", "application/json", bytes.NewReader(reqs[i]))
+					if err != nil {
+						werr = err
+						continue
+					}
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						werr = fmt.Errorf("service run: HTTP %d", resp.StatusCode)
+					}
+				}
+				errCh <- werr
+			}()
+		}
+		for i := range reqs {
+			idx <- i
+		}
+		close(idx)
+		for w := 0; w < clients; w++ {
+			if err := <-errCh; err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	rec := &serviceRecord{DistinctSpecs: len(specs)}
+	start := time.Now()
+	if err := post(bodies); err != nil {
+		return nil, err
+	}
+	rec.ColdWallMS = float64(time.Since(start).Microseconds()) / 1000
+
+	hot := make([][]byte, 0, len(specs)*hotPasses)
+	for p := 0; p < hotPasses; p++ {
+		hot = append(hot, bodies...)
+	}
+	hotStart := time.Now()
+	if err := post(hot); err != nil {
+		return nil, err
+	}
+	rec.HotWallMS = float64(time.Since(hotStart).Microseconds()) / 1000
+	rec.WallMS = float64(time.Since(start).Microseconds()) / 1000
+	rec.Requests = len(specs) + len(hot)
+	if rec.WallMS > 0 {
+		rec.RequestsPerSec = float64(rec.Requests) / (rec.WallMS / 1000)
+	}
+	if rec.HotWallMS > 0 {
+		rec.HotPerSec = float64(len(hot)) / (rec.HotWallMS / 1000)
+	}
+	m := svc.Snapshot()
+	rec.CacheHits, rec.CacheMisses, rec.RoundsServed = m.CacheHits, m.CacheMisses, m.RoundsSimulated
 	return rec, nil
 }
 
@@ -161,6 +279,13 @@ func main() {
 				continue
 			}
 			record.Benchmarks = append(record.Benchmarks, rec)
+		}
+		svcRec, err := serviceBench()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "service bench: %v\n", err)
+			failed = true
+		} else {
+			record.Service = svcRec
 		}
 	}
 	if *jsonPath != "" {

@@ -1,0 +1,95 @@
+// Command gatherd serves simulations over HTTP: the daemon form of the
+// repository. Scenarios arrive as spec JSON (the same documents gathersim
+// -dump-spec emits), sweeps as SweepDef JSON, and since every run is a
+// deterministic function of its spec, results are served from a
+// content-addressed LRU cache — repeat traffic costs an O(1) lookup, and
+// concurrent identical submissions compile and run exactly once.
+//
+// Usage:
+//
+//	gatherd [-addr :8080] [-cache 1024] [-workers 2] [-parallelism 0]
+//	        [-backlog 1024] [-max-sweep-specs 10000]
+//
+// API (see DESIGN.md §8 for the full table):
+//
+//	POST   /v1/run               run one ScenarioSpec synchronously
+//	POST   /v1/sweeps            submit a SweepDef, returns a job id
+//	GET    /v1/jobs/{id}         job status
+//	GET    /v1/jobs/{id}/results NDJSON result stream, input order
+//	DELETE /v1/jobs/{id}         cancel a job
+//	GET    /healthz              liveness
+//	GET    /metrics              requests, cache hit rate, queue depth,
+//	                             rounds simulated per second
+//
+// Pipelines compose: `gathersim -dump-spec | curl -d @- host:8080/v1/run`
+// runs a CLI-assembled scenario remotely, and a saved response's spec can
+// be replayed locally with `gathersim -spec -`.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nochatter/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gatherd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		cacheSize     = flag.Int("cache", 1024, "result cache capacity, in entries")
+		workers       = flag.Int("workers", 2, "concurrent sweep jobs")
+		parallelism   = flag.Int("parallelism", 0, "concurrent specs per job (0 = GOMAXPROCS)")
+		backlog       = flag.Int("backlog", 1024, "maximum queued (not yet running) jobs")
+		maxSweepSpecs = flag.Int("max-sweep-specs", 10000, "reject sweeps expanding to more specs than this")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		CacheSize:     *cacheSize,
+		Workers:       *workers,
+		Parallelism:   *parallelism,
+		Backlog:       *backlog,
+		MaxSweepSpecs: *maxSweepSpecs,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("gatherd: serving on %s", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("gatherd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	svc.Close()
+	return nil
+}

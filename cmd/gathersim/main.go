@@ -11,7 +11,10 @@
 //	          [-msg 101,0110] [-trace-every 1000] [-max-rounds 0]
 //	gathersim -dump-spec > scenario.json
 //	gathersim -spec scenario.json
+//	gathersim -dump-spec | gathersim -spec -
 //
+// -spec - reads the spec from stdin, so specs pipe straight from
+// -dump-spec output or gatherd responses.
 // -wakes accepts -1 for "dormant until visited". For -algo unknown the
 // scenario must match a configuration of at most 3 nodes (see DESIGN.md).
 // For -graph grid and -graph torus, -rows selects the number of rows (0
@@ -22,6 +25,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -74,7 +78,18 @@ func run() error {
 			return conflict
 		}
 		var err error
-		if sp, err = spec.Load(*specPath); err != nil {
+		if *specPath == "-" {
+			// Specs pipe straight from gatherd responses or -dump-spec
+			// output: `gathersim -dump-spec | gathersim -spec -`.
+			data, rerr := io.ReadAll(os.Stdin)
+			if rerr != nil {
+				return fmt.Errorf("reading spec from stdin: %w", rerr)
+			}
+			sp, err = spec.Parse(data)
+		} else {
+			sp, err = spec.Load(*specPath)
+		}
+		if err != nil {
 			return err
 		}
 		flag.Visit(func(f *flag.Flag) {

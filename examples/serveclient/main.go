@@ -1,0 +1,148 @@
+// Serveclient drives the gatherd HTTP API as a client: it submits a sweep
+// definition as an async job, follows the NDJSON result stream in input
+// order, and then demonstrates the content-addressed cache by running one
+// spec twice ("cached": false, then true).
+//
+// By default it spins up the service in-process on a loopback listener, so
+// the example is self-contained:
+//
+//	go run ./examples/serveclient
+//
+// Point it at a running daemon instead with -addr:
+//
+//	go run ./cmd/gatherd &
+//	go run ./examples/serveclient -addr http://localhost:8080
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+
+	"nochatter"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "serveclient:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "", "gatherd base URL (empty = start the service in-process)")
+	flag.Parse()
+
+	base := *addr
+	if base == "" {
+		svc := nochatter.NewService(nochatter.ServiceConfig{})
+		defer svc.Close()
+		srv := httptest.NewServer(svc.Handler())
+		defer srv.Close()
+		base = srv.URL
+		fmt.Printf("started in-process service at %s\n\n", base)
+	}
+
+	// A sweep as data: two families × three sizes × one team, named per
+	// spec. This same JSON document works against any gatherd.
+	def := nochatter.SweepDef{
+		Name:     "serve-{family}-n{n}",
+		Families: []string{"ring", "torus"},
+		Sizes:    []int{9, 12, 16},
+		Teams:    []nochatter.SweepTeam{{Labels: []int{2, 7}}},
+	}
+	body, err := json.Marshal(def)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var acc nochatter.SweepAccepted
+	err = json.NewDecoder(resp.Body).Decode(&acc)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("submitting sweep: HTTP %d", resp.StatusCode)
+	}
+	fmt.Printf("job %s accepted: %d specs, state %s\n", acc.JobID, acc.Specs, acc.State)
+
+	// Stream results: the endpoint delivers NDJSON lines in input order as
+	// soon as each next-in-order result exists, following the running job.
+	stream, err := http.Get(base + "/v1/jobs/" + acc.JobID + "/results")
+	if err != nil {
+		return err
+	}
+	defer stream.Body.Close()
+	scanner := bufio.NewScanner(stream.Body)
+	scanner.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for scanner.Scan() {
+		var r nochatter.JobResult
+		if err := json.Unmarshal(scanner.Bytes(), &r); err != nil {
+			return fmt.Errorf("bad result line: %w", err)
+		}
+		if r.Error != "" {
+			fmt.Printf("  %-18s ERROR %s\n", r.Name, r.Error)
+			continue
+		}
+		fmt.Printf("  %-18s gathered=%v rounds=%-8d stepped=%-6d cached=%v\n",
+			r.Name, r.Result.AllHaltedTogether(), r.Result.Rounds, r.Result.SteppedRounds, r.Cached)
+	}
+	if err := scanner.Err(); err != nil {
+		return err
+	}
+
+	// The cache in action: the same spec twice. Identical specs are pure
+	// functions of their canonical JSON, so the second run is an O(1)
+	// lookup — "cached": true, bit-identical result.
+	sp := nochatter.ScenarioSpec{
+		Graph: nochatter.GraphSpec{Family: "ring", N: 16},
+		Agents: []nochatter.SpecAgent{
+			{Label: 21, Start: 0, Algorithm: nochatter.KnownAlgorithm()},
+			{Label: 35, Start: 8, Algorithm: nochatter.KnownAlgorithm()},
+		},
+	}
+	specJSON, err := json.Marshal(sp)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(base+"/v1/run", "application/json", bytes.NewReader(specJSON))
+		if err != nil {
+			return err
+		}
+		var rr nochatter.RunResponse
+		err = json.NewDecoder(resp.Body).Decode(&rr)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("run: HTTP %d", resp.StatusCode)
+		}
+		fmt.Printf("run %d: key %s... cached=%v rounds=%d\n", i+1, rr.Key[:12], rr.Cached, rr.Result.Rounds)
+	}
+
+	var m nochatter.ServiceMetrics
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	err = json.NewDecoder(resp.Body).Decode(&m)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nmetrics: %d run requests, hit rate %.2f, %d rounds simulated (%.0f rounds/s)\n",
+		m.RunRequests, m.CacheHitRate, m.RoundsSimulated, m.RoundsPerSecond)
+	return nil
+}

@@ -1,0 +1,126 @@
+package service
+
+import (
+	"strings"
+	"testing"
+
+	"nochatter/internal/spec"
+)
+
+func key(t *testing.T, sp spec.ScenarioSpec) string {
+	t.Helper()
+	k, err := SpecKey(sp)
+	if err != nil {
+		t.Fatalf("SpecKey: %v", err)
+	}
+	return k
+}
+
+// TestSpecKeyStableAcrossSpellings proves the content address is a function
+// of the scenario's semantics: field order, number spelling, map iteration
+// order and the name label must not change the key.
+func TestSpecKeyStableAcrossSpellings(t *testing.T) {
+	goBuilt := spec.ScenarioSpec{
+		Name:  "a-label-that-must-not-matter",
+		Graph: spec.GraphSpec{Family: "ring", N: 8},
+		Agents: []spec.AgentSpec{
+			{Label: 1, Start: 0, Algorithm: spec.Randomized(1<<60+3, 0)},
+			{Label: 2, Start: 4, Algorithm: spec.Randomized(1<<60+3, 0)},
+		},
+	}
+	// The same scenario hand-written as JSON: reordered fields, a different
+	// name, the seed spelled as a plain integer literal (parsed as
+	// json.Number, not uint64), horizon absent.
+	parsed, err := spec.Parse([]byte(`{
+		"agents": [
+			{"algorithm": {"params": {"seed": 1152921504606846979}, "name": "randomized"}, "start": 0, "label": 1},
+			{"label": 2, "start": 4, "algorithm": {"name": "randomized", "params": {"seed": 1152921504606846979}}}
+		],
+		"graph": {"n": 8, "family": "ring"},
+		"name": "another-label"
+	}`))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if k1, k2 := key(t, goBuilt), key(t, parsed); k1 != k2 {
+		t.Errorf("Go-built and parsed spellings of one scenario hash differently:\n%s\n%s", k1, k2)
+	}
+}
+
+// TestSpecKeyNormalizesNumbers proves 1.0-style float spellings and integer
+// spellings of the same parameter collide, while different values do not.
+func TestSpecKeyNormalizesNumbers(t *testing.T) {
+	intParam := spec.ScenarioSpec{
+		Graph: spec.GraphSpec{Family: "ring", N: 6},
+		Agents: []spec.AgentSpec{{Label: 1, Algorithm: spec.AlgorithmSpec{
+			Name: "custom", Params: map[string]any{"x": 7},
+		}}},
+	}
+	floatParam := intParam
+	floatParam.Agents = []spec.AgentSpec{{Label: 1, Algorithm: spec.AlgorithmSpec{
+		Name: "custom", Params: map[string]any{"x": 7.0},
+	}}}
+	if key(t, intParam) != key(t, floatParam) {
+		t.Errorf("7 and 7.0 hash differently")
+	}
+	other := intParam
+	other.Agents = []spec.AgentSpec{{Label: 1, Algorithm: spec.AlgorithmSpec{
+		Name: "custom", Params: map[string]any{"x": 8},
+	}}}
+	if key(t, intParam) == key(t, other) {
+		t.Errorf("different parameter values hash identically")
+	}
+}
+
+// TestSpecKeySeparatesScenarios spot-checks that semantically different
+// specs get different keys.
+func TestSpecKeySeparatesScenarios(t *testing.T) {
+	base := spec.ScenarioSpec{
+		Graph: spec.GraphSpec{Family: "ring", N: 8},
+		Agents: []spec.AgentSpec{
+			{Label: 1, Start: 0, Algorithm: spec.Known()},
+			{Label: 2, Start: 4, Algorithm: spec.Known()},
+		},
+	}
+	seen := map[string]string{key(t, base): "base"}
+	for name, mutate := range map[string]func(*spec.ScenarioSpec){
+		"graph size":  func(sp *spec.ScenarioSpec) { sp.Graph.N = 9 },
+		"family":      func(sp *spec.ScenarioSpec) { sp.Graph.Family = "path" },
+		"start":       func(sp *spec.ScenarioSpec) { sp.Agents[1].Start = 5 },
+		"wake":        func(sp *spec.ScenarioSpec) { sp.Agents[1].Wake = 3 },
+		"label":       func(sp *spec.ScenarioSpec) { sp.Agents[0].Label = 7 },
+		"algorithm":   func(sp *spec.ScenarioSpec) { sp.Agents[0].Algorithm = spec.Gossip("1") },
+		"max rounds":  func(sp *spec.ScenarioSpec) { sp.MaxRounds = 99 },
+		"agent count": func(sp *spec.ScenarioSpec) { sp.Agents = sp.Agents[:1] },
+	} {
+		sp := base
+		sp.Agents = append([]spec.AgentSpec(nil), base.Agents...)
+		mutate(&sp)
+		k := key(t, sp)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("mutation %q collides with %q", name, prev)
+		}
+		seen[k] = name
+	}
+}
+
+// TestCanonicalSpecShape pins the canonical encoding's gross shape: compact,
+// sorted keys, no name.
+func TestCanonicalSpecShape(t *testing.T) {
+	canon, err := CanonicalSpec(spec.ScenarioSpec{
+		Name:   "dropped",
+		Graph:  spec.GraphSpec{Family: "ring", N: 3},
+		Agents: []spec.AgentSpec{{Label: 1, Algorithm: spec.Known()}},
+	})
+	if err != nil {
+		t.Fatalf("CanonicalSpec: %v", err)
+	}
+	got := string(canon)
+	if strings.Contains(got, "dropped") {
+		t.Errorf("canonical encoding leaks the name: %s", got)
+	}
+	want := `{"agents":[{"algorithm":{"name":"known"},"label":1,"start":0}],"graph":{"family":"ring","n":3}}`
+	if got != want {
+		t.Errorf("canonical encoding drifted:\ngot  %s\nwant %s", got, want)
+	}
+}

@@ -1,0 +1,183 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"nochatter/internal/sim"
+	"nochatter/internal/spec"
+)
+
+// maxBodyBytes bounds request bodies: specs and sweep definitions are small
+// JSON documents; anything larger is abuse, not traffic.
+const maxBodyBytes = 4 << 20
+
+// RunResponse is the wire form of POST /v1/run: the spec's content address,
+// whether the result was served without a fresh engine run, and the run
+// result itself. Result bytes are json.Marshal of the same *sim.RunResult
+// an in-process sim.Run returns, so HTTP results are bit-identical to
+// local ones (see the differential test).
+type RunResponse struct {
+	Key    string         `json:"key"`
+	Cached bool           `json:"cached"`
+	Result *sim.RunResult `json:"result"`
+}
+
+// SweepAccepted is the wire form of POST /v1/sweeps: the job to poll.
+type SweepAccepted struct {
+	JobID string   `json:"job_id"`
+	State JobState `json:"state"`
+	Specs int      `json:"specs"`
+}
+
+// errorResponse is the uniform error body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the gatherd HTTP API:
+//
+//	POST   /v1/run               run one spec synchronously, cache-aware
+//	POST   /v1/sweeps            submit a sweep definition as an async job
+//	GET    /v1/jobs/{id}         job status
+//	GET    /v1/jobs/{id}/results job results, NDJSON, input order, streamed
+//	DELETE /v1/jobs/{id}         cancel a job
+//	GET    /healthz              liveness
+//	GET    /metrics              service metrics, JSON
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweeps)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleJobResults)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the status line is out; nothing sane to do on error
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooLarge.Limit)
+		} else {
+			writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		}
+		return nil, false
+	}
+	return body, true
+}
+
+// handleRun runs one spec synchronously. Malformed JSON is 400; a spec that
+// fails to compile or run (unknown algorithm, invalid scenario, max-rounds
+// exceeded) is 422 — the request was well-formed, the scenario is not
+// servable.
+func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	sp, err := spec.Parse(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key, res, cached, err := s.RunSpec(sp)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RunResponse{Key: key, Cached: cached, Result: res})
+}
+
+// handleSweeps expands a sweep definition and enqueues it as a job.
+func (s *Service) handleSweeps(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	def, err := spec.ParseSweepDef(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	st, err := s.SubmitSweep(def)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, SweepAccepted{JobID: st.ID, State: st.State, Specs: st.Specs})
+}
+
+func (s *Service) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.CancelJob(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleJobResults streams the job's results as NDJSON in input order,
+// following a still-running job live: each line is written (and flushed) as
+// soon as the next in-order result exists, long-poll style, until the job
+// is terminal or the client goes away.
+func (s *Service) handleJobResults(w http.ResponseWriter, r *http.Request) {
+	jb, ok := s.queue.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for i := 0; ; i++ {
+		res, ok := jb.waitResult(r.Context(), i)
+		if !ok {
+			return // terminal with no further results, or client gone
+		}
+		if err := enc.Encode(res); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}

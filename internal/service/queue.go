@@ -1,0 +1,281 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"nochatter/internal/sim"
+	"nochatter/internal/spec"
+)
+
+// JobState is the lifecycle position of a queued sweep:
+// queued → running → done | failed. Cancellation lands in failed with
+// Error "canceled".
+type JobState string
+
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// JobResult is one spec's outcome within a job — one line of the NDJSON
+// results stream, delivered in input order.
+type JobResult struct {
+	Index  int            `json:"index"`
+	Name   string         `json:"name,omitempty"`
+	Key    string         `json:"key,omitempty"`
+	Cached bool           `json:"cached"`
+	Result *sim.RunResult `json:"result,omitempty"`
+	Error  string         `json:"error,omitempty"`
+}
+
+// JobStatus is the wire form of a job's current state.
+type JobStatus struct {
+	ID        string   `json:"id"`
+	State     JobState `json:"state"`
+	Specs     int      `json:"specs"`
+	Completed int      `json:"completed"`
+	Error     string   `json:"error,omitempty"`
+}
+
+// job is the internal state of one queued sweep. Workers fill results out
+// of order; ready is the in-order delivery watermark streaming readers wait
+// on, so a results stream always observes input order regardless of which
+// spec finishes first.
+type job struct {
+	id    string
+	specs []spec.ScenarioSpec
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	state    JobState
+	results  []JobResult
+	filled   []bool
+	ready    int // results[:ready] are deliverable
+	errMsg   string
+	canceled bool
+}
+
+func newJob(id string, specs []spec.ScenarioSpec) *job {
+	jb := &job{
+		id:      id,
+		specs:   specs,
+		state:   JobQueued,
+		results: make([]JobResult, len(specs)),
+		filled:  make([]bool, len(specs)),
+	}
+	jb.cond = sync.NewCond(&jb.mu)
+	return jb
+}
+
+// setResult records spec i's outcome and advances the in-order watermark.
+func (jb *job) setResult(i int, r JobResult) {
+	jb.mu.Lock()
+	defer jb.mu.Unlock()
+	jb.results[i] = r
+	jb.filled[i] = true
+	for jb.ready < len(jb.filled) && jb.filled[jb.ready] {
+		jb.ready++
+	}
+	jb.cond.Broadcast()
+}
+
+// start moves the job to running unless it was canceled while queued.
+func (jb *job) start() bool {
+	jb.mu.Lock()
+	defer jb.mu.Unlock()
+	if jb.state != JobQueued {
+		return false
+	}
+	jb.state = JobRunning
+	jb.cond.Broadcast()
+	return true
+}
+
+// finish terminalizes the job.
+func (jb *job) finish(state JobState, errMsg string) {
+	jb.mu.Lock()
+	defer jb.mu.Unlock()
+	if jb.state == JobDone || jb.state == JobFailed {
+		return
+	}
+	jb.state = state
+	jb.errMsg = errMsg
+	jb.cond.Broadcast()
+}
+
+// cancel marks the job canceled. A queued job fails immediately; a running
+// job's executor observes the mark between specs (in-flight runs complete —
+// the engine has no mid-run abort) and then fails the job.
+func (jb *job) cancel() {
+	jb.mu.Lock()
+	wasQueued := jb.state == JobQueued
+	jb.canceled = true
+	jb.mu.Unlock()
+	if wasQueued {
+		jb.finish(JobFailed, "canceled")
+	}
+}
+
+func (jb *job) isCanceled() bool {
+	jb.mu.Lock()
+	defer jb.mu.Unlock()
+	return jb.canceled
+}
+
+func (jb *job) terminal() bool {
+	return jb.state == JobDone || jb.state == JobFailed // callers hold jb.mu
+}
+
+// isTerminal is the locking form of terminal, for callers outside the
+// job's own methods (queue eviction).
+func (jb *job) isTerminal() bool {
+	jb.mu.Lock()
+	defer jb.mu.Unlock()
+	return jb.terminal()
+}
+
+// status snapshots the job for the API.
+func (jb *job) status() JobStatus {
+	jb.mu.Lock()
+	defer jb.mu.Unlock()
+	completed := 0
+	for _, f := range jb.filled {
+		if f {
+			completed++
+		}
+	}
+	return JobStatus{ID: jb.id, State: jb.state, Specs: len(jb.specs), Completed: completed, Error: jb.errMsg}
+}
+
+// waitResult blocks until result i is deliverable in order, the job reaches
+// a terminal state without producing it, or ctx is done. ok reports whether
+// a result was delivered.
+func (jb *job) waitResult(ctx context.Context, i int) (r JobResult, ok bool) {
+	stop := context.AfterFunc(ctx, func() {
+		jb.mu.Lock()
+		jb.cond.Broadcast()
+		jb.mu.Unlock()
+	})
+	defer stop()
+	jb.mu.Lock()
+	defer jb.mu.Unlock()
+	for jb.ready <= i && !jb.terminal() && ctx.Err() == nil {
+		jb.cond.Wait()
+	}
+	if ctx.Err() != nil || jb.ready <= i {
+		return JobResult{}, false
+	}
+	return jb.results[i], true
+}
+
+// queue runs submitted jobs on a bounded pool of job workers. The exec
+// callback (service.go) runs one job's specs and must terminalize the job.
+// The store is bounded: beyond retain jobs, the oldest terminal ones are
+// evicted on submission (order tracks submission order for that sweep).
+type queue struct {
+	mu      sync.Mutex
+	jobs    map[string]*job
+	order   []string
+	retain  int
+	nextID  int
+	running int
+	pending chan *job
+	wg      sync.WaitGroup
+}
+
+// newQueue starts workers goroutines draining the pending channel.
+func newQueue(workers, backlog, retain int, exec func(*job)) *queue {
+	if workers < 1 {
+		workers = 1
+	}
+	if backlog < 1 {
+		backlog = 1024
+	}
+	if retain < 1 {
+		retain = 1
+	}
+	q := &queue{jobs: make(map[string]*job), retain: retain, pending: make(chan *job, backlog)}
+	for w := 0; w < workers; w++ {
+		q.wg.Add(1)
+		go func() {
+			defer q.wg.Done()
+			for jb := range q.pending {
+				if !jb.start() {
+					continue // canceled while queued
+				}
+				q.mu.Lock()
+				q.running++
+				q.mu.Unlock()
+				exec(jb)
+				q.mu.Lock()
+				q.running--
+				q.mu.Unlock()
+			}
+		}()
+	}
+	return q
+}
+
+// submit registers a new job for the specs and enqueues it; it fails when
+// the backlog is full rather than blocking the caller.
+func (q *queue) submit(specs []spec.ScenarioSpec) (*job, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("service: job has no specs")
+	}
+	q.mu.Lock()
+	q.nextID++
+	jb := newJob(fmt.Sprintf("j%06d", q.nextID), specs)
+	q.jobs[jb.id] = jb
+	q.order = append(q.order, jb.id)
+	// Evict the oldest terminal jobs beyond the retention bound; live jobs
+	// are never evicted, so the store can transiently exceed the bound
+	// under a backlog of unfinished jobs.
+	for len(q.jobs) > q.retain {
+		evicted := false
+		for i, id := range q.order {
+			if old := q.jobs[id]; old.isTerminal() {
+				delete(q.jobs, id)
+				q.order = append(q.order[:i], q.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break
+		}
+	}
+	q.mu.Unlock()
+	select {
+	case q.pending <- jb:
+		return jb, nil
+	default:
+		jb.finish(JobFailed, "queue backlog full")
+		return nil, fmt.Errorf("service: queue backlog full (%d jobs pending)", cap(q.pending))
+	}
+}
+
+// get looks a job up by id.
+func (q *queue) get(id string) (*job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	jb, ok := q.jobs[id]
+	return jb, ok
+}
+
+// depth reports the number of queued (submitted, not yet started) and
+// currently running jobs.
+func (q *queue) depth() (queued, running int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending), q.running
+}
+
+// close stops accepting work and waits for the workers to drain.
+func (q *queue) close() {
+	close(q.pending)
+	q.wg.Wait()
+}

@@ -1,0 +1,361 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nochatter/internal/sim"
+	"nochatter/internal/spec"
+)
+
+// Config sizes a Service. The zero value selects the defaults noted per
+// field.
+type Config struct {
+	// CacheSize bounds the LRU result cache, in entries (default 1024).
+	CacheSize int
+	// Workers bounds how many sweep jobs run concurrently (default 2).
+	Workers int
+	// Parallelism bounds how many specs of one job run concurrently
+	// (default GOMAXPROCS).
+	Parallelism int
+	// Backlog bounds the number of submitted-but-not-started jobs
+	// (default 1024); submissions beyond it are rejected, not queued.
+	Backlog int
+	// MaxSweepSpecs rejects sweep submissions that expand to more specs
+	// than this (default 10000) — the guard against a three-line sweep
+	// definition fanning out into an unbounded amount of work.
+	MaxSweepSpecs int
+	// RetainedJobs bounds the job store (default 4096): when a submission
+	// would exceed it, the oldest *terminal* jobs — results included — are
+	// evicted and their ids start returning 404. Without a bound, a
+	// long-running daemon would retain every job ever submitted.
+	RetainedJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize <= 0 {
+		c.CacheSize = 1024
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.Backlog <= 0 {
+		c.Backlog = 1024
+	}
+	if c.MaxSweepSpecs <= 0 {
+		c.MaxSweepSpecs = 10000
+	}
+	if c.RetainedJobs <= 0 {
+		c.RetainedJobs = 4096
+	}
+	return c
+}
+
+// Service is the simulation-as-a-service core: a content-addressed result
+// cache with singleflight deduplication in front of the deterministic
+// compile-and-run path, plus an async job queue for sweeps. cmd/gatherd
+// serves its Handler; tests and benchmarks drive it in-process.
+type Service struct {
+	cfg   Config
+	cache *resultCache
+	fl    flightGroup
+	queue *queue
+	start time.Time
+
+	// execute compiles and runs one spec; tests swap it to count
+	// executions. It must stay deterministic.
+	execute func(spec.ScenarioSpec) (*sim.RunResult, error)
+
+	requests      atomic.Int64 // HTTP requests served (any endpoint)
+	runRequests   atomic.Int64 // specs served via RunSpec (HTTP or job)
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
+	coalesced     atomic.Int64 // joined a concurrent identical execution
+	sweepJobs     atomic.Int64
+	specsExecuted atomic.Int64 // actual engine runs (misses only)
+	roundsSim     atomic.Int64 // logical rounds of those runs
+	roundsStepped atomic.Int64 // engine-stepped rounds of those runs
+}
+
+// New returns a started service; Close releases its job workers.
+func New(cfg Config) *Service {
+	s := &Service{cfg: cfg.withDefaults(), start: time.Now()}
+	s.cache = newResultCache(s.cfg.CacheSize)
+	s.execute = s.compileAndRun
+	s.queue = newQueue(s.cfg.Workers, s.cfg.Backlog, s.cfg.RetainedJobs, s.runJob)
+	return s
+}
+
+// Close drains the job workers. Jobs still queued run to completion first.
+func (s *Service) Close() { s.queue.close() }
+
+func (s *Service) compileAndRun(sp spec.ScenarioSpec) (*sim.RunResult, error) {
+	sc, err := sp.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(sc)
+}
+
+// RunSpec serves one spec through the cache: a hit returns the stored
+// outcome (result or memoized deterministic failure), a miss compiles and
+// runs exactly once even under N concurrent identical submissions
+// (singleflight), then stores the outcome. cached reports whether this
+// caller's answer came without a fresh engine run (cache hit or coalesced
+// execution). Results are shared; callers must not mutate them.
+func (s *Service) RunSpec(sp spec.ScenarioSpec) (key string, res *sim.RunResult, cached bool, err error) {
+	s.runRequests.Add(1)
+	key, err = SpecKey(sp)
+	if err != nil {
+		return "", nil, false, err
+	}
+	if v, ok := s.cache.get(key); ok {
+		s.cacheHits.Add(1)
+		res, err = unpackOutcome(v)
+		return key, res, true, err
+	}
+	res, err, shared := s.fl.do(key, func() (*sim.RunResult, error) {
+		// Re-check under the flight: a leader for this key may have
+		// finished (storing the outcome and retiring its call) between our
+		// cache miss and entering the flight group; without this, that
+		// window would re-execute the run.
+		if v, ok := s.cache.get(key); ok {
+			return unpackOutcome(v)
+		}
+		r, err := s.execute(sp)
+		if err != nil {
+			s.cache.add(key, cachedFailure{msg: err.Error()})
+			return nil, err
+		}
+		s.specsExecuted.Add(1)
+		s.roundsSim.Add(int64(r.Rounds))
+		s.roundsStepped.Add(int64(r.SteppedRounds))
+		s.cache.add(key, r)
+		return r, nil
+	})
+	if shared {
+		s.coalesced.Add(1)
+	} else {
+		s.cacheMisses.Add(1)
+	}
+	if err != nil {
+		return key, nil, shared, err
+	}
+	return key, res, shared, nil
+}
+
+// unpackOutcome splits a cached value into result-or-error form.
+func unpackOutcome(v any) (*sim.RunResult, error) {
+	switch x := v.(type) {
+	case *sim.RunResult:
+		return x, nil
+	case cachedFailure:
+		return nil, errors.New(x.msg)
+	default: // unreachable: the cache only stores the two outcome types
+		return nil, fmt.Errorf("service: unexpected cache entry %T", v)
+	}
+}
+
+// maxTeamSize bounds one team of a submitted sweep: team construction
+// allocates per-agent slices, so an absurd size in a tiny JSON document
+// must be rejected before any allocation happens.
+const maxTeamSize = 1 << 20
+
+// SubmitSweep expands a sweep definition and enqueues its specs as one
+// async job, returning the job's initial status. Expansion is bounded as
+// it streams: a definition whose product exceeds MaxSweepSpecs is rejected
+// after materializing at most MaxSweepSpecs+1 specs, never the full
+// product.
+func (s *Service) SubmitSweep(def spec.SweepDef) (JobStatus, error) {
+	for _, k := range def.TeamSizes {
+		if k > maxTeamSize {
+			return JobStatus{}, fmt.Errorf("service: sweep team size %d exceeds the limit of %d", k, maxTeamSize)
+		}
+	}
+	for _, tm := range def.Teams {
+		if len(tm.Labels) > maxTeamSize {
+			return JobStatus{}, fmt.Errorf("service: sweep team of %d agents exceeds the limit of %d", len(tm.Labels), maxTeamSize)
+		}
+	}
+	limit := s.cfg.MaxSweepSpecs
+	// The product of the axis lengths bounds (and, filters being absent
+	// from definitions, equals) the spec count, so an over-limit sweep is
+	// rejected arithmetically — before even the graph axis materializes.
+	graphs := addCapped(len(def.Graphs), mulCapped(len(def.Families), len(def.Sizes), limit), limit)
+	teams := addCapped(len(def.Teams), len(def.TeamSizes), limit)
+	product := mulCapped(graphs, teams, limit)
+	if def.Zip {
+		product = graphs
+	}
+	product = mulCapped(product, maxOne(len(def.Wakes)), limit)
+	product = mulCapped(product, maxOne(len(def.Algorithms)), limit)
+	if product > limit {
+		return JobStatus{}, fmt.Errorf("service: sweep expands to more than %d specs", limit)
+	}
+	specs, err := def.Specs()
+	if err != nil {
+		return JobStatus{}, err
+	}
+	return s.SubmitSpecs(specs)
+}
+
+// mulCapped multiplies non-negative a and b, saturating at cap+1 (so
+// comparisons against cap stay valid without overflow).
+func mulCapped(a, b, cap int) int {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > cap/b+1 {
+		return cap + 1
+	}
+	if p := a * b; p <= cap {
+		return p
+	}
+	return cap + 1
+}
+
+// addCapped adds non-negative a and b, saturating at cap+1.
+func addCapped(a, b, cap int) int {
+	if s := a + b; s <= cap {
+		return s
+	}
+	return cap + 1
+}
+
+// maxOne maps an absent (empty) axis to its implicit single element.
+func maxOne(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// SubmitSpecs enqueues an explicit spec list as one async job.
+func (s *Service) SubmitSpecs(specs []spec.ScenarioSpec) (JobStatus, error) {
+	if len(specs) > s.cfg.MaxSweepSpecs {
+		return JobStatus{}, fmt.Errorf("service: sweep expands to %d specs, above the limit of %d", len(specs), s.cfg.MaxSweepSpecs)
+	}
+	jb, err := s.queue.submit(specs)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	s.sweepJobs.Add(1)
+	return jb.status(), nil
+}
+
+// Job returns the status of a job.
+func (s *Service) Job(id string) (JobStatus, bool) {
+	jb, ok := s.queue.get(id)
+	if !ok {
+		return JobStatus{}, false
+	}
+	return jb.status(), true
+}
+
+// CancelJob cancels a job: queued jobs fail immediately, running jobs stop
+// starting new specs and then fail.
+func (s *Service) CancelJob(id string) (JobStatus, bool) {
+	jb, ok := s.queue.get(id)
+	if !ok {
+		return JobStatus{}, false
+	}
+	jb.cancel()
+	return jb.status(), true
+}
+
+// runJob executes a job's specs on a bounded worker pool, each spec served
+// through the cache (so overlapping sweeps and repeat submissions reuse
+// results), and terminalizes the job. Results land in input order behind
+// the job's delivery watermark.
+func (s *Service) runJob(jb *job) {
+	p := s.cfg.Parallelism
+	if p > len(jb.specs) {
+		p = len(jb.specs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				sp := jb.specs[i]
+				key, res, cached, err := s.RunSpec(sp)
+				r := JobResult{Index: i, Name: sp.Name, Key: key, Cached: cached, Result: res}
+				if err != nil {
+					r.Error = err.Error()
+				}
+				jb.setResult(i, r)
+			}
+		}()
+	}
+	canceled := false
+	for i := range jb.specs {
+		if jb.isCanceled() {
+			canceled = true
+			break
+		}
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	if canceled || jb.isCanceled() {
+		jb.finish(JobFailed, "canceled")
+		return
+	}
+	jb.finish(JobDone, "")
+}
+
+// Metrics is the wire form of GET /metrics.
+type Metrics struct {
+	Requests        int64   `json:"requests"`
+	RunRequests     int64   `json:"run_requests"`
+	CacheHits       int64   `json:"cache_hits"`
+	CacheMisses     int64   `json:"cache_misses"`
+	Coalesced       int64   `json:"coalesced"`
+	CacheHitRate    float64 `json:"cache_hit_rate"`
+	CacheEntries    int     `json:"cache_entries"`
+	SweepJobs       int64   `json:"sweep_jobs"`
+	JobsQueued      int     `json:"jobs_queued"`
+	JobsRunning     int     `json:"jobs_running"`
+	SpecsExecuted   int64   `json:"specs_executed"`
+	RoundsSimulated int64   `json:"rounds_simulated"`
+	SteppedRounds   int64   `json:"stepped_rounds"`
+	UptimeSeconds   float64 `json:"uptime_seconds"`
+	RoundsPerSecond float64 `json:"rounds_per_second"`
+}
+
+// Snapshot returns current service metrics. Hit rate counts coalesced
+// executions as hits — the work was not repeated. Rounds/sec is logical
+// rounds simulated over process uptime: the event-driven engine's
+// fast-forward makes it far exceed stepped rounds per second.
+func (s *Service) Snapshot() Metrics {
+	m := Metrics{
+		Requests:        s.requests.Load(),
+		RunRequests:     s.runRequests.Load(),
+		CacheHits:       s.cacheHits.Load(),
+		CacheMisses:     s.cacheMisses.Load(),
+		Coalesced:       s.coalesced.Load(),
+		CacheEntries:    s.cache.len(),
+		SweepJobs:       s.sweepJobs.Load(),
+		SpecsExecuted:   s.specsExecuted.Load(),
+		RoundsSimulated: s.roundsSim.Load(),
+		SteppedRounds:   s.roundsStepped.Load(),
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+	}
+	m.JobsQueued, m.JobsRunning = s.queue.depth()
+	if served := m.CacheHits + m.Coalesced + m.CacheMisses; served > 0 {
+		m.CacheHitRate = float64(m.CacheHits+m.Coalesced) / float64(served)
+	}
+	if m.UptimeSeconds > 0 {
+		m.RoundsPerSecond = float64(m.RoundsSimulated) / m.UptimeSeconds
+	}
+	return m
+}

@@ -58,9 +58,9 @@ type walkSpec struct {
 // Report carries the algorithm-specific results an agent program returns when
 // it declares completion.
 type Report struct {
-	Leader int            // elected leader label; 0 if the algorithm elects none
-	Size   int            // learned graph size; 0 if not learned
-	Gossip map[string]int // message -> multiplicity, for gossip algorithms
+	Leader int            `json:"leader,omitempty"` // elected leader label; 0 if the algorithm elects none
+	Size   int            `json:"size,omitempty"`   // learned graph size; 0 if not learned
+	Gossip map[string]int `json:"gossip,omitempty"` // message -> multiplicity, for gossip algorithms
 }
 
 // Program is a complete agent algorithm. It runs in its own goroutine and

@@ -48,24 +48,27 @@ type Scenario struct {
 const DefaultMaxRounds = 50_000_000
 
 // AgentResult is the per-agent outcome of a run.
+// The JSON tags define the wire form the service layer returns; marshaling
+// is deterministic (fixed field order, sorted gossip map keys), so equal
+// results serialize to identical bytes.
 type AgentResult struct {
-	Label      int
-	Halted     bool
-	HaltRound  int // global round in which the program returned (-1 if not)
-	FinalNode  int
-	WokenRound int // global round in which the agent woke (-1 if never)
-	Report     Report
+	Label      int    `json:"label"`
+	Halted     bool   `json:"halted"`
+	HaltRound  int    `json:"halt_round"` // global round in which the program returned (-1 if not)
+	FinalNode  int    `json:"final_node"`
+	WokenRound int    `json:"woken_round"` // global round in which the agent woke (-1 if never)
+	Report     Report `json:"report"`
 }
 
 // RunResult is the outcome of a completed run.
 type RunResult struct {
-	Rounds int // rounds elapsed until the last agent halted
-	Agents []AgentResult
+	Rounds int           `json:"rounds"` // rounds elapsed until the last agent halted
+	Agents []AgentResult `json:"agents"`
 
 	// SteppedRounds counts the rounds the engine actually processed; the
 	// difference to Rounds is what the event-driven clock fast-forwarded
 	// over. It is diagnostic only and carries no model semantics.
-	SteppedRounds int
+	SteppedRounds int `json:"stepped_rounds"`
 }
 
 // AllHaltedTogether reports whether every agent halted, all in the same round

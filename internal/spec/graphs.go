@@ -26,8 +26,11 @@ func RegisterGraphFamily(name string, b GraphBuilderFunc) {
 		panic("spec: RegisterGraphFamily needs a name and a builder")
 	}
 	graphMu.Lock()
-	defer graphMu.Unlock()
 	graphReg[name] = b
+	graphMu.Unlock()
+	// A replaced builder can change what a GraphSpec of this family
+	// denotes; drop memoized sequences built under the old builder.
+	invalidateSequences(name)
 }
 
 // GraphFamilies returns the registered family names, sorted.

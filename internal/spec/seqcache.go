@@ -1,0 +1,82 @@
+package spec
+
+import (
+	"sync"
+
+	"nochatter/internal/graph"
+	"nochatter/internal/ues"
+)
+
+// The sequence memo caches ues.Sequence construction across compilations,
+// keyed by the GraphSpec the compilation built its graph from. Building the
+// universal exploration sequence is the expensive half of compiling a spec
+// (exhaustive cover-from-every-start proof), and a service compiling the
+// same graph shape over and over — every cache-miss request of a popular
+// size — would otherwise pay it every time. GraphSpec is a comparable
+// value, and equal GraphSpecs build identical graphs (family builders are
+// deterministic), so equal keys mean interchangeable sequences. Sequences
+// are immutable after Build and already shared by a whole team, so sharing
+// them across compilations is safe.
+//
+// The memo is bounded (FIFO eviction). The map is guarded by a mutex, but
+// construction itself runs outside it under a per-shape sync.Once:
+// concurrent compilations of the same shape build the sequence once, while
+// distinct shapes — a parallel cold sweep — build in parallel.
+var (
+	seqMu    sync.Mutex
+	seqMemo  = map[GraphSpec]*seqEntry{}
+	seqOrder []GraphSpec
+)
+
+// seqEntry is one memo slot; once fills seq exactly once, after the map
+// mutex is released.
+type seqEntry struct {
+	once sync.Once
+	seq  *ues.Sequence
+}
+
+// seqMemoCap bounds the memo; 256 distinct graph shapes far exceeds any
+// realistic hot set while keeping worst-case memory trivial.
+const seqMemoCap = 256
+
+// sequenceFor returns the memoized sequence for gs, building (and caching)
+// it from g on first use. An entry evicted or invalidated while its build
+// is in flight still completes for its waiters; the next request simply
+// rebuilds.
+func sequenceFor(gs GraphSpec, g *graph.Graph) *ues.Sequence {
+	seqMu.Lock()
+	e, ok := seqMemo[gs]
+	if !ok {
+		if len(seqOrder) >= seqMemoCap {
+			delete(seqMemo, seqOrder[0])
+			seqOrder = seqOrder[1:]
+		}
+		e = &seqEntry{}
+		seqMemo[gs] = e
+		seqOrder = append(seqOrder, gs)
+	}
+	seqMu.Unlock()
+	e.once.Do(func() { e.seq = ues.Build(g) })
+	return e.seq
+}
+
+// invalidateSequences drops memoized sequences of one family (any family
+// when name is empty). RegisterGraphFamily calls it: replacing a family's
+// builder can change what graph a GraphSpec denotes, which would make the
+// memo silently stale.
+func invalidateSequences(name string) {
+	seqMu.Lock()
+	defer seqMu.Unlock()
+	kept := seqOrder[:0]
+	for _, gs := range seqOrder {
+		if name == "" || gs.Family == name {
+			delete(seqMemo, gs)
+		} else {
+			kept = append(kept, gs)
+		}
+	}
+	seqOrder = kept
+}
+
+// resetSequenceMemo clears the memo entirely (tests and benchmarks).
+func resetSequenceMemo() { invalidateSequences("") }

@@ -222,10 +222,13 @@ func (ar *Artifacts) Spec() *ScenarioSpec { return ar.scenario }
 func (ar *Artifacts) Graph() *graph.Graph { return ar.g }
 
 // Sequence returns the run's universal exploration sequence, built once on
-// first use and shared by every agent of the compilation.
+// first use and shared by every agent of the compilation. Construction is
+// memoized across compilations by GraphSpec (seqcache.go), so repeated
+// compilations of the same graph shape — a service's cache-miss traffic —
+// share one sequence instead of rebuilding it.
 func (ar *Artifacts) Sequence() *ues.Sequence {
 	if ar.seq == nil {
-		ar.seq = ues.Build(ar.g)
+		ar.seq = sequenceFor(ar.scenario.Graph, ar.g)
 	}
 	return ar.seq
 }

@@ -54,10 +54,21 @@ type Sweep struct {
 	maxRounds int
 	zip       bool
 	filters   []func(ScenarioSpec) bool
+	err       error // deferred construction error; Each surfaces it
 }
 
 // NewSweep returns an empty sweep; add axes with the chainable setters.
 func NewSweep() *Sweep { return &Sweep{} }
+
+// fail marks the sweep broken; Each (and so Specs) will return err instead
+// of expanding. Construction paths that must not panic on untrusted input
+// (SweepDef.Sweep) use it to defer their validation error.
+func (s *Sweep) fail(err error) *Sweep {
+	if s.err == nil {
+		s.err = err
+	}
+	return s
+}
 
 // Name sets the spec-name template. Placeholders {i}, {family}, {n}, {k},
 // {algo} and {wake} expand per generated spec ({wake} is the index into the
@@ -126,6 +137,9 @@ func (s *Sweep) graphAxis() []GraphSpec {
 // yield; returning false stops early. It streams: nothing is materialized
 // beyond the spec under construction.
 func (s *Sweep) Each(yield func(ScenarioSpec) bool) error {
+	if s.err != nil {
+		return s.err
+	}
 	graphs := s.graphAxis()
 	if len(graphs) == 0 {
 		return fmt.Errorf("spec: sweep has no graphs (use Graphs or Families+Sizes)")

@@ -1,0 +1,115 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// SweepDef is the JSON-serializable form of a Sweep: the same axes the
+// builder composes, as pure data, so a whole sweep — not just its expanded
+// specs — can be saved, submitted over HTTP (POST /v1/sweeps) and replayed.
+// Filters are the one builder feature with no data form (they are opaque Go
+// predicates); a Sweep carrying filters refuses to serialize.
+type SweepDef struct {
+	// Name is the per-spec name template (see Sweep.Name placeholders).
+	Name string `json:"name,omitempty"`
+	// Graphs lists explicit graph specs; Families × Sizes appends its
+	// product after them.
+	Graphs   []GraphSpec `json:"graphs,omitempty"`
+	Families []string    `json:"families,omitempty"`
+	Sizes    []int       `json:"sizes,omitempty"`
+	// Teams lists explicit teams; TeamSizes appends canonical k-agent
+	// teams (labels 1..k at nodes 0..k-1) after them.
+	Teams     []Team  `json:"teams,omitempty"`
+	TeamSizes []int   `json:"team_sizes,omitempty"`
+	Wakes     [][]int `json:"wakes,omitempty"`
+	// Algorithms is the algorithm axis; empty selects Known.
+	Algorithms []AlgorithmSpec `json:"algorithms,omitempty"`
+	MaxRounds  int             `json:"max_rounds,omitempty"`
+	// Zip pairs the graph and team axes index-wise instead of multiplying.
+	Zip bool `json:"zip,omitempty"`
+}
+
+// Validate rejects definition values the builder would panic on rather
+// than error: SweepDefs arrive from untrusted JSON, so bad values are user
+// input. Sweep and Specs call it; axis-level errors (no graphs, length
+// mismatches) still surface at expansion time as with the builder.
+func (d SweepDef) Validate() error {
+	for _, k := range d.TeamSizes {
+		if k < 1 {
+			return fmt.Errorf("spec: sweep team size %d is not positive", k)
+		}
+	}
+	return nil
+}
+
+// Sweep builds the live sweep the definition describes. An invalid
+// definition (see Validate) yields a sweep whose expansion fails with the
+// validation error.
+func (d SweepDef) Sweep() *Sweep {
+	if err := d.Validate(); err != nil {
+		return NewSweep().fail(err)
+	}
+	s := NewSweep().Name(d.Name).
+		Graphs(d.Graphs...).Families(d.Families...).Sizes(d.Sizes...).
+		Teams(d.Teams...).TeamSizes(d.TeamSizes...).
+		WakeSchedules(d.Wakes...).Algorithms(d.Algorithms...).
+		MaxRounds(d.MaxRounds)
+	if d.Zip {
+		s.Zip()
+	}
+	return s
+}
+
+// Specs expands the definition into its scenario specs.
+func (d SweepDef) Specs() ([]ScenarioSpec, error) {
+	return d.Sweep().Specs()
+}
+
+// MarshalIndentJSON renders the definition as indented JSON.
+func (d SweepDef) MarshalIndentJSON() ([]byte, error) {
+	buf, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// ParseSweepDef decodes a SweepDef from JSON with the same strictness as
+// Parse: unknown fields and trailing content are rejected, and numbers
+// decode as json.Number so 64-bit algorithm parameters keep full precision.
+func ParseSweepDef(data []byte) (SweepDef, error) {
+	var d SweepDef
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	dec.UseNumber()
+	if err := dec.Decode(&d); err != nil {
+		return SweepDef{}, fmt.Errorf("spec: parse sweep: %w", err)
+	}
+	if dec.More() {
+		return SweepDef{}, fmt.Errorf("spec: parse sweep: trailing content after the sweep definition")
+	}
+	return d, nil
+}
+
+// Def returns the sweep's serializable definition. It fails when the sweep
+// carries filters: a Go predicate has no data form, so a filtered sweep is
+// not round-trippable and silently dropping the filter would change the
+// generated specs.
+func (s *Sweep) Def() (SweepDef, error) {
+	if len(s.filters) > 0 {
+		return SweepDef{}, fmt.Errorf("spec: a sweep with filters has no serializable definition")
+	}
+	return SweepDef{
+		Name:       s.name,
+		Graphs:     s.graphs,
+		Families:   s.families,
+		Sizes:      s.sizes,
+		Teams:      s.teams,
+		Wakes:      s.wakes,
+		Algorithms: s.algos,
+		MaxRounds:  s.maxRounds,
+		Zip:        s.zip,
+	}, nil
+}

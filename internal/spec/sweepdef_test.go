@@ -1,0 +1,127 @@
+package spec
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func specsJSON(t *testing.T, sps []ScenarioSpec) string {
+	t.Helper()
+	buf, err := json.Marshal(sps)
+	if err != nil {
+		t.Fatalf("marshal specs: %v", err)
+	}
+	return string(buf)
+}
+
+// TestSweepDefRoundTrip proves a builder sweep survives the data form:
+// builder → Def → JSON → ParseSweepDef → Sweep generates the identical
+// spec list.
+func TestSweepDefRoundTrip(t *testing.T) {
+	s := NewSweep().
+		Name("rt-{family}-n{n}-k{k}-{algo}-w{wake}").
+		Families("ring", "path").Sizes(4, 6).
+		Graphs(GraphSpec{Family: "gnp", N: 8, P: 0.4, Seed: 7}).
+		Teams(Team{Labels: []int{3, 5, 7}, Starts: []int{0, 1, 2}}).
+		TeamSizes(3).
+		WakeSchedules(nil, []int{0, 1, 2}).
+		Algorithms(Known(), Randomized(1<<60+3, 0)).
+		MaxRounds(123)
+	want, err := s.Specs()
+	if err != nil {
+		t.Fatalf("original sweep: %v", err)
+	}
+
+	def, err := s.Def()
+	if err != nil {
+		t.Fatalf("Def: %v", err)
+	}
+	buf, err := def.MarshalIndentJSON()
+	if err != nil {
+		t.Fatalf("marshal def: %v", err)
+	}
+	parsed, err := ParseSweepDef(buf)
+	if err != nil {
+		t.Fatalf("parse def: %v", err)
+	}
+	got, err := parsed.Specs()
+	if err != nil {
+		t.Fatalf("round-tripped sweep: %v", err)
+	}
+	// Compare through JSON: params round-trip as json.Number, so the wire
+	// form — what compilation and hashing consume — is the equality that
+	// matters.
+	if g, w := specsJSON(t, got), specsJSON(t, want); g != w {
+		t.Errorf("round-tripped sweep diverges:\ngot  %s\nwant %s", g, w)
+	}
+	if len(want) == 0 {
+		t.Fatalf("sweep generated no specs")
+	}
+}
+
+// TestSweepDefWakeSchedulesRespectTeamSize guards the wake axis through the
+// data form: schedules whose length mismatches the team must still fail.
+func TestSweepDefWakeSchedulesRespectTeamSize(t *testing.T) {
+	def := SweepDef{
+		Families: []string{"ring"},
+		Sizes:    []int{4},
+		Teams:    []Team{{Labels: []int{1, 2}}},
+		Wakes:    [][]int{{0, 1, 2}},
+	}
+	if _, err := def.Specs(); err == nil || !strings.Contains(err.Error(), "mismatch") {
+		t.Errorf("mismatched wake schedule: err=%v, want length mismatch", err)
+	}
+}
+
+// TestSweepDefZipAndTeamSizes exercises the two remaining axes knobs in
+// data form.
+func TestSweepDefZipAndTeamSizes(t *testing.T) {
+	def := SweepDef{
+		Graphs: []GraphSpec{{Family: "ring", N: 6}, {Family: "path", N: 5}},
+		Teams:  []Team{{Labels: []int{1}}, {Labels: []int{1, 2}}},
+		Zip:    true,
+	}
+	sps, err := def.Specs()
+	if err != nil {
+		t.Fatalf("zip sweep: %v", err)
+	}
+	if len(sps) != 2 || len(sps[0].Agents) != 1 || len(sps[1].Agents) != 2 {
+		t.Fatalf("zip pairing broken: %+v", sps)
+	}
+	def2 := SweepDef{Families: []string{"ring"}, Sizes: []int{8}, TeamSizes: []int{2, 3}}
+	sps2, err := def2.Specs()
+	if err != nil {
+		t.Fatalf("team_sizes sweep: %v", err)
+	}
+	if len(sps2) != 2 || len(sps2[0].Agents) != 2 || len(sps2[1].Agents) != 3 {
+		t.Fatalf("team_sizes expansion broken: got %d specs", len(sps2))
+	}
+	// The canonical team matches TeamOfSize.
+	if !reflect.DeepEqual(sps2[0].Agents[0], AgentSpec{Label: 1, Start: 0, Algorithm: Known()}) {
+		t.Errorf("canonical team drifted: %+v", sps2[0].Agents[0])
+	}
+}
+
+// TestSweepDefRejectsUnknownFields keeps hand-written sweep documents
+// honest, exactly like spec parsing.
+func TestSweepDefRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseSweepDef([]byte(`{"families":["ring"],"sizzes":[4]}`)); err == nil {
+		t.Errorf("unknown field accepted")
+	}
+	if _, err := ParseSweepDef([]byte(`{"families":["ring"]} trailing`)); err == nil {
+		t.Errorf("trailing content accepted")
+	}
+}
+
+// TestSweepWithFiltersHasNoDef pins the one deliberate serialization gap:
+// opaque filter predicates cannot be represented, so Def must refuse rather
+// than silently drop them.
+func TestSweepWithFiltersHasNoDef(t *testing.T) {
+	s := NewSweep().Families("ring").Sizes(4).TeamSizes(2).
+		Filter(func(ScenarioSpec) bool { return true })
+	if _, err := s.Def(); err == nil || !strings.Contains(err.Error(), "filters") {
+		t.Errorf("filtered sweep serialized: err=%v", err)
+	}
+}

@@ -80,6 +80,17 @@
 // algorithms products of ScenarioSpecs declaratively (see
 // examples/batchsweep).
 //
+// # Simulation as a service
+//
+// cmd/gatherd serves all of the above over HTTP. Because every run is a
+// deterministic function of its spec, the daemon fronts the engine with a
+// content-addressed result cache (canonical-JSON SHA-256 keys, bounded LRU,
+// singleflight deduplication) and an async job queue for sweeps: POST a
+// ScenarioSpec to /v1/run for a cache-aware synchronous result, POST a
+// SweepDef to /v1/sweeps and stream NDJSON results in input order from
+// /v1/jobs/{id}/results. NewService embeds the same machinery in-process
+// (see examples/serveclient and DESIGN.md §8).
+//
 // See DESIGN.md for the system inventory, the documented substitutions
 // (exploration sequences, rendezvous procedure, EST) and the experiment
 // index, and EXPERIMENTS.md for the reproduced claims.
@@ -92,6 +103,7 @@ import (
 	"nochatter/internal/gossip"
 	"nochatter/internal/graph"
 	"nochatter/internal/randomized"
+	"nochatter/internal/service"
 	"nochatter/internal/sim"
 	"nochatter/internal/spec"
 	"nochatter/internal/ues"
@@ -178,6 +190,56 @@ type (
 	// SweepTeam is the team axis of a Sweep: labels plus optional starts
 	// and wakes.
 	SweepTeam = spec.Team
+	// SweepDef is the JSON-serializable form of a Sweep — the document
+	// POST /v1/sweeps accepts (Sweep.Def and SweepDef.Sweep convert).
+	SweepDef = spec.SweepDef
+)
+
+// Simulation as a service: the content-addressed cache, job queue and HTTP
+// API behind cmd/gatherd, re-exported from internal/service so clients of
+// the daemon share its wire types and embedders can mount the handler in
+// their own servers. See DESIGN.md §8.
+type (
+	// Service is the simulation service: cache-aware single runs, async
+	// sweep jobs, metrics; Service.Handler is the gatherd HTTP API.
+	Service = service.Service
+	// ServiceConfig sizes a Service (cache entries, job workers, per-job
+	// parallelism, backlog, sweep expansion limit).
+	ServiceConfig = service.Config
+	// RunResponse is the wire form of POST /v1/run.
+	RunResponse = service.RunResponse
+	// SweepAccepted is the wire form of POST /v1/sweeps.
+	SweepAccepted = service.SweepAccepted
+	// JobStatus is the wire form of GET /v1/jobs/{id}.
+	JobStatus = service.JobStatus
+	// JobResult is one NDJSON line of GET /v1/jobs/{id}/results.
+	JobResult = service.JobResult
+	// JobState is a job's lifecycle position (queued/running/done/failed).
+	JobState = service.JobState
+	// ServiceMetrics is the wire form of GET /metrics.
+	ServiceMetrics = service.Metrics
+)
+
+// Service construction and spec hashing, re-exported from internal/service.
+var (
+	// NewService returns a started simulation service; Close it when done.
+	NewService = service.New
+	// CanonicalSpec returns a spec's canonical JSON encoding — the cache
+	// key material (name stripped, sorted keys, normalized numbers).
+	CanonicalSpec = service.CanonicalSpec
+	// SpecKey returns a spec's content address: hex SHA-256 of its
+	// canonical encoding. Equal keys mean equal runs.
+	SpecKey = service.SpecKey
+	// ParseSweepDef decodes a SweepDef from JSON (unknown fields rejected).
+	ParseSweepDef = spec.ParseSweepDef
+)
+
+// Job lifecycle states, re-exported from internal/service.
+const (
+	JobQueued  = service.JobQueued
+	JobRunning = service.JobRunning
+	JobDone    = service.JobDone
+	JobFailed  = service.JobFailed
 )
 
 // Spec construction, parsing and registries, re-exported from internal/spec.

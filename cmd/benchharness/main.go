@@ -14,7 +14,10 @@
 // tracking the performance trajectory across PRs. The record also carries
 // service-throughput numbers: distinct specs POSTed to an in-process
 // gatherd cold (cache misses) and hot (cache hits), with requests/sec for
-// both phases.
+// both phases, and an aggregation record comparing summary-mode sweep
+// consumption (one internal/agg document) against raw NDJSON streaming —
+// wall time and bytes shipped for each. The bench sweep's summary table
+// (the same table gathersim -summary prints) goes to stdout.
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"nochatter/internal/agg"
 	"nochatter/internal/experiments"
 	"nochatter/internal/service"
 	"nochatter/internal/sim"
@@ -69,6 +73,26 @@ type serviceRecord struct {
 	RoundsServed   int64   `json:"rounds_simulated"`
 }
 
+// aggRecord is the summary-aggregation entry of the -json perf record: the
+// same sweep consumed four ways. Locally: the fold-as-you-stream path
+// (agg.Summarize, O(workers) memory) vs materializing every raw result and
+// folding afterwards. Over HTTP: a summary=only job answered by one
+// aggregate document vs streaming every raw NDJSON row, plus the repeat
+// summary request served from the summary cache. Bytes are response-body
+// bytes shipped to the client — the row-firehose cost summaries exist to
+// avoid.
+type aggRecord struct {
+	Specs                int     `json:"specs"`
+	Groups               int     `json:"groups"`
+	LocalFoldWallMS      float64 `json:"local_fold_wall_ms"`
+	LocalRawWallMS       float64 `json:"local_raw_wall_ms"`
+	ServiceRawWallMS     float64 `json:"service_raw_wall_ms"`
+	ServiceRawBytes      int64   `json:"service_raw_bytes"`
+	ServiceSummaryWallMS float64 `json:"service_summary_wall_ms"`
+	ServiceSummaryBytes  int64   `json:"service_summary_bytes"`
+	SummaryRepeatWallMS  float64 `json:"service_summary_repeat_wall_ms"`
+}
+
 // perfRecord is the top-level -json document.
 type perfRecord struct {
 	Scale                string             `json:"scale"`
@@ -78,6 +102,7 @@ type perfRecord struct {
 	Experiments          []experimentRecord `json:"experiments"`
 	Benchmarks           []benchRecord      `json:"benchmarks"`
 	Service              *serviceRecord     `json:"service,omitempty"`
+	Aggregation          *aggRecord         `json:"aggregation,omitempty"`
 }
 
 // gatherBench measures one wait-heavy end-to-end gathering (the scenario of
@@ -208,6 +233,134 @@ func serviceBench() (*serviceRecord, error) {
 	return rec, nil
 }
 
+// aggBench measures the same sweep consumed in summary mode vs raw mode,
+// locally and over HTTP (fresh services for each HTTP phase, so both start
+// cold), and prints the sweep's summary table. The local fold and the
+// served summary are the same deterministic artifact — DESIGN.md §9 — so
+// this is a pure consumption-cost comparison.
+func aggBench() (*aggRecord, error) {
+	// The wake-schedule axis multiplies runs per group without multiplying
+	// groups (wakes are not part of the group key), so each (family, n, k)
+	// cell summarizes a distribution over adversarial wake-ups — the shape
+	// where one summary document replaces many raw rows.
+	def := spec.SweepDef{
+		Name:      "agg-{family}-n{n}-w{wake}",
+		Families:  []string{"ring", "path", "complete"},
+		Sizes:     []int{6, 8, 10, 12, 14, 16},
+		TeamSizes: []int{2},
+		Wakes:     [][]int{{0, 0}, {0, 7}, {7, 0}, {0, 31}, {31, 0}, {0, 101}},
+	}
+	specs, err := def.Sweep().Specs()
+	if err != nil {
+		return nil, err
+	}
+	rec := &aggRecord{Specs: len(specs)}
+
+	// Both local phases run the same precompiled scenarios, so the timers
+	// compare run+fold against run+materialize+fold — not compilation.
+	scs, err := spec.CompileAll(specs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Local fold-as-you-stream: results are folded by the workers that
+	// produce them, never materialized.
+	start := time.Now()
+	sum := agg.SummarizeScenarios(sim.NewRunner(), specs, scs)
+	rec.LocalFoldWallMS = float64(time.Since(start).Microseconds()) / 1000
+	rec.Groups = len(sum.Groups())
+
+	// Local raw: materialize every result with RunBatch, then fold.
+	start = time.Now()
+	raw := agg.NewSummary()
+	for _, br := range sim.RunBatch(scs) {
+		raw.Observe(agg.KeyOf(specs[br.Index]), br.Result, br.Err, br.Wall)
+	}
+	rec.LocalRawWallMS = float64(time.Since(start).Microseconds()) / 1000
+
+	body, err := json.Marshal(def)
+	if err != nil {
+		return nil, err
+	}
+	submit := func(base, query string) (string, error) {
+		resp, err := http.Post(base+"/v1/sweeps"+query, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		var acc service.SweepAccepted
+		if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil {
+			return "", err
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return "", fmt.Errorf("sweep submit: HTTP %d", resp.StatusCode)
+		}
+		return acc.JobID, nil
+	}
+	fetch := func(base, path string) (int64, error) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		n, err := io.Copy(io.Discard, resp.Body)
+		if err != nil {
+			return 0, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("GET %s: HTTP %d", path, resp.StatusCode)
+		}
+		return n, nil
+	}
+
+	// Raw streaming over HTTP: submit, then drain every NDJSON row.
+	{
+		svc := service.New(service.Config{})
+		srv := httptest.NewServer(svc.Handler())
+		start = time.Now()
+		id, err := submit(srv.URL, "")
+		if err == nil {
+			rec.ServiceRawBytes, err = fetch(srv.URL, "/v1/jobs/"+id+"/results")
+		}
+		rec.ServiceRawWallMS = float64(time.Since(start).Microseconds()) / 1000
+		srv.Close()
+		svc.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Summary mode over HTTP: submit summary=only (raw rows are never
+	// retained), long-poll the one summary document, then repeat the GET to
+	// measure the summary-cache hit.
+	{
+		svc := service.New(service.Config{})
+		srv := httptest.NewServer(svc.Handler())
+		start = time.Now()
+		id, err := submit(srv.URL, "?summary=only")
+		if err == nil {
+			rec.ServiceSummaryBytes, err = fetch(srv.URL, "/v1/jobs/"+id+"/summary")
+		}
+		rec.ServiceSummaryWallMS = float64(time.Since(start).Microseconds()) / 1000
+		if err == nil {
+			start = time.Now()
+			_, err = fetch(srv.URL, "/v1/jobs/"+id+"/summary")
+			rec.SummaryRepeatWallMS = float64(time.Since(start).Microseconds()) / 1000
+		}
+		srv.Close()
+		svc.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	sum.Table(fmt.Sprintf("aggregation bench sweep (%d scenarios)", rec.Specs)).Render(os.Stdout)
+	fmt.Printf("  summary mode shipped %d bytes vs %d raw (%.1fx less)\n\n",
+		rec.ServiceSummaryBytes, rec.ServiceRawBytes,
+		float64(rec.ServiceRawBytes)/float64(rec.ServiceSummaryBytes))
+	return rec, nil
+}
+
 func main() {
 	full := flag.Bool("full", false, "run full-scale experiments (slower)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -286,6 +439,13 @@ func main() {
 			failed = true
 		} else {
 			record.Service = svcRec
+		}
+		aggRec, err := aggBench()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aggregation bench: %v\n", err)
+			failed = true
+		} else {
+			record.Aggregation = aggRec
 		}
 	}
 	if *jsonPath != "" {

@@ -10,12 +10,17 @@
 //	gatherd [-addr :8080] [-cache 1024] [-workers 2] [-parallelism 0]
 //	        [-backlog 1024] [-max-sweep-specs 10000]
 //
-// API (see DESIGN.md §8 for the full table):
+// API (see DESIGN.md §8 for the full table, §9 for summaries):
 //
 //	POST   /v1/run               run one ScenarioSpec synchronously
-//	POST   /v1/sweeps            submit a SweepDef, returns a job id
+//	POST   /v1/sweeps            submit a SweepDef, returns a job id;
+//	                             ?summary=only discards raw result rows
 //	GET    /v1/jobs/{id}         job status
 //	GET    /v1/jobs/{id}/results NDJSON result stream, input order
+//	GET    /v1/jobs/{id}/summary streaming aggregate of the sweep (counts,
+//	                             p50/p90/p99 of rounds, stepped rounds,
+//	                             moves, wall time; grouped by sweep axes),
+//	                             cached under a key derived from the specs
 //	DELETE /v1/jobs/{id}         cancel a job
 //	GET    /healthz              liveness
 //	GET    /metrics              requests, cache hit rate, queue depth,
@@ -23,7 +28,10 @@
 //
 // Pipelines compose: `gathersim -dump-spec | curl -d @- host:8080/v1/run`
 // runs a CLI-assembled scenario remotely, and a saved response's spec can
-// be replayed locally with `gathersim -spec -`.
+// be replayed locally with `gathersim -spec -`. A sweep whose consumer only
+// wants the percentiles never ships a row per scenario: submit with
+// ?summary=only and GET the summary — one document regardless of sweep
+// size, bit-identical to what gathersim -sweep computes locally.
 package main
 
 import (

@@ -1,20 +1,30 @@
-// Command gathersim runs one gathering scenario and reports the outcome,
-// optionally tracing agent positions. Scenarios are data: the flags below
-// assemble a spec.ScenarioSpec, -dump-spec prints that spec as JSON instead
-// of running, and -spec runs a saved spec file — so every invocation is
-// reproducible from a serialized artifact.
+// Command gathersim runs one gathering scenario — or a whole sweep — and
+// reports the outcome, optionally tracing agent positions. Scenarios are
+// data: the flags below assemble a spec.ScenarioSpec, -dump-spec prints
+// that spec as JSON instead of running, and -spec runs a saved spec file —
+// so every invocation is reproducible from a serialized artifact.
 //
 // Usage:
 //
 //	gathersim [-graph ring] [-n 8] [-rows 0] [-labels 5,9] [-starts 0,4]
 //	          [-wakes 0,-1] [-algo known|gossip|unknown|randomized|baseline]
-//	          [-msg 101,0110] [-trace-every 1000] [-max-rounds 0]
+//	          [-msg 101,0110] [-trace-every 1000] [-max-rounds 0] [-summary]
 //	gathersim -dump-spec > scenario.json
 //	gathersim -spec scenario.json
 //	gathersim -dump-spec | gathersim -spec -
+//	gathersim -sweep sweep.json [-parallelism 8]
 //
 // -spec - reads the spec from stdin, so specs pipe straight from
 // -dump-spec output or gatherd responses.
+//
+// -sweep runs a SweepDef file (the same JSON document POST /v1/sweeps
+// accepts; - reads stdin) locally on a parallel worker pool and prints the
+// internal/agg summary table — runs, gathering rate, p50/p90/p99 of rounds,
+// stepped rounds and moves, wall time — grouped by the sweep's axes. The
+// raw per-scenario results are folded as they stream and never
+// materialized, so sweep size is bounded by patience, not memory.
+// -summary prints the same table after a single-scenario run.
+//
 // -wakes accepts -1 for "dormant until visited". For -algo unknown the
 // scenario must match a configuration of at most 3 nodes (see DESIGN.md).
 // For -graph grid and -graph torus, -rows selects the number of rows (0
@@ -30,7 +40,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
+	"nochatter/internal/agg"
 	"nochatter/internal/sim"
 	"nochatter/internal/spec"
 )
@@ -57,8 +69,28 @@ func run() error {
 		maxRounds  = flag.Int("max-rounds", 0, "abort after this many rounds (0 = engine default)")
 		specPath   = flag.String("spec", "", "run a saved scenario spec (JSON file) instead of building one from flags")
 		dumpSpec   = flag.Bool("dump-spec", false, "print the spec the flags assemble as JSON and exit")
+		sweepPath  = flag.String("sweep", "", "run a sweep definition (JSON file, - for stdin) and print its summary table")
+		parallel   = flag.Int("parallelism", 0, "concurrent scenarios for -sweep (0 = GOMAXPROCS)")
+		summary    = flag.Bool("summary", false, "print the aggregate summary table after the run")
 	)
 	flag.Parse()
+
+	if *sweepPath != "" {
+		// The sweep defines everything: scenario-shaping flags would be
+		// silently ignored, so reject them.
+		var conflict error
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "sweep", "parallelism", "summary":
+			default:
+				conflict = fmt.Errorf("-%s conflicts with -sweep: the sweep file defines the scenarios", f.Name)
+			}
+		})
+		if conflict != nil {
+			return conflict
+		}
+		return runSweep(*sweepPath, *parallel)
+	}
 
 	var sp spec.ScenarioSpec
 	if *specPath != "" {
@@ -69,7 +101,7 @@ func run() error {
 		var conflict error
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "spec", "max-rounds", "trace-every", "dump-spec":
+			case "spec", "max-rounds", "trace-every", "dump-spec", "summary":
 			default:
 				conflict = fmt.Errorf("-%s conflicts with -spec: the spec file defines the scenario", f.Name)
 			}
@@ -134,7 +166,9 @@ func run() error {
 		}))
 	}
 
+	start := time.Now()
 	res, err := sim.NewRunner(opts...).Run(sc)
+	wall := time.Since(start)
 	if err != nil {
 		return err
 	}
@@ -159,11 +193,52 @@ func run() error {
 		}
 		fmt.Println()
 	}
+	if *summary {
+		s := agg.NewSummary()
+		s.Observe(agg.KeyOf(sp), res, nil, wall)
+		fmt.Println()
+		s.Table("summary").Render(os.Stdout)
+	}
 	if res.AllHaltedTogether() {
 		fmt.Printf("GATHERED in round %d at node %d\n", res.Rounds, res.Agents[0].FinalNode)
 		return nil
 	}
 	return fmt.Errorf("agents did not gather")
+}
+
+// runSweep expands a SweepDef file, runs every spec on the worker pool with
+// the fold-as-you-stream path — raw results are folded into the summary as
+// they complete, never materialized — and renders the shared agg table
+// (identical to what GET /v1/jobs/{id}/summary reports for the same sweep).
+func runSweep(path string, parallelism int) error {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return fmt.Errorf("reading sweep: %w", err)
+	}
+	def, err := spec.ParseSweepDef(data)
+	if err != nil {
+		return err
+	}
+	specs, err := def.Sweep().Specs()
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	s, err := agg.Summarize(sim.NewRunner(sim.WithParallelism(parallelism)), specs)
+	if err != nil {
+		return err
+	}
+	s.Table(fmt.Sprintf("sweep summary (%d scenarios in %v)", s.Total.Runs, time.Since(start).Round(time.Millisecond))).Render(os.Stdout)
+	if s.Total.Errors > 0 {
+		return fmt.Errorf("%d of %d scenarios failed", s.Total.Errors, s.Total.Runs)
+	}
+	return nil
 }
 
 // specFromFlags assembles the scenario spec the scenario flags describe.

@@ -1,14 +1,17 @@
-// Batch sweep: scenarios as data. A spec.Sweep declares a family × size
-// product with a two-agent team — no hand-rolled scenario loops — and every
-// generated ScenarioSpec is pure data (JSON-round-trippable; one is printed
-// below). The compiled scenarios run on the parallel worker pool with
-// STREAMED results: Runner.Stream delivers each outcome in input order as
-// soon as its turn completes, without materializing the result slice — the
-// consumption pattern of sweeps too large to hold in memory.
+// Batch sweep with streaming summaries: a spec.Sweep declares a families ×
+// sizes product with a two-agent team — no hand-rolled scenario loops — and
+// every generated ScenarioSpec is pure data (JSON-round-trippable; one is
+// printed below). The whole sweep is then folded into a nochatter.Summary
+// AS RESULTS STREAM off the parallel worker pool: each worker reduces its
+// own runs (counts, min/max, log-bucket histograms) and the per-worker
+// summaries merge at the end, so the raw result set is never materialized —
+// the consumption pattern of sweeps too large to hold in memory. The
+// summary is bit-identical whatever the parallelism.
 //
-// The event-driven engine reports, per run, how many rounds it actually
-// processed (SteppedRounds) versus how many rounds the agents lived through
-// (Rounds): the difference is waiting time the engine fast-forwarded.
+// The printed table groups by the sweep's axes and reports gathering rate
+// and p50/p90/p99 of gather rounds, engine-stepped rounds (the difference
+// is what the event-driven engine fast-forwarded) and moves. The same table
+// comes out of `gathersim -sweep` and, over HTTP, GET /v1/jobs/{id}/summary.
 //
 // Run with: go run ./examples/batchsweep
 package main
@@ -28,12 +31,13 @@ func main() {
 }
 
 func run() error {
-	// One spec per ring size: two agents at antipodal nodes (the default
-	// team spread), gathering under a known upper bound.
+	// Two families × five sizes × two team sizes: twenty scenarios, each a
+	// serializable artifact. Agents start spread over the graph (the
+	// default team placement) and gather under a known upper bound.
 	sweep := nochatter.NewSweep().
-		Families("ring").Sizes(4, 6, 8, 10, 12, 14, 16).
-		Teams(nochatter.SweepTeam{Labels: []int{1, 2}}).
-		Name("ring-sweep-n{n}")
+		Families("ring", "path").Sizes(4, 6, 8, 10, 12).
+		TeamSizes(2, 3).
+		Name("sweep-{family}-n{n}-k{k}")
 	specs, err := sweep.Specs()
 	if err != nil {
 		return err
@@ -46,27 +50,23 @@ func run() error {
 	}
 	fmt.Printf("spec %q as JSON:\n%s\n", specs[0].Name, buf)
 
-	scenarios, err := nochatter.CompileSpecs(specs)
+	// Fold as you stream: results reduce into the summary the moment a
+	// worker finishes them. Nothing is materialized, and running this with
+	// parallelism 1 instead of 4 produces the identical summary.
+	summary, err := nochatter.Summarize(
+		nochatter.NewRunner(nochatter.WithParallelism(4)), specs)
 	if err != nil {
 		return err
 	}
+	summary.Table(fmt.Sprintf("sweep summary (%d scenarios)", summary.Total.Runs)).Render(os.Stdout)
 
-	fmt.Println("name            | declared round | engine-stepped rounds | fast-forwarded")
-	var firstErr error
-	nochatter.RunStream(scenarios, func(br nochatter.BatchResult) bool {
-		if br.Err != nil {
-			firstErr = fmt.Errorf("%s: %w", specs[br.Index].Name, br.Err)
-			return false
-		}
-		res := br.Result
-		if !res.AllHaltedTogether() {
-			firstErr = fmt.Errorf("%s: agents failed to gather", specs[br.Index].Name)
-			return false
-		}
-		fmt.Printf("%-15s | %14d | %21d | %13.1f%%\n",
-			specs[br.Index].Name, res.Rounds, res.SteppedRounds,
-			100*(1-float64(res.SteppedRounds)/float64(res.Rounds+1)))
-		return true
-	}, nochatter.WithParallelism(4))
-	return firstErr
+	fmt.Printf("\nall gathered: %v; median gather round %.0f, p99 %.0f; median moves %.0f\n",
+		summary.Total.Gathered == summary.Total.Runs,
+		summary.Total.Rounds.Quantile(0.5),
+		summary.Total.Rounds.Quantile(0.99),
+		summary.Total.Moves.Quantile(0.5))
+	if summary.Total.Errors > 0 {
+		return fmt.Errorf("%d scenarios failed", summary.Total.Errors)
+	}
+	return nil
 }

@@ -1,7 +1,11 @@
 // Serveclient drives the gatherd HTTP API as a client: it submits a sweep
 // definition as an async job, follows the NDJSON result stream in input
-// order, and then demonstrates the content-addressed cache by running one
-// spec twice ("cached": false, then true).
+// order, fetches the sweep's streaming summary (GET /v1/jobs/{id}/summary —
+// one aggregate document with grouped percentiles instead of a row per
+// scenario), resubmits the same sweep summary=only to show the
+// summary-cache hit and the raw-row refusal, and finally demonstrates the
+// content-addressed result cache by running one spec twice ("cached":
+// false, then true).
 //
 // By default it spins up the service in-process on a loopback listener, so
 // the example is self-contained:
@@ -99,6 +103,55 @@ func run() error {
 	if err := scanner.Err(); err != nil {
 		return err
 	}
+
+	// The whole sweep as one document: the summary endpoint serves the
+	// streaming aggregate — grouped counts and p50/p90/p99 of rounds,
+	// stepped rounds and moves — folded while the job ran. No raw rows
+	// needed to learn a percentile.
+	var sum nochatter.SummaryResponse
+	resp, err = http.Get(base + "/v1/jobs/" + acc.JobID + "/summary")
+	if err != nil {
+		return err
+	}
+	err = json.NewDecoder(resp.Body).Decode(&sum)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nsummary (cached=%v): %d runs, %d gathered, median gather round %.0f\n",
+		sum.Cached, sum.Summary.Total.Runs, sum.Summary.Total.Gathered,
+		sum.Summary.Total.Rounds.Quantile(0.5))
+	for _, g := range sum.Summary.Groups() {
+		fmt.Printf("  %-7s n=%-3d rounds p50 %-8.0f p99 %-8.0f moves p50 %.0f\n",
+			g.Family, g.N, g.Rounds.Quantile(0.5), g.Rounds.Quantile(0.99), g.Moves.Quantile(0.5))
+	}
+
+	// The same sweep submitted summary=only: the job retains no raw rows
+	// at all (its results endpoint answers 409), and because the summary is
+	// a deterministic artifact cached under a key derived from the specs,
+	// this second job's summary is served from cache — "cached": true.
+	resp, err = http.Post(base+"/v1/sweeps?summary=only", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var acc2 nochatter.SweepAccepted
+	err = json.NewDecoder(resp.Body).Decode(&acc2)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	resp, err = http.Get(base + "/v1/jobs/" + acc2.JobID + "/summary")
+	if err != nil {
+		return err
+	}
+	var sum2 nochatter.SummaryResponse
+	err = json.NewDecoder(resp.Body).Decode(&sum2)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("summary-only resubmission %s: cached=%v, same key=%v\n",
+		acc2.JobID, sum2.Cached, sum2.Key == sum.Key)
 
 	// The cache in action: the same spec twice. Identical specs are pure
 	// functions of their canonical JSON, so the second run is an O(1)

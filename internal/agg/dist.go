@@ -1,0 +1,221 @@
+// Package agg computes streaming, merge-able summaries of simulation
+// sweeps: counts, means, minima/maxima and histogram-derived percentiles
+// (p50/p90/p99) of gather rounds, engine-stepped rounds, total moves and
+// wall time, grouped by the spec axes a sweep varies (graph family, size,
+// team count, algorithm).
+//
+// The design goal is that a million-scenario sweep never materializes a
+// million results to learn one percentile. Every reducer folds one
+// sim.RunResult at a time in O(1) memory, and two summaries merge
+// associatively and commutatively — all state is integer counters, sums,
+// min/max and fixed-boundary histogram buckets — so each worker of a
+// parallel runner folds its own runs locally (sim.FoldBatch) and the merged
+// total is bit-identical regardless of parallelism degree or completion
+// order. The same determinism makes a summary a cacheable artifact: the
+// service layer stores it under a key derived from the sweep's specs and
+// serves repeats without refolding (GET /v1/jobs/{id}/summary).
+//
+// Histograms use fixed logarithmic boundaries (bucket i counts values v
+// with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i)), so histograms of any
+// two runs are always mergeable by element-wise addition and a quantile is
+// a deterministic interpolation inside one bucket. See DESIGN.md §9 for the
+// reducer laws and the bucket scheme.
+//
+// Wall time is the one non-deterministic metric: it is collected and
+// reported like the others, but Summary.CanonicalJSON — the encoding the
+// determinism property tests compare — excludes it.
+package agg
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// nBuckets is the number of histogram buckets: bits.Len64 of a non-negative
+// int64 ranges over 0..63.
+const nBuckets = 64
+
+// Dist is a streaming distribution of non-negative int64 observations:
+// count, sum, min, max and a fixed-boundary log2 histogram from which
+// quantiles are estimated. The zero Dist is empty and ready to use.
+//
+// All state is integral, and Observe and Merge commute and associate, so
+// folding any permutation of the same observations — across any number of
+// independently folding workers — produces the same Dist, bit for bit.
+type Dist struct {
+	Count   int64
+	Sum     int64
+	Min     int64 // meaningful only when Count > 0
+	Max     int64
+	buckets [nBuckets]int64 // bucket i counts values v with bits.Len64(v) == i
+}
+
+// Observe folds one value. Negative values are clamped to 0: every metric
+// the package summarizes (rounds, moves, durations) is non-negative by
+// construction, so a negative value is a caller bug rather than data.
+func (d *Dist) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if d.Count == 0 || v < d.Min {
+		d.Min = v
+	}
+	if d.Count == 0 || v > d.Max {
+		d.Max = v
+	}
+	d.Count++
+	d.Sum += v
+	d.buckets[bits.Len64(uint64(v))]++
+}
+
+// Merge folds o into d. Merging is associative and commutative; merging an
+// empty Dist is the identity.
+func (d *Dist) Merge(o Dist) {
+	if o.Count == 0 {
+		return
+	}
+	if d.Count == 0 || o.Min < d.Min {
+		d.Min = o.Min
+	}
+	if d.Count == 0 || o.Max > d.Max {
+		d.Max = o.Max
+	}
+	d.Count += o.Count
+	d.Sum += o.Sum
+	for i, c := range o.buckets {
+		d.buckets[i] += c
+	}
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty Dist.
+func (d *Dist) Mean() float64 {
+	if d.Count == 0 {
+		return 0
+	}
+	return float64(d.Sum) / float64(d.Count)
+}
+
+// bucketBounds returns the value range [lo, hi] bucket i covers, clamped to
+// the observed [Min, Max] so estimates never leave the data's actual range.
+func (d *Dist) bucketBounds(i int) (lo, hi float64) {
+	if i == 0 {
+		lo, hi = 0, 0
+	} else {
+		lo = float64(int64(1) << (i - 1))
+		hi = float64(int64(1)<<i) - 1
+	}
+	if m := float64(d.Min); lo < m {
+		lo = m
+	}
+	if m := float64(d.Max); hi > m {
+		hi = m
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the histogram: it
+// locates the bucket holding the continuous rank q·(Count-1) and
+// interpolates linearly inside it. The estimate is a deterministic function
+// of the histogram — equal Dists give bit-equal quantiles — and is exact
+// whenever the rank's bucket covers a single value (buckets 0 and 1, or a
+// bucket clamped by Min == Max). An empty Dist returns 0.
+func (d *Dist) Quantile(q float64) float64 {
+	if d.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(d.Count-1)
+	var cum int64
+	for i, c := range d.buckets {
+		if c == 0 {
+			continue
+		}
+		if rank < float64(cum+c) || cum+c == d.Count {
+			lo, hi := d.bucketBounds(i)
+			frac := (rank - float64(cum)) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	return float64(d.Max) // unreachable: the loop covers all Count observations
+}
+
+// distWire is the JSON form of a Dist: the mergeable state (count, sum,
+// min, max, trimmed buckets) plus derived conveniences (mean, p50, p90,
+// p99) recomputed from that state on every marshal.
+type distWire struct {
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Min     int64   `json:"min"`
+	Max     int64   `json:"max"`
+	Mean    float64 `json:"mean"`
+	P50     float64 `json:"p50"`
+	P90     float64 `json:"p90"`
+	P99     float64 `json:"p99"`
+	Buckets []int64 `json:"buckets,omitempty"`
+}
+
+// MarshalJSON renders the Dist with derived fields included. The encoding
+// is deterministic: fixed field order, integral state, and derived floats
+// computed by fixed formulas from that state.
+func (d Dist) MarshalJSON() ([]byte, error) {
+	w := distWire{
+		Count: d.Count,
+		Sum:   d.Sum,
+		Min:   d.Min,
+		Max:   d.Max,
+		Mean:  d.Mean(),
+		P50:   d.Quantile(0.50),
+		P90:   d.Quantile(0.90),
+		P99:   d.Quantile(0.99),
+	}
+	top := -1
+	for i, c := range d.buckets {
+		if c != 0 {
+			top = i
+		}
+	}
+	if top >= 0 {
+		w.Buckets = d.buckets[:top+1]
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON restores the mergeable state; derived fields are recomputed
+// on demand, so a decoded Dist re-marshals to the same bytes. Corrupt or
+// future-format documents fail loudly: a histogram with more than nBuckets
+// buckets or whose bucket total disagrees with Count would silently produce
+// wrong quantiles, so both are rejected.
+func (d *Dist) UnmarshalJSON(data []byte) error {
+	var w distWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if len(w.Buckets) > nBuckets {
+		return fmt.Errorf("agg: histogram has %d buckets, limit %d", len(w.Buckets), nBuckets)
+	}
+	var total int64
+	for _, c := range w.Buckets {
+		total += c
+	}
+	if total != w.Count {
+		return fmt.Errorf("agg: histogram buckets sum to %d, count says %d", total, w.Count)
+	}
+	*d = Dist{Count: w.Count, Sum: w.Sum, Min: w.Min, Max: w.Max}
+	copy(d.buckets[:], w.Buckets)
+	return nil
+}
+
+// round3 truncates a float to three decimals for table rendering (not part
+// of any canonical encoding).
+func round3(f float64) float64 { return math.Round(f*1000) / 1000 }

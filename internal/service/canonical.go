@@ -10,6 +10,13 @@
 // concurrent identical submissions collapse into one run (cache.go,
 // service.go). Sweeps ride the same path: a job (queue.go) is just an
 // ordered list of specs, each served through the cache.
+//
+// Aggregates ride it too (summary.go): every job folds its results into a
+// streaming internal/agg summary as it runs, and because that summary is a
+// deterministic function of the job's specs, it is cached under a derived
+// key (SweepSummaryKey) and served to repeat sweeps without refolding —
+// GET /v1/jobs/{id}/summary, and POST /v1/sweeps?summary=only for sweeps
+// that never retain a raw row at all. See DESIGN.md §9.
 package service
 
 import (

@@ -42,8 +42,11 @@ type errorResponse struct {
 //
 //	POST   /v1/run               run one spec synchronously, cache-aware
 //	POST   /v1/sweeps            submit a sweep definition as an async job
+//	                             (?summary=only discards raw result rows)
 //	GET    /v1/jobs/{id}         job status
 //	GET    /v1/jobs/{id}/results job results, NDJSON, input order, streamed
+//	GET    /v1/jobs/{id}/summary streaming aggregate of the whole sweep,
+//	                             served from the summary cache on repeat
 //	DELETE /v1/jobs/{id}         cancel a job
 //	GET    /healthz              liveness
 //	GET    /metrics              service metrics, JSON
@@ -53,6 +56,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweeps", s.handleSweeps)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleJobResults)
+	mux.HandleFunc("GET /v1/jobs/{id}/summary", s.handleJobSummary)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -110,7 +114,19 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleSweeps expands a sweep definition and enqueues it as a job.
+// ?summary=only selects summary-only mode: the job folds results into its
+// streaming aggregate and discards the raw rows, so consumers that only
+// want percentiles never ship (or store) a row per scenario.
 func (s *Service) handleSweeps(w http.ResponseWriter, r *http.Request) {
+	summaryOnly := false
+	switch v := r.URL.Query().Get("summary"); v {
+	case "", "keep":
+	case "only":
+		summaryOnly = true
+	default:
+		writeError(w, http.StatusBadRequest, "unknown summary mode %q (use summary=only)", v)
+		return
+	}
 	body, ok := readBody(w, r)
 	if !ok {
 		return
@@ -120,7 +136,11 @@ func (s *Service) handleSweeps(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	st, err := s.SubmitSweep(def)
+	submit := s.SubmitSweep
+	if summaryOnly {
+		submit = s.SubmitSweepSummaryOnly
+	}
+	st, err := submit(def)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
@@ -156,6 +176,12 @@ func (s *Service) handleJobResults(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
 		return
 	}
+	if jb.summaryOnly {
+		writeError(w, http.StatusConflict,
+			"job %s was submitted summary=only and retains no raw results; GET /v1/jobs/%s/summary",
+			jb.id, jb.id)
+		return
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
@@ -172,6 +198,29 @@ func (s *Service) handleJobResults(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
+}
+
+// handleJobSummary serves the sweep's streaming aggregate. It long-polls:
+// a request against a still-running job blocks until the job is terminal
+// (or the client goes away), then serves the summary — from the summary
+// cache when this sweep's derived key was already stored by an earlier
+// request or an identical sweep. A failed or canceled job has no summary
+// and answers 409.
+func (s *Service) handleJobSummary(w http.ResponseWriter, r *http.Request) {
+	jb, ok := s.queue.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	if !jb.waitTerminal(r.Context()) {
+		return // client gone before the job finished
+	}
+	resp, err := s.summaryOf(jb)
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"nochatter/internal/agg"
 	"nochatter/internal/sim"
 	"nochatter/internal/spec"
 )
@@ -49,36 +50,66 @@ type job struct {
 	id    string
 	specs []spec.ScenarioSpec
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	state    JobState
-	results  []JobResult
-	filled   []bool
-	ready    int // results[:ready] are deliverable
-	errMsg   string
-	canceled bool
+	// summaryOnly jobs retain no raw results: each spec's outcome is folded
+	// into the summary and no per-spec row state is allocated at all, so a
+	// million-scenario sweep holds one Summary (plus a completion counter)
+	// instead of a million rows. Their /results endpoint refuses; /summary
+	// is the product.
+	summaryOnly bool
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	state     JobState
+	results   []JobResult // nil for summaryOnly jobs
+	filled    []bool      // nil for summaryOnly jobs
+	ready     int         // results[:ready] are deliverable
+	completed int         // specs finished, in any order
+	errMsg    string
+	canceled  bool
+	summary   *agg.Summary // set once when the job completes successfully
+
+	// Memoized summary cache key: a pure function of the immutable spec
+	// list, computed on first summary request rather than per request
+	// (hashing canonicalizes every spec — O(n) work worth doing once).
+	keyOnce   sync.Once
+	sumKey    string
+	sumKeyErr error
 }
 
-func newJob(id string, specs []spec.ScenarioSpec) *job {
+// summaryKey returns the job's derived summary cache key, computing it on
+// first use.
+func (jb *job) summaryKey() (string, error) {
+	jb.keyOnce.Do(func() { jb.sumKey, jb.sumKeyErr = SweepSummaryKey(jb.specs) })
+	return jb.sumKey, jb.sumKeyErr
+}
+
+func newJob(id string, specs []spec.ScenarioSpec, summaryOnly bool) *job {
 	jb := &job{
-		id:      id,
-		specs:   specs,
-		state:   JobQueued,
-		results: make([]JobResult, len(specs)),
-		filled:  make([]bool, len(specs)),
+		id:          id,
+		specs:       specs,
+		summaryOnly: summaryOnly,
+		state:       JobQueued,
+	}
+	if !summaryOnly {
+		jb.results = make([]JobResult, len(specs))
+		jb.filled = make([]bool, len(specs))
 	}
 	jb.cond = sync.NewCond(&jb.mu)
 	return jb
 }
 
 // setResult records spec i's outcome and advances the in-order watermark.
+// Summary-only jobs count the completion but store nothing.
 func (jb *job) setResult(i int, r JobResult) {
 	jb.mu.Lock()
 	defer jb.mu.Unlock()
-	jb.results[i] = r
-	jb.filled[i] = true
-	for jb.ready < len(jb.filled) && jb.filled[jb.ready] {
-		jb.ready++
+	jb.completed++
+	if jb.results != nil {
+		jb.results[i] = r
+		jb.filled[i] = true
+		for jb.ready < len(jb.filled) && jb.filled[jb.ready] {
+			jb.ready++
+		}
 	}
 	jb.cond.Broadcast()
 }
@@ -138,17 +169,44 @@ func (jb *job) isTerminal() bool {
 	return jb.terminal()
 }
 
+// setSummary records the job's completed fold; read with summarySnapshot.
+func (jb *job) setSummary(s *agg.Summary) {
+	jb.mu.Lock()
+	jb.summary = s
+	jb.mu.Unlock()
+}
+
+// summarySnapshot returns the job's summary, or nil if the job has not
+// completed successfully. The summary is written once and never mutated
+// afterwards, so sharing the pointer is safe.
+func (jb *job) summarySnapshot() *agg.Summary {
+	jb.mu.Lock()
+	defer jb.mu.Unlock()
+	return jb.summary
+}
+
+// waitTerminal blocks until the job reaches a terminal state or ctx is
+// done, reporting whether the job is terminal.
+func (jb *job) waitTerminal(ctx context.Context) bool {
+	stop := context.AfterFunc(ctx, func() {
+		jb.mu.Lock()
+		jb.cond.Broadcast()
+		jb.mu.Unlock()
+	})
+	defer stop()
+	jb.mu.Lock()
+	defer jb.mu.Unlock()
+	for !jb.terminal() && ctx.Err() == nil {
+		jb.cond.Wait()
+	}
+	return jb.terminal()
+}
+
 // status snapshots the job for the API.
 func (jb *job) status() JobStatus {
 	jb.mu.Lock()
 	defer jb.mu.Unlock()
-	completed := 0
-	for _, f := range jb.filled {
-		if f {
-			completed++
-		}
-	}
-	return JobStatus{ID: jb.id, State: jb.state, Specs: len(jb.specs), Completed: completed, Error: jb.errMsg}
+	return JobStatus{ID: jb.id, State: jb.state, Specs: len(jb.specs), Completed: jb.completed, Error: jb.errMsg}
 }
 
 // waitResult blocks until result i is deliverable in order, the job reaches
@@ -163,6 +221,9 @@ func (jb *job) waitResult(ctx context.Context, i int) (r JobResult, ok bool) {
 	defer stop()
 	jb.mu.Lock()
 	defer jb.mu.Unlock()
+	if jb.results == nil { // summary-only: no rows exist to wait for
+		return JobResult{}, false
+	}
 	for jb.ready <= i && !jb.terminal() && ctx.Err() == nil {
 		jb.cond.Wait()
 	}
@@ -222,13 +283,13 @@ func newQueue(workers, backlog, retain int, exec func(*job)) *queue {
 
 // submit registers a new job for the specs and enqueues it; it fails when
 // the backlog is full rather than blocking the caller.
-func (q *queue) submit(specs []spec.ScenarioSpec) (*job, error) {
+func (q *queue) submit(specs []spec.ScenarioSpec, summaryOnly bool) (*job, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("service: job has no specs")
 	}
 	q.mu.Lock()
 	q.nextID++
-	jb := newJob(fmt.Sprintf("j%06d", q.nextID), specs)
+	jb := newJob(fmt.Sprintf("j%06d", q.nextID), specs, summaryOnly)
 	q.jobs[jb.id] = jb
 	q.order = append(q.order, jb.id)
 	// Evict the oldest terminal jobs beyond the retention bound; live jobs

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nochatter/internal/agg"
 	"nochatter/internal/sim"
 	"nochatter/internal/spec"
 )
@@ -82,6 +83,8 @@ type Service struct {
 	specsExecuted atomic.Int64 // actual engine runs (misses only)
 	roundsSim     atomic.Int64 // logical rounds of those runs
 	roundsStepped atomic.Int64 // engine-stepped rounds of those runs
+	summaryHits   atomic.Int64 // summaries served straight from the cache
+	summaryMisses atomic.Int64 // summaries stored on first serve
 }
 
 // New returns a started service; Close releases its job workers.
@@ -174,6 +177,19 @@ const maxTeamSize = 1 << 20
 // after materializing at most MaxSweepSpecs+1 specs, never the full
 // product.
 func (s *Service) SubmitSweep(def spec.SweepDef) (JobStatus, error) {
+	return s.submitSweep(def, false)
+}
+
+// SubmitSweepSummaryOnly is SubmitSweep in summary-only mode: the job folds
+// every result into its streaming agg.Summary and discards the raw rows, so
+// the sweep's memory cost is one summary no matter how many specs it
+// expands to. The job's results endpoint refuses; its summary endpoint is
+// the product. This is the wire form POST /v1/sweeps?summary=only selects.
+func (s *Service) SubmitSweepSummaryOnly(def spec.SweepDef) (JobStatus, error) {
+	return s.submitSweep(def, true)
+}
+
+func (s *Service) submitSweep(def spec.SweepDef, summaryOnly bool) (JobStatus, error) {
 	for _, k := range def.TeamSizes {
 		if k > maxTeamSize {
 			return JobStatus{}, fmt.Errorf("service: sweep team size %d exceeds the limit of %d", k, maxTeamSize)
@@ -203,7 +219,7 @@ func (s *Service) SubmitSweep(def spec.SweepDef) (JobStatus, error) {
 	if err != nil {
 		return JobStatus{}, err
 	}
-	return s.SubmitSpecs(specs)
+	return s.submitSpecs(specs, summaryOnly)
 }
 
 // mulCapped multiplies non-negative a and b, saturating at cap+1 (so
@@ -239,10 +255,14 @@ func maxOne(n int) int {
 
 // SubmitSpecs enqueues an explicit spec list as one async job.
 func (s *Service) SubmitSpecs(specs []spec.ScenarioSpec) (JobStatus, error) {
+	return s.submitSpecs(specs, false)
+}
+
+func (s *Service) submitSpecs(specs []spec.ScenarioSpec, summaryOnly bool) (JobStatus, error) {
 	if len(specs) > s.cfg.MaxSweepSpecs {
 		return JobStatus{}, fmt.Errorf("service: sweep expands to %d specs, above the limit of %d", len(specs), s.cfg.MaxSweepSpecs)
 	}
-	jb, err := s.queue.submit(specs)
+	jb, err := s.queue.submit(specs, summaryOnly)
 	if err != nil {
 		return JobStatus{}, err
 	}
@@ -273,28 +293,38 @@ func (s *Service) CancelJob(id string) (JobStatus, bool) {
 // runJob executes a job's specs on a bounded worker pool, each spec served
 // through the cache (so overlapping sweeps and repeat submissions reuse
 // results), and terminalizes the job. Results land in input order behind
-// the job's delivery watermark.
+// the job's delivery watermark. As results arrive each worker folds them
+// into its own agg.Summary; the per-worker summaries merge into the job's
+// summary when the job completes — so every finished job has a streaming
+// aggregate, and a summary-only job stores nothing else.
 func (s *Service) runJob(jb *job) {
 	p := s.cfg.Parallelism
 	if p > len(jb.specs) {
 		p = len(jb.specs)
 	}
 	idx := make(chan int)
+	folders := make([]*agg.Summary, p)
 	var wg sync.WaitGroup
 	for w := 0; w < p; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			fold := agg.NewSummary()
+			folders[w] = fold
 			for i := range idx {
 				sp := jb.specs[i]
+				start := time.Now()
 				key, res, cached, err := s.RunSpec(sp)
+				fold.Observe(agg.KeyOf(sp), res, err, time.Since(start))
 				r := JobResult{Index: i, Name: sp.Name, Key: key, Cached: cached, Result: res}
 				if err != nil {
 					r.Error = err.Error()
 				}
+				// For summary-only jobs setResult stores nothing — the fold
+				// above is the only retained outcome.
 				jb.setResult(i, r)
 			}
-		}()
+		}(w)
 	}
 	canceled := false
 	for i := range jb.specs {
@@ -310,6 +340,11 @@ func (s *Service) runJob(jb *job) {
 		jb.finish(JobFailed, "canceled")
 		return
 	}
+	total := agg.NewSummary()
+	for _, f := range folders {
+		total.Merge(f)
+	}
+	jb.setSummary(total)
 	jb.finish(JobDone, "")
 }
 
@@ -328,6 +363,8 @@ type Metrics struct {
 	SpecsExecuted   int64   `json:"specs_executed"`
 	RoundsSimulated int64   `json:"rounds_simulated"`
 	SteppedRounds   int64   `json:"stepped_rounds"`
+	SummaryHits     int64   `json:"summary_cache_hits"`
+	SummaryMisses   int64   `json:"summary_cache_misses"`
 	UptimeSeconds   float64 `json:"uptime_seconds"`
 	RoundsPerSecond float64 `json:"rounds_per_second"`
 }
@@ -348,6 +385,8 @@ func (s *Service) Snapshot() Metrics {
 		SpecsExecuted:   s.specsExecuted.Load(),
 		RoundsSimulated: s.roundsSim.Load(),
 		SteppedRounds:   s.roundsStepped.Load(),
+		SummaryHits:     s.summaryHits.Load(),
+		SummaryMisses:   s.summaryMisses.Load(),
 		UptimeSeconds:   time.Since(s.start).Seconds(),
 	}
 	m.JobsQueued, m.JobsRunning = s.queue.depth()

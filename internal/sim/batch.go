@@ -3,6 +3,7 @@ package sim
 import (
 	"runtime"
 	"sync"
+	"time"
 )
 
 // Runner executes scenarios with shared defaults, sequentially via Run or as
@@ -70,6 +71,18 @@ type BatchResult struct {
 	Index  int
 	Result *RunResult
 	Err    error
+
+	// Wall is the measured wall time of this scenario's run. Unlike every
+	// other field it is not deterministic; internal/agg keeps it out of the
+	// canonical summary encoding for that reason.
+	Wall time.Duration
+}
+
+// runTimed executes one scenario and measures its wall time.
+func (r *Runner) runTimed(i int, sc Scenario) BatchResult {
+	start := time.Now()
+	res, err := r.Run(sc)
+	return BatchResult{Index: i, Result: res, Err: err, Wall: time.Since(start)}
 }
 
 // RunBatch executes all scenarios on a worker pool and returns one result
@@ -88,8 +101,7 @@ func (r *Runner) RunBatch(scs []Scenario) []BatchResult {
 	}
 	if p <= 1 {
 		for i, sc := range scs {
-			res, err := r.Run(sc)
-			out[i] = BatchResult{Index: i, Result: res, Err: err}
+			out[i] = r.runTimed(i, sc)
 		}
 		return out
 	}
@@ -100,8 +112,7 @@ func (r *Runner) RunBatch(scs []Scenario) []BatchResult {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				res, err := r.Run(scs[i])
-				out[i] = BatchResult{Index: i, Result: res, Err: err}
+				out[i] = r.runTimed(i, scs[i])
 			}
 		}()
 	}
@@ -130,8 +141,7 @@ func (r *Runner) Stream(scs []Scenario, yield func(BatchResult) bool) {
 	}
 	if p <= 1 {
 		for i, sc := range scs {
-			res, err := r.Run(sc)
-			if !yield(BatchResult{Index: i, Result: res, Err: err}) {
+			if !yield(r.runTimed(i, sc)) {
 				return
 			}
 		}
@@ -160,8 +170,7 @@ func (r *Runner) Stream(scs []Scenario, yield func(BatchResult) bool) {
 					continue // drain handed-out jobs without running them
 				default:
 				}
-				res, err := r.Run(scs[i])
-				results <- BatchResult{Index: i, Result: res, Err: err}
+				results <- r.runTimed(i, scs[i])
 			}
 		}()
 	}
@@ -226,4 +235,58 @@ func RunBatch(scs []Scenario, opts ...Option) []BatchResult {
 // streaming results in input order; see Runner.Stream.
 func RunStream(scs []Scenario, yield func(BatchResult) bool, opts ...Option) {
 	NewRunner(opts...).Stream(scs, yield)
+}
+
+// FoldBatch executes all scenarios on r's worker pool and folds every result
+// into an accumulator WITHOUT ever materializing the result set: each worker
+// folds the runs it executes into its own accumulator (newA, fold), and the
+// per-worker accumulators are merged left-to-right in worker order (merge)
+// once all runs complete. One million-scenario sweep therefore costs O(p)
+// accumulators of memory, not O(n) results — the fold-as-you-stream path
+// internal/agg builds its streaming summaries on.
+//
+// Workers fold results in completion order, so fold and merge must be
+// commutative and associative for the outcome to be independent of
+// scheduling. Every agg reducer satisfies this (integer adds, min/max,
+// histogram-bucket adds), which is what makes a summary bit-identical
+// across parallelism degrees.
+func FoldBatch[A any](r *Runner, scs []Scenario, newA func() A, fold func(A, BatchResult), merge func(dst, src A)) A {
+	p := r.parallelism
+	if p < 1 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > len(scs) {
+		p = len(scs)
+	}
+	if p <= 1 {
+		acc := newA()
+		for i, sc := range scs {
+			fold(acc, r.runTimed(i, sc))
+		}
+		return acc
+	}
+	accs := make([]A, p)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			acc := newA()
+			for i := range jobs {
+				fold(acc, r.runTimed(i, scs[i]))
+			}
+			accs[w] = acc
+		}(w)
+	}
+	for i := range scs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	total := accs[0]
+	for _, acc := range accs[1:] {
+		merge(total, acc)
+	}
+	return total
 }

@@ -69,6 +69,11 @@ type RunResult struct {
 	// difference to Rounds is what the event-driven clock fast-forwarded
 	// over. It is diagnostic only and carries no model semantics.
 	SteppedRounds int `json:"stepped_rounds"`
+
+	// Moves counts edge traversals over the whole run, summed across agents
+	// — the paper's movement-cost measure, and one of the metrics
+	// internal/agg summarizes across sweeps.
+	Moves int `json:"moves"`
 }
 
 // AllHaltedTogether reports whether every agent halted, all in the same round
@@ -264,6 +269,7 @@ func Run(sc Scenario) (*RunResult, error) {
 
 	lastHalt := 0
 	steppedRounds := 0
+	totalMoves := 0
 	for r := 0; ; {
 		if r > maxRounds {
 			return nil, fmt.Errorf("%w (%d)", ErrMaxRounds, maxRounds)
@@ -409,6 +415,7 @@ func Run(sc Scenario) (*RunResult, error) {
 			}
 		}
 		// Apply all moves simultaneously.
+		totalMoves += len(moves)
 		for _, mv := range moves {
 			to, entry := sc.Graph.Traverse(mv.st.node, mv.port)
 			mv.st.node = to
@@ -433,7 +440,7 @@ func Run(sc Scenario) (*RunResult, error) {
 
 	totalSimulated.Add(int64(lastHalt))
 	totalStepped.Add(int64(steppedRounds))
-	res := &RunResult{Rounds: lastHalt, Agents: make([]AgentResult, n), SteppedRounds: steppedRounds}
+	res := &RunResult{Rounds: lastHalt, Agents: make([]AgentResult, n), SteppedRounds: steppedRounds, Moves: totalMoves}
 	for i, st := range states {
 		res.Agents[i] = AgentResult{
 			Label:      st.spec.Label,

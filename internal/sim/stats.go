@@ -10,11 +10,17 @@ type Meeting struct {
 	Node  int
 }
 
-// Stats collects run statistics through the OnRound hook. Create one with
-// NewStats, pass Observe as Scenario.OnRound, and read the fields after Run.
-// Like any OnRound hook, a Stats collector forces the engine into per-round
-// stepping (it must see every round), trading the event-driven fast-forward
-// for complete observability.
+// Stats collects per-round, per-agent statistics through the OnRound hook.
+// Create one with NewStats, pass Observe as Scenario.OnRound, and read the
+// fields after Run. Like any OnRound hook, a Stats collector forces the
+// engine into per-round stepping (it must see every round), trading the
+// event-driven fast-forward for complete observability.
+//
+// Use it only when per-round detail (meeting rounds, per-agent move counts,
+// nodes visited) is the point. For sweep-level aggregates — distributions of
+// gather rounds, stepped rounds, total moves and wall time — internal/agg
+// folds RunResults as they stream, costs no per-round stepping (Moves is
+// counted by the engine itself), and merges across workers.
 type Stats struct {
 	// FirstMeetings holds the earliest co-location per agent pair.
 	FirstMeetings []Meeting

@@ -80,6 +80,27 @@
 // algorithms products of ScenarioSpecs declaratively (see
 // examples/batchsweep).
 //
+// # Streaming summaries
+//
+// For sweeps whose consumers want distributions rather than rows, Summarize
+// folds every result into a Summary as results stream off the worker pool —
+// counts, gathering rate, and histogram-derived p50/p90/p99 of gather
+// rounds, engine-stepped rounds, total moves and wall time, grouped by the
+// sweep's axes (graph family, size, team count, algorithm) — without ever
+// materializing the result set:
+//
+//	summary, err := nochatter.Summarize(nochatter.NewRunner(nochatter.WithParallelism(8)), specs)
+//	fmt.Println(summary.Total.Rounds.Quantile(0.99))
+//
+// Every reducer is integral and merges associatively and commutatively, so
+// each worker folds locally and the merged summary is bit-identical
+// regardless of parallelism (Summary.CanonicalJSON; wall time, the one
+// machine-decided metric, is excluded from that guarantee). The same
+// artifact is served by gatherd: GET /v1/jobs/{id}/summary, cached under a
+// key derived from the sweep's specs (SweepSummaryKey), and sweeps
+// submitted with ?summary=only never retain raw rows at all. See DESIGN.md
+// §9 and the Summarize example.
+//
 // # Simulation as a service
 //
 // cmd/gatherd serves all of the above over HTTP. Because every run is a
@@ -91,12 +112,14 @@
 // /v1/jobs/{id}/results. NewService embeds the same machinery in-process
 // (see examples/serveclient and DESIGN.md §8).
 //
-// See DESIGN.md for the system inventory, the documented substitutions
-// (exploration sequences, rendezvous procedure, EST) and the experiment
-// index, and EXPERIMENTS.md for the reproduced claims.
+// See README.md for the repository front door, DESIGN.md for the system
+// inventory, the documented substitutions (exploration sequences,
+// rendezvous procedure, EST) and the experiment index, and EXPERIMENTS.md
+// for the reproduced claims.
 package nochatter
 
 import (
+	"nochatter/internal/agg"
 	"nochatter/internal/baseline"
 	"nochatter/internal/config"
 	"nochatter/internal/gather"
@@ -193,6 +216,49 @@ type (
 	// SweepDef is the JSON-serializable form of a Sweep — the document
 	// POST /v1/sweeps accepts (Sweep.Def and SweepDef.Sweep convert).
 	SweepDef = spec.SweepDef
+)
+
+// Streaming sweep aggregation, re-exported from internal/agg: deterministic,
+// merge-able reducers over run results that summarize sweeps as they stream
+// instead of materializing them. See DESIGN.md §9.
+type (
+	// Summary is the streaming reduction of a sweep: a total cell plus one
+	// cell per group key; folds with Observe, combines with Merge.
+	Summary = agg.Summary
+	// SummaryDist is one metric's streaming distribution: count, sum,
+	// min/max and a fixed log2-bucket histogram yielding p50/p90/p99.
+	SummaryDist = agg.Dist
+	// SummaryGroupKey identifies one group of a summary: the spec axes a
+	// sweep varies (graph family, size, team count, algorithm).
+	SummaryGroupKey = agg.Key
+	// SummaryCell is one group's reduction: outcome counters plus a
+	// SummaryDist per metric.
+	SummaryCell = agg.Cell
+	// SummaryGroup is one (key, cell) pair of a summary's group-by.
+	SummaryGroup = agg.Group
+	// SummaryResponse is the wire form of GET /v1/jobs/{id}/summary.
+	SummaryResponse = service.SummaryResponse
+)
+
+// Streaming sweep aggregation constructors, re-exported from internal/agg
+// and internal/service.
+var (
+	// NewSummary returns an empty summary to fold results into.
+	NewSummary = agg.NewSummary
+	// Summarize compiles and runs specs on a Runner's worker pool, folding
+	// every result into a per-worker summary merged at the end — the raw
+	// result set is never materialized, and the outcome is bit-identical
+	// for any parallelism.
+	Summarize = agg.Summarize
+	// SummarizeScenarios folds pre-compiled scenarios whose index-aligned
+	// specs provide the group keys.
+	SummarizeScenarios = agg.SummarizeScenarios
+	// SummaryKeyOf derives a spec's group key (family, n, k, algorithm).
+	SummaryKeyOf = agg.KeyOf
+	// SweepSummaryKey returns the content address a sweep's summary is
+	// cached under: the hash of a domain tag plus every spec's canonical
+	// encoding, in order.
+	SweepSummaryKey = service.SweepSummaryKey
 )
 
 // Simulation as a service: the content-addressed cache, job queue and HTTP

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# docslint.sh — the docs gate CI runs: formatting, vet, a package-comment
+# check over every package in the module, and the output-verified examples.
+#
+# Fails if:
+#   - any file is not gofmt-formatted
+#   - go vet reports anything
+#   - any package (including examples and cmds) lacks a doc comment
+#     immediately above its package clause
+#   - any runnable Example's // Output block does not match
+#
+# Run from the repository root: ./scripts/docslint.sh
+set -euo pipefail
+
+fail=0
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+  echo "gofmt: these files need formatting:" >&2
+  echo "$unformatted" >&2
+  fail=1
+fi
+
+go vet ./...
+
+# Every package must have a doc comment: a comment block ending on the line
+# directly above the package clause of at least one file.
+for dir in $(go list -f '{{.Dir}}' ./...); do
+  has_doc=0
+  for f in "$dir"/*.go; do
+    [ -e "$f" ] || continue
+    case "$f" in *_test.go) continue ;; esac
+    # The line preceding the package clause must be a comment line.
+    if awk '
+      /^package / { if (prev ~ /^\/\// || prev ~ /^\*\//) found = 1; exit }
+      { prev = $0 }
+      END { exit found ? 0 : 1 }
+    ' "$f"; then
+      has_doc=1
+      break
+    fi
+  done
+  if [ "$has_doc" -eq 0 ]; then
+    echo "docslint: package in $dir has no package doc comment" >&2
+    fail=1
+  fi
+done
+
+# Examples are documentation: they must run and their outputs must match.
+go test -run Example ./...
+
+exit $fail

@@ -14,14 +14,19 @@
 // tracking the performance trajectory across PRs. The record also carries
 // service-throughput numbers: distinct specs POSTed to an in-process
 // gatherd cold (cache misses) and hot (cache hits), with requests/sec for
-// both phases, and an aggregation record comparing summary-mode sweep
+// both phases, an aggregation record comparing summary-mode sweep
 // consumption (one internal/agg document) against raw NDJSON streaming —
-// wall time and bytes shipped for each. The bench sweep's summary table
-// (the same table gathersim -summary prints) goes to stdout.
+// wall time and bytes shipped for each — and a cluster record: the same
+// summary-only sweep sharded over 1, 2 and 4 gatherd backends by a
+// cluster.Coordinator, with per-fleet-size wall times and the canonical
+// bit-identity of the merged total against the local fold. The bench
+// sweep's summary table (the same table gathersim -summary prints) goes
+// to stdout.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -33,6 +38,7 @@ import (
 	"time"
 
 	"nochatter/internal/agg"
+	"nochatter/internal/cluster"
 	"nochatter/internal/experiments"
 	"nochatter/internal/service"
 	"nochatter/internal/sim"
@@ -93,6 +99,28 @@ type aggRecord struct {
 	SummaryRepeatWallMS  float64 `json:"service_summary_repeat_wall_ms"`
 }
 
+// clusterScaleRecord is one fleet size of the cluster bench.
+type clusterScaleRecord struct {
+	Backends int     `json:"backends"`
+	WallMS   float64 `json:"wall_ms"`
+	Speedup  float64 `json:"speedup_vs_1"`
+}
+
+// clusterRecord is the cluster-scaling entry of the -json perf record: the
+// same summary-only sweep sharded over 1, 2 and 4 gatherd backends by a
+// cluster.Coordinator, through real HTTP round trips. Each backend's
+// per-job parallelism is pinned (rather than GOMAXPROCS) so the backends
+// model fixed-capacity nodes instead of all contending for every local
+// core — the sharding win, not the scheduler's, is what is measured.
+// MergedIdentical records the determinism law the cluster rests on: the
+// 4-backend merged summary is canonically bit-identical to the local fold.
+type clusterRecord struct {
+	Specs              int                  `json:"specs"`
+	BackendParallelism int                  `json:"backend_parallelism"`
+	MergedIdentical    bool                 `json:"merged_identical_to_local"`
+	Scales             []clusterScaleRecord `json:"scales"`
+}
+
 // perfRecord is the top-level -json document.
 type perfRecord struct {
 	Scale                string             `json:"scale"`
@@ -103,6 +131,7 @@ type perfRecord struct {
 	Benchmarks           []benchRecord      `json:"benchmarks"`
 	Service              *serviceRecord     `json:"service,omitempty"`
 	Aggregation          *aggRecord         `json:"aggregation,omitempty"`
+	Cluster              *clusterRecord     `json:"cluster,omitempty"`
 }
 
 // gatherBench measures one wait-heavy end-to-end gathering (the scenario of
@@ -361,6 +390,82 @@ func aggBench() (*aggRecord, error) {
 	return rec, nil
 }
 
+// clusterBench shards one summary-only sweep over fleets of 1, 2 and 4
+// in-process gatherd backends and reports the wall time per fleet size,
+// plus the canonical bit-identity of the merged result against the local
+// fold. Every backend run starts cold (fresh services), so the numbers
+// compare sharded engine work, not cache hits.
+func clusterBench() (*clusterRecord, error) {
+	// Wider than the agg sweep: more wake schedules multiply engine work
+	// without multiplying groups, giving the shards something to chew on.
+	def := spec.SweepDef{
+		Name:      "cluster-{family}-n{n}-w{wake}",
+		Families:  []string{"ring", "path", "complete"},
+		Sizes:     []int{6, 8, 10, 12, 14, 16},
+		TeamSizes: []int{2},
+		// Wakes past ~500 push some scenarios out of the engine's
+		// fast-forward sweet spot (seconds per run); this set keeps the
+		// bench quick while still multiplying work 10× over the agg sweep.
+		Wakes: [][]int{{0, 0}, {0, 7}, {7, 0}, {0, 31}, {31, 0}, {0, 57},
+			{57, 0}, {0, 101}, {101, 0}, {0, 301}, {301, 0}, {0, 13}},
+	}
+	specs, err := def.Specs()
+	if err != nil {
+		return nil, err
+	}
+	const backendParallelism = 2
+	rec := &clusterRecord{Specs: len(specs), BackendParallelism: backendParallelism}
+
+	local, err := agg.Summarize(sim.NewRunner(), specs)
+	if err != nil {
+		return nil, err
+	}
+	localCanon, err := local.CanonicalJSON()
+	if err != nil {
+		return nil, err
+	}
+
+	for _, backends := range []int{1, 2, 4} {
+		workers := make([]*cluster.Worker, backends)
+		var closers []func()
+		for i := range workers {
+			svc := service.New(service.Config{Parallelism: backendParallelism})
+			srv := httptest.NewServer(svc.Handler())
+			closers = append(closers, srv.Close, svc.Close)
+			workers[i] = cluster.NewWorker(srv.URL)
+		}
+		start := time.Now()
+		merged, err := cluster.NewCoordinator(workers...).SummarizeSpecs(context.Background(), specs)
+		wall := float64(time.Since(start).Microseconds()) / 1000
+		for _, c := range closers {
+			c()
+		}
+		if err != nil {
+			return nil, err
+		}
+		sr := clusterScaleRecord{Backends: backends, WallMS: wall}
+		if wall > 0 {
+			base := wall // the 1-backend row is its own baseline: 1.0x
+			if len(rec.Scales) > 0 {
+				base = rec.Scales[0].WallMS
+			}
+			sr.Speedup = base / wall
+		}
+		rec.Scales = append(rec.Scales, sr)
+		if backends == 4 {
+			canon, err := merged.CanonicalJSON()
+			if err != nil {
+				return nil, err
+			}
+			rec.MergedIdentical = bytes.Equal(canon, localCanon)
+		}
+	}
+	fmt.Printf("cluster bench: %d specs, backends 1/2/4 took %.0f/%.0f/%.0f ms (speedup %.2fx/%.2fx), merged identical: %v\n\n",
+		rec.Specs, rec.Scales[0].WallMS, rec.Scales[1].WallMS, rec.Scales[2].WallMS,
+		rec.Scales[1].Speedup, rec.Scales[2].Speedup, rec.MergedIdentical)
+	return rec, nil
+}
+
 func main() {
 	full := flag.Bool("full", false, "run full-scale experiments (slower)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -446,6 +551,13 @@ func main() {
 			failed = true
 		} else {
 			record.Aggregation = aggRec
+		}
+		clusterRec, err := clusterBench()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cluster bench: %v\n", err)
+			failed = true
+		} else {
+			record.Cluster = clusterRec
 		}
 	}
 	if *jsonPath != "" {

@@ -7,8 +7,16 @@
 //
 // Usage:
 //
-//	gatherd [-addr :8080] [-cache 1024] [-workers 2] [-parallelism 0]
+//	gatherd [-addr :8080] [-cache 1024] [-jobs 2] [-parallelism 0]
 //	        [-backlog 1024] [-max-sweep-specs 10000]
+//	        [-workers http://a:8080,http://b:8080]
+//
+// -workers turns the daemon into a cluster coordinator: summary-only sweep
+// submissions (POST /v1/sweeps?summary=only) are sharded contiguously over
+// the listed gatherd backends and the per-shard summaries merged into one
+// total that is bit-identical to a single-node run (internal/cluster,
+// DESIGN.md §10). Every other endpoint — single runs, raw-row sweeps, job
+// lifecycle — keeps serving locally.
 //
 // API (see DESIGN.md §8 for the full table, §9 for summaries):
 //
@@ -20,7 +28,10 @@
 //	GET    /v1/jobs/{id}/summary streaming aggregate of the sweep (counts,
 //	                             p50/p90/p99 of rounds, stepped rounds,
 //	                             moves, wall time; grouped by sweep axes),
-//	                             cached under a key derived from the specs
+//	                             cached under a key derived from the specs;
+//	                             ?canonical=1 serves the deterministic
+//	                             encoding alone, for byte comparison
+//	                             across deployment shapes
 //	DELETE /v1/jobs/{id}         cancel a job
 //	GET    /healthz              liveness
 //	GET    /metrics              requests, cache hit rate, queue depth,
@@ -43,9 +54,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"nochatter/internal/cluster"
 	"nochatter/internal/service"
 )
 
@@ -60,20 +74,43 @@ func run() error {
 	var (
 		addr          = flag.String("addr", ":8080", "listen address")
 		cacheSize     = flag.Int("cache", 1024, "result cache capacity, in entries")
-		workers       = flag.Int("workers", 2, "concurrent sweep jobs")
+		jobs          = flag.Int("jobs", 2, "concurrent sweep jobs")
 		parallelism   = flag.Int("parallelism", 0, "concurrent specs per job (0 = GOMAXPROCS)")
 		backlog       = flag.Int("backlog", 1024, "maximum queued (not yet running) jobs")
 		maxSweepSpecs = flag.Int("max-sweep-specs", 10000, "reject sweeps expanding to more specs than this")
+		workers       = flag.String("workers", "", "comma-separated gatherd worker base URLs; summary-only sweeps are sharded across them")
 	)
 	flag.Parse()
 
 	svc := service.New(service.Config{
 		CacheSize:     *cacheSize,
-		Workers:       *workers,
+		Workers:       *jobs,
 		Parallelism:   *parallelism,
 		Backlog:       *backlog,
 		MaxSweepSpecs: *maxSweepSpecs,
 	})
+	if *workers != "" {
+		var ws []*cluster.Worker
+		for _, base := range strings.Split(*workers, ",") {
+			base = strings.TrimSpace(base)
+			if base == "" {
+				continue
+			}
+			if !strings.Contains(base, "://") {
+				if _, err := strconv.Atoi(base); err == nil {
+					return fmt.Errorf("-workers now takes worker base URLs (scheme://host:port); for the concurrent-sweep-jobs count use -jobs %s", base)
+				}
+				return fmt.Errorf("-workers: %q is not a base URL (want scheme://host:port)", base)
+			}
+			ws = append(ws, cluster.NewWorker(base))
+		}
+		if len(ws) == 0 {
+			return fmt.Errorf("-workers: no worker URLs given")
+		}
+		coord := cluster.NewCoordinator(ws...)
+		svc.SetDistributor(coord.SummarizeSpecs)
+		log.Printf("gatherd: coordinating summary-only sweeps across %d workers", coord.Workers())
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           svc.Handler(),

@@ -13,9 +13,16 @@
 //	gathersim -spec scenario.json
 //	gathersim -dump-spec | gathersim -spec -
 //	gathersim -sweep sweep.json [-parallelism 8]
+//	gathersim -remote http://host:8080 [-graph ring -n 12 | -spec f | -sweep f]
 //
 // -spec - reads the spec from stdin, so specs pipe straight from
 // -dump-spec output or gatherd responses.
+//
+// -remote targets a gatherd daemon instead of the in-process engine: a
+// single scenario goes through POST /v1/run (cache-aware, bit-identical
+// result), a -sweep is submitted as a summary-only job and its aggregate
+// long-polled — so pointing -remote at a coordinator daemon (gatherd
+// -workers) runs the sweep across a whole fleet from one CLI invocation.
 //
 // -sweep runs a SweepDef file (the same JSON document POST /v1/sweeps
 // accepts; - reads stdin) locally on a parallel worker pool and prints the
@@ -33,9 +40,13 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
@@ -43,6 +54,8 @@ import (
 	"time"
 
 	"nochatter/internal/agg"
+	"nochatter/internal/cluster"
+	"nochatter/internal/service"
 	"nochatter/internal/sim"
 	"nochatter/internal/spec"
 )
@@ -72,6 +85,7 @@ func run() error {
 		sweepPath  = flag.String("sweep", "", "run a sweep definition (JSON file, - for stdin) and print its summary table")
 		parallel   = flag.Int("parallelism", 0, "concurrent scenarios for -sweep (0 = GOMAXPROCS)")
 		summary    = flag.Bool("summary", false, "print the aggregate summary table after the run")
+		remote     = flag.String("remote", "", "gatherd base URL: run the scenario or sweep on that daemon instead of in-process")
 	)
 	flag.Parse()
 
@@ -81,13 +95,19 @@ func run() error {
 		var conflict error
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "sweep", "parallelism", "summary":
+			case "sweep", "parallelism", "summary", "remote":
 			default:
 				conflict = fmt.Errorf("-%s conflicts with -sweep: the sweep file defines the scenarios", f.Name)
+			}
+			if f.Name == "parallelism" && *remote != "" {
+				conflict = fmt.Errorf("-parallelism conflicts with -remote: the daemon chooses its own parallelism")
 			}
 		})
 		if conflict != nil {
 			return conflict
+		}
+		if *remote != "" {
+			return runSweepRemote(*sweepPath, *remote)
 		}
 		return runSweep(*sweepPath, *parallel)
 	}
@@ -101,7 +121,7 @@ func run() error {
 		var conflict error
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "spec", "max-rounds", "trace-every", "dump-spec", "summary":
+			case "spec", "max-rounds", "trace-every", "dump-spec", "summary", "remote":
 			default:
 				conflict = fmt.Errorf("-%s conflicts with -spec: the spec file defines the scenario", f.Name)
 			}
@@ -152,6 +172,13 @@ func run() error {
 		return err
 	}
 
+	if *remote != "" {
+		if *traceEvery > 0 {
+			return fmt.Errorf("-trace-every conflicts with -remote: round tracing is engine-side")
+		}
+		return runRemote(*remote, sp, *summary)
+	}
+
 	sc, ar, err := sp.CompileArtifacts()
 	if err != nil {
 		return err
@@ -174,6 +201,13 @@ func run() error {
 	}
 	g := ar.Graph()
 	fmt.Printf("graph %s (n=%d, diameter %d), T(EXPLO)=%d\n", g.Name(), g.N(), g.Diameter(), ar.Sequence().Duration())
+	return printRun(sp, res, wall, *summary)
+}
+
+// printRun renders a completed run: one row per agent, the optional
+// aggregate table, and the gathering verdict — shared by the local and
+// -remote paths.
+func printRun(sp spec.ScenarioSpec, res *sim.RunResult, wall time.Duration, summary bool) error {
 	for _, a := range res.Agents {
 		fmt.Printf("agent %-4d woke %-6d declared %-8d node %-3d leader %-4d",
 			a.Label, a.WokenRound, a.HaltRound, a.FinalNode, a.Report.Leader)
@@ -193,7 +227,7 @@ func run() error {
 		}
 		fmt.Println()
 	}
-	if *summary {
+	if summary {
 		s := agg.NewSummary()
 		s.Observe(agg.KeyOf(sp), res, nil, wall)
 		fmt.Println()
@@ -204,6 +238,83 @@ func run() error {
 		return nil
 	}
 	return fmt.Errorf("agents did not gather")
+}
+
+// runRemote runs one scenario on a gatherd daemon (POST /v1/run) and
+// renders the result exactly as a local run would — the response carries
+// the same *sim.RunResult a local engine produces, bit-identically.
+func runRemote(base string, sp spec.ScenarioSpec, summary bool) error {
+	body, err := json.Marshal(sp)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	resp, err := http.Post(strings.TrimRight(base, "/")+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	wall := time.Since(start)
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("remote run: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	var rr service.RunResponse
+	if err := json.Unmarshal(data, &rr); err != nil {
+		return fmt.Errorf("remote run: decoding response: %w", err)
+	}
+	// A 200 whose body lacks the run fields is some other server answering
+	// on that address (proxy default route, wrong port) — say so instead of
+	// panicking on the missing fields.
+	if rr.Result == nil || len(rr.Key) < 12 {
+		return fmt.Errorf("remote run: %s answered 200 but not with a gatherd run response", base)
+	}
+	fmt.Printf("remote %s: key %s… cached=%v\n", base, rr.Key[:12], rr.Cached)
+	return printRun(sp, rr.Result, wall, summary)
+}
+
+// runSweepRemote submits a sweep definition to a gatherd daemon as a
+// summary-only job — no raw row ever crosses the wire — long-polls the
+// summary, and renders the same table runSweep prints for a local run.
+// Against a coordinator daemon (gatherd -workers), this one command fans
+// the sweep out over a whole fleet. The HTTP client is the same
+// cluster.Worker the coordinator uses, so the CLI shares its retries,
+// deadlines and error reporting instead of duplicating the protocol.
+func runSweepRemote(path, base string) error {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return fmt.Errorf("reading sweep: %w", err)
+	}
+	def, err := spec.ParseSweepDef(data)
+	if err != nil {
+		return err // reject malformed sweeps before bothering the daemon
+	}
+	w := cluster.NewWorker(base)
+	start := time.Now()
+	acc, err := w.SubmitDef(context.Background(), def)
+	if err != nil {
+		return fmt.Errorf("remote sweep: %w", err)
+	}
+	sr, err := w.SummaryResponse(context.Background(), acc.JobID)
+	if err != nil {
+		return fmt.Errorf("remote sweep: %w", err)
+	}
+	s := sr.Summary
+	s.Table(fmt.Sprintf("remote sweep summary (%d scenarios in %v, job %s, cached=%v)",
+		s.Total.Runs, time.Since(start).Round(time.Millisecond), acc.JobID, sr.Cached)).Render(os.Stdout)
+	if s.Total.Errors > 0 {
+		return fmt.Errorf("%d of %d scenarios failed", s.Total.Errors, s.Total.Runs)
+	}
+	return nil
 }
 
 // runSweep expands a SweepDef file, runs every spec on the worker pool with
@@ -225,7 +336,7 @@ func runSweep(path string, parallelism int) error {
 	if err != nil {
 		return err
 	}
-	specs, err := def.Sweep().Specs()
+	specs, err := def.Specs()
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,143 @@
+// Cluster boots a two-worker gatherd fleet plus a coordinator — all
+// in-process, so the example is self-contained — and runs one sweep three
+// ways: locally in this process, sharded across the fleet through the
+// coordinator API, and through a coordinator daemon's HTTP front door. The
+// point of the demo is the determinism law that makes the fleet trivial to
+// operate: all three summaries are bit-identical (CanonicalJSON), because
+// summary folding is associative and commutative, so sharding (and
+// failover) cannot change the answer.
+//
+//	go run ./examples/cluster
+//
+// Against real daemons the same code is just NewClusterWorker(url) per
+// backend; the daemons themselves would be `gatherd -addr :8081`,
+// `gatherd -addr :8082`, and a coordinator
+// `gatherd -addr :8080 -workers http://localhost:8081,http://localhost:8082`.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+
+	"nochatter"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cluster:", err)
+		os.Exit(1)
+	}
+}
+
+// bootWorker starts one in-process gatherd backend and returns its client.
+func bootWorker(cleanup *[]func()) *nochatter.ClusterWorker {
+	svc := nochatter.NewService(nochatter.ServiceConfig{})
+	srv := httptest.NewServer(svc.Handler())
+	*cleanup = append(*cleanup, srv.Close, svc.Close)
+	return nochatter.NewClusterWorker(srv.URL)
+}
+
+func run() error {
+	var cleanup []func()
+	defer func() {
+		for _, f := range cleanup {
+			f()
+		}
+	}()
+
+	// The sweep: 2 families × 4 sizes × 3 wake schedules × one team = 24
+	// scenarios, as one serializable document.
+	def := nochatter.SweepDef{
+		Name:     "cluster-{family}-n{n}-w{wake}",
+		Families: []string{"ring", "torus"},
+		Sizes:    []int{9, 12, 16, 20},
+		Teams:    []nochatter.SweepTeam{{Labels: []int{2, 7}}},
+		Wakes:    [][]int{{0, 0}, {0, 9}, {9, 0}},
+	}
+	expanded, err := def.Specs()
+	if err != nil {
+		return err
+	}
+
+	// Ground truth: the whole sweep folded in this process.
+	local, err := nochatter.Summarize(nochatter.NewRunner(), expanded)
+	if err != nil {
+		return err
+	}
+	localCanon, err := local.CanonicalJSON()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("local fold:         %d runs, %d gathered, median gather round %.0f\n",
+		local.Total.Runs, local.Total.Gathered, local.Total.Rounds.Quantile(0.5))
+
+	// A two-worker fleet behind a coordinator. Shard boundaries are a pure
+	// function of spec count and fleet size, so re-runs shard identically.
+	w1, w2 := bootWorker(&cleanup), bootWorker(&cleanup)
+	coord := nochatter.NewClusterCoordinator(w1, w2)
+	for i := 0; i < coord.Workers(); i++ {
+		lo, hi := nochatter.ClusterShardBounds(len(expanded), coord.Workers(), i)
+		fmt.Printf("  shard %d → worker %d: specs [%d,%d)\n", i, i, lo, hi)
+	}
+	merged, err := coord.SummarizeSpecs(context.Background(), expanded)
+	if err != nil {
+		return err
+	}
+	mergedCanon, err := merged.CanonicalJSON()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("2-worker cluster:   %d runs, bit-identical to local: %v\n",
+		merged.Total.Runs, bytes.Equal(mergedCanon, localCanon))
+
+	// The same fan-out behind a daemon's front door: a coordinator service
+	// whose summary-only sweeps are distributed to the fleet — what
+	// `gatherd -workers ...` serves.
+	front := nochatter.NewService(nochatter.ServiceConfig{})
+	front.SetDistributor(coord.SummarizeSpecs)
+	frontSrv := httptest.NewServer(front.Handler())
+	cleanup = append(cleanup, frontSrv.Close, front.Close)
+
+	body, err := json.Marshal(def)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(frontSrv.URL+"/v1/sweeps?summary=only", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var acc nochatter.SweepAccepted
+	err = json.NewDecoder(resp.Body).Decode(&acc)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	resp, err = http.Get(frontSrv.URL + "/v1/jobs/" + acc.JobID + "/summary?canonical=1")
+	if err != nil {
+		return err
+	}
+	httpCanon, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("coordinator daemon summary: HTTP %d: %s", resp.StatusCode, httpCanon)
+	}
+	fmt.Printf("coordinator daemon: job %s, bit-identical to local: %v\n",
+		acc.JobID, bytes.Equal(httpCanon, localCanon))
+
+	// Per-group view, identical whichever path produced it.
+	fmt.Println()
+	for _, g := range merged.Groups() {
+		fmt.Printf("  %-7s n=%-3d runs %-3d rounds p50 %-8.0f p99 %.0f\n",
+			g.Family, g.N, g.Runs, g.Rounds.Quantile(0.5), g.Rounds.Quantile(0.99))
+	}
+	return nil
+}

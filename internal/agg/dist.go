@@ -55,6 +55,13 @@ type Dist struct {
 // Observe folds one value. Negative values are clamped to 0: every metric
 // the package summarizes (rounds, moves, durations) is non-negative by
 // construction, so a negative value is a caller bug rather than data.
+//
+// Sum saturates at MaxInt64 instead of wrapping: the state must stay
+// non-negative (UnmarshalJSON rejects negative sums as corruption), and
+// saturating addition of non-negative values is still associative and
+// commutative, so the merge laws survive. A saturated sum only skews the
+// mean; count, min/max and the histogram — everything quantiles derive
+// from — are unaffected.
 func (d *Dist) Observe(v int64) {
 	if v < 0 {
 		v = 0
@@ -66,8 +73,19 @@ func (d *Dist) Observe(v int64) {
 		d.Max = v
 	}
 	d.Count++
-	d.Sum += v
+	d.Sum = addSat(d.Sum, v)
 	d.buckets[bits.Len64(uint64(v))]++
+}
+
+// addSat adds non-negative a and b, saturating at MaxInt64. For
+// non-negative operands saturating addition is associative and commutative
+// (the result is min(true sum, MaxInt64) regardless of grouping), which is
+// what lets Sum use it without breaking the reducer laws.
+func addSat(a, b int64) int64 {
+	if a > math.MaxInt64-b {
+		return math.MaxInt64
+	}
+	return a + b
 }
 
 // Merge folds o into d. Merging is associative and commutative; merging an
@@ -83,7 +101,7 @@ func (d *Dist) Merge(o Dist) {
 		d.Max = o.Max
 	}
 	d.Count += o.Count
-	d.Sum += o.Sum
+	d.Sum = addSat(d.Sum, o.Sum)
 	for i, c := range o.buckets {
 		d.buckets[i] += c
 	}
@@ -99,12 +117,14 @@ func (d *Dist) Mean() float64 {
 
 // bucketBounds returns the value range [lo, hi] bucket i covers, clamped to
 // the observed [Min, Max] so estimates never leave the data's actual range.
+// Bounds are computed in uint64: bucket 63 covers [2^62, 2^63), and
+// int64(1)<<63 would overflow to a negative hi that underflows lo.
 func (d *Dist) bucketBounds(i int) (lo, hi float64) {
 	if i == 0 {
 		lo, hi = 0, 0
 	} else {
-		lo = float64(int64(1) << (i - 1))
-		hi = float64(int64(1)<<i) - 1
+		lo = float64(uint64(1) << (i - 1))
+		hi = float64(uint64(1)<<i - 1)
 	}
 	if m := float64(d.Min); lo < m {
 		lo = m
@@ -194,18 +214,34 @@ func (d Dist) MarshalJSON() ([]byte, error) {
 // UnmarshalJSON restores the mergeable state; derived fields are recomputed
 // on demand, so a decoded Dist re-marshals to the same bytes. Corrupt or
 // future-format documents fail loudly: a histogram with more than nBuckets
-// buckets or whose bucket total disagrees with Count would silently produce
-// wrong quantiles, so both are rejected.
+// buckets, a negative count, sum or bucket, a negative or inverted
+// min/max range, or a bucket total disagreeing with Count would silently
+// produce wrong (or negative-rank) quantiles, so all are rejected.
 func (d *Dist) UnmarshalJSON(data []byte) error {
 	var w distWire
 	if err := json.Unmarshal(data, &w); err != nil {
 		return err
 	}
+	if w.Count < 0 {
+		return fmt.Errorf("agg: histogram count %d is negative", w.Count)
+	}
+	if w.Sum < 0 {
+		return fmt.Errorf("agg: histogram sum %d is negative", w.Sum)
+	}
+	// Observe clamps values to >= 0, so real state always has
+	// 0 <= Min <= Max when non-empty; anything else would degenerate the
+	// bucket-bound clamps and poison merges with bogus extremes.
+	if w.Count > 0 && (w.Min < 0 || w.Max < w.Min) {
+		return fmt.Errorf("agg: histogram range [%d, %d] is not a non-negative interval", w.Min, w.Max)
+	}
 	if len(w.Buckets) > nBuckets {
 		return fmt.Errorf("agg: histogram has %d buckets, limit %d", len(w.Buckets), nBuckets)
 	}
 	var total int64
-	for _, c := range w.Buckets {
+	for i, c := range w.Buckets {
+		if c < 0 {
+			return fmt.Errorf("agg: histogram bucket %d is negative (%d)", i, c)
+		}
 		total += c
 	}
 	if total != w.Count {

@@ -2,6 +2,7 @@ package agg
 
 import (
 	"encoding/json"
+	"math"
 	"math/rand"
 	"reflect"
 	"sort"
@@ -149,6 +150,90 @@ func TestDistUnmarshalRejectsCorrupt(t *testing.T) {
 	long += `]}`
 	if err := json.Unmarshal([]byte(long), &d); err == nil {
 		t.Fatal("more than 64 buckets must be rejected")
+	}
+}
+
+// TestBucket63NoOverflow is the regression test for the top histogram
+// bucket: bucket 63 covers [2^62, 2^63), and its upper bound used to be
+// computed as int64(1)<<63 — which is negative, so hi underflowed lo and
+// every quantile of a distribution with observations ≥ 2^62 collapsed to
+// the bucket's lower bound.
+func TestBucket63NoOverflow(t *testing.T) {
+	var d Dist
+	d.Observe(0)
+	for i := 0; i < 99; i++ {
+		d.Observe(math.MaxInt64)
+	}
+	if d.Max != math.MaxInt64 {
+		t.Fatalf("max = %d, want MaxInt64", d.Max)
+	}
+	lo, hi := d.bucketBounds(63)
+	if hi < lo {
+		t.Fatalf("bucket 63 bounds inverted: lo=%v hi=%v", lo, hi)
+	}
+	if want := float64(uint64(1) << 62); lo != want {
+		t.Fatalf("bucket 63 lo = %v, want %v", lo, want)
+	}
+	if want := float64(math.MaxInt64); hi != want {
+		t.Fatalf("bucket 63 hi = %v, want %v (clamped to Max)", hi, want)
+	}
+	// 99 of 100 observations sit at MaxInt64, so p99 must interpolate well
+	// into the top half of the bucket — the old negative-hi code returned
+	// lo = 2^62 ≈ 0.5·MaxInt64 instead.
+	if got, min := d.Quantile(0.99), 0.9*float64(math.MaxInt64); got < min {
+		t.Fatalf("p99 = %v, want at least %v", got, min)
+	}
+	// Quantiles stay within the observed range even at the extremes.
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := d.Quantile(q); got < 0 || got > float64(math.MaxInt64) {
+			t.Fatalf("q=%v: estimate %v outside [0, MaxInt64]", q, got)
+		}
+	}
+}
+
+// TestSumSaturates proves Sum cannot wrap negative — the state
+// UnmarshalJSON's negative-sum rejection assumes: observing (or merging)
+// values whose true sum exceeds MaxInt64 saturates there, the merge laws
+// still hold across splits, and the saturated Dist survives the wire.
+func TestSumSaturates(t *testing.T) {
+	var d Dist
+	d.Observe(math.MaxInt64)
+	d.Observe(math.MaxInt64)
+	if d.Sum != math.MaxInt64 {
+		t.Fatalf("sum = %d after two MaxInt64 observations, want saturation at MaxInt64", d.Sum)
+	}
+	var a, b Dist
+	a.Observe(math.MaxInt64)
+	b.Observe(math.MaxInt64)
+	a.Merge(b)
+	if !reflect.DeepEqual(a, d) {
+		t.Fatal("saturated merge differs from the sequential fold")
+	}
+	buf, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Dist
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatalf("saturated Dist does not round-trip: %v", err)
+	}
+}
+
+// TestDistUnmarshalRejectsNegativeState proves a corrupt cached summary
+// with negative count, sum or bucket values fails loudly instead of
+// producing negative quantile ranks.
+func TestDistUnmarshalRejectsNegativeState(t *testing.T) {
+	for _, tc := range []struct{ name, doc string }{
+		{"count", `{"count":-1,"sum":0,"min":0,"max":0}`},
+		{"sum", `{"count":1,"sum":-5,"min":0,"max":0,"buckets":[1]}`},
+		{"bucket", `{"count":1,"sum":0,"min":0,"max":0,"buckets":[2,-1]}`},
+		{"min", `{"count":1,"sum":5,"min":-3,"max":9,"buckets":[0,0,0,1]}`},
+		{"inverted range", `{"count":1,"sum":5,"min":9,"max":3,"buckets":[0,0,0,1]}`},
+	} {
+		var d Dist
+		if err := json.Unmarshal([]byte(tc.doc), &d); err == nil {
+			t.Errorf("negative %s must be rejected", tc.name)
+		}
 	}
 }
 

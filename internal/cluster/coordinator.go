@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"nochatter/internal/agg"
+	"nochatter/internal/spec"
+)
+
+// ShardBounds returns the half-open spec range [lo, hi) of shard i when n
+// specs are partitioned contiguously over the given shard count. It is a
+// pure function — re-running the same sweep against the same fleet size
+// shards identically, and spec j always lands in the shard i satisfying
+// i·n/shards <= j < (i+1)·n/shards. Shards differ in size by at most one
+// spec; when n < shards the trailing shards are empty.
+func ShardBounds(n, shards, i int) (lo, hi int) {
+	return i * n / shards, (i + 1) * n / shards
+}
+
+// Coordinator fans a sweep out over a fleet of gatherd workers: shard i of
+// the expanded spec list goes to worker i, each as a summary-only job, and
+// the per-shard summaries merge into one total. Because summary folding is
+// associative and commutative (DESIGN.md §9), the merged total is
+// bit-identical (agg.Summary.CanonicalJSON) to what one process computes
+// for the whole sweep — the distributed analogue of the FoldBatch law.
+//
+// Failover: a worker that fails a health probe, a submission or a summary
+// poll is marked dead for the remainder of that sweep, and the shard moves
+// to the next surviving worker in ring order (i, i+1, … mod fleet size).
+// Re-running a shard elsewhere cannot change the result — every shard job
+// is a deterministic function of its specs — so failover needs no
+// coordination beyond picking any survivor. A sweep fails only when some
+// shard exhausts the whole fleet.
+type Coordinator struct {
+	workers []*Worker
+}
+
+// NewCoordinator returns a coordinator over the given workers. The fleet
+// is fixed for the coordinator's lifetime; worker health is re-discovered
+// per sweep, so a worker that was down during one sweep is tried again by
+// the next.
+func NewCoordinator(workers ...*Worker) *Coordinator {
+	return &Coordinator{workers: workers}
+}
+
+// Workers returns the fleet size.
+func (c *Coordinator) Workers() int { return len(c.workers) }
+
+// SummarizeSweep expands the definition and summarizes it across the
+// fleet; see SummarizeSpecs.
+func (c *Coordinator) SummarizeSweep(ctx context.Context, def spec.SweepDef) (*agg.Summary, error) {
+	specs, err := def.Specs()
+	if err != nil {
+		return nil, err
+	}
+	return c.SummarizeSpecs(ctx, specs)
+}
+
+// SummarizeSpecs shards the spec list contiguously over the fleet
+// (ShardBounds), runs every shard as a summary-only job on its worker —
+// concurrently, with failover to surviving workers — and merges the shard
+// summaries into the sweep's total.
+func (c *Coordinator) SummarizeSpecs(ctx context.Context, specs []spec.ScenarioSpec) (*agg.Summary, error) {
+	if len(c.workers) == 0 {
+		return nil, fmt.Errorf("cluster: coordinator has no workers")
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("cluster: sweep has no specs")
+	}
+	shards := len(c.workers)
+	sums := make([]*agg.Summary, shards)
+	errs := make([]error, shards)
+	// The dead set is per-sweep: failures observed by any shard steer every
+	// later failover of this sweep, and a recovered worker gets a fresh
+	// chance on the next sweep.
+	dead := &deadSet{dead: make([]bool, shards)}
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		lo, hi := ShardBounds(len(specs), shards, i)
+		if lo == hi {
+			continue // fewer specs than workers: trailing shards are empty
+		}
+		wg.Add(1)
+		go func(i int, shard []spec.ScenarioSpec) {
+			defer wg.Done()
+			sums[i], errs[i] = c.runShard(ctx, dead, i, shard)
+		}(i, specs[lo:hi])
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	total := agg.NewSummary()
+	for _, s := range sums {
+		total.Merge(s) // nil (empty-shard) summaries merge as the identity
+	}
+	return total, nil
+}
+
+// runShard runs one shard to completion: submit to the shard's assigned
+// worker, long-poll its summary, and on a worker-level failure (probe,
+// transport, 5xx) mark that worker dead and move to the next survivor in
+// ring order. Every candidate is probed (/healthz) before a submission is
+// risked on it. A RejectedError (4xx) also moves the shard along — the
+// rejection may be worker-local (full backlog, evicted job) — but does
+// NOT mark the worker dead: it answered, it is healthy, and killing it
+// would poison every other shard's failover; a deterministic rejection
+// simply gets re-rejected by each worker until the shard fails with the
+// backend's message. A shard job abandoned mid-flight (cancellation, or
+// failover away from a worker that accepted it) is best-effort canceled
+// on its backend so the fleet stops burning capacity on output nobody
+// will read.
+func (c *Coordinator) runShard(ctx context.Context, dead *deadSet, i int, shard []spec.ScenarioSpec) (*agg.Summary, error) {
+	var lastErr error
+	for off := 0; off < len(c.workers); off++ {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		wi := (i + off) % len(c.workers)
+		if dead.isDead(wi) {
+			continue
+		}
+		w := c.workers[wi]
+		if !w.Healthy(ctx) {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			dead.mark(wi)
+			lastErr = fmt.Errorf("cluster: %s is unhealthy", w.Base())
+			continue
+		}
+		jobID, err := w.SubmitSummaryOnly(ctx, shard)
+		if err == nil {
+			var sum *agg.Summary
+			if sum, err = w.Summary(ctx, jobID); err == nil {
+				return sum, nil
+			}
+			abandonJob(w, jobID)
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		var rejected *RejectedError
+		if !errors.As(err, &rejected) {
+			dead.mark(wi) // worker-level failure; rejections leave it alive
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("every worker was already marked dead by other shards")
+	}
+	return nil, fmt.Errorf("cluster: shard %d (%d specs): no worker served it: %w", i, len(shard), lastErr)
+}
+
+// abandonJob tells a worker to cancel a job the coordinator no longer
+// wants. Pure damage control: it runs on its own short deadline (the
+// sweep's context may already be canceled — that is often why the job is
+// being abandoned) and ignores failure, since a worker that is actually
+// dead cannot be burning capacity anyway.
+func abandonJob(w *Worker, jobID string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = w.Cancel(ctx, jobID)
+}
+
+// deadSet tracks workers observed failing during one sweep.
+type deadSet struct {
+	mu   sync.Mutex
+	dead []bool
+}
+
+func (d *deadSet) mark(i int) {
+	d.mu.Lock()
+	d.dead[i] = true
+	d.mu.Unlock()
+}
+
+func (d *deadSet) isDead(i int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dead[i]
+}

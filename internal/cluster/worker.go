@@ -1,0 +1,283 @@
+// Package cluster scales sweeps horizontally across a fleet of gatherd
+// workers. A Coordinator deterministically partitions a sweep's expanded
+// spec list into contiguous shards — one per worker, shard boundaries a
+// pure function of spec count and worker count (ShardBounds) — submits
+// each shard as a summary-only job over the existing gatherd HTTP API, and
+// merges the per-shard agg.Summary values into one total.
+//
+// The whole design rests on the reducer laws of internal/agg (DESIGN.md
+// §9): observations fold associatively and commutatively, so any partition
+// of a sweep into shards merges back to the summary a single process would
+// have computed, bit for bit (Summary.CanonicalJSON — wall time, the one
+// machine-decided metric, is excluded as always). Sharding is therefore
+// free of coordination: no shard ordering, no worker affinity and no
+// failover decision can change the result, which is what makes the
+// fleet's failure handling simple — when a worker dies mid-job, its shard
+// is simply resubmitted to any surviving worker. See DESIGN.md §10.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"nochatter/internal/agg"
+	"nochatter/internal/service"
+	"nochatter/internal/spec"
+)
+
+// Worker is a client of one gatherd backend. It speaks the daemon's
+// existing HTTP API: summary-only sweep submission, summary long-polling
+// and health probes, with bounded retries and exponential backoff around
+// every request. Retrying a submission can at worst create a duplicate
+// job on the backend — harmless, because jobs are deterministic functions
+// of their specs and the backend's content-addressed caches absorb the
+// repeat work.
+type Worker struct {
+	base    string
+	hc      *http.Client
+	retries int           // retry attempts beyond the first try
+	backoff time.Duration // first retry delay, doubled per attempt
+
+	// Per-attempt deadlines for the bounded requests. Health probes and
+	// submissions answer promptly on a live worker, so a connection that
+	// hangs without erroring (dropped packets, stopped process) must turn
+	// into a failure the coordinator can fail over on — only the summary
+	// long-poll is legitimately unbounded (the job may run for hours) and
+	// is limited by the caller's context alone.
+	probeTimeout  time.Duration
+	submitTimeout time.Duration
+}
+
+// WorkerOption configures a Worker.
+type WorkerOption func(*Worker)
+
+// WithHTTPClient sets the HTTP client (default: a fresh client with no
+// client-level timeout — summary requests long-poll, so one would kill
+// legitimate waits; probes and submissions get per-attempt deadlines, and
+// the long-poll is bounded by the caller's context).
+func WithHTTPClient(hc *http.Client) WorkerOption {
+	return func(w *Worker) { w.hc = hc }
+}
+
+// WithRetries sets how many times a failed request is retried (default 2)
+// and the first retry's backoff delay, doubled per attempt (default 100ms).
+func WithRetries(retries int, backoff time.Duration) WorkerOption {
+	return func(w *Worker) { w.retries, w.backoff = retries, backoff }
+}
+
+// NewWorker returns a client for the gatherd at baseURL (scheme://host:port,
+// with or without a trailing slash).
+func NewWorker(baseURL string, opts ...WorkerOption) *Worker {
+	w := &Worker{
+		base:          strings.TrimRight(baseURL, "/"),
+		hc:            &http.Client{},
+		retries:       2,
+		backoff:       100 * time.Millisecond,
+		probeTimeout:  5 * time.Second,
+		submitTimeout: 30 * time.Second,
+	}
+	for _, opt := range opts {
+		opt(w)
+	}
+	return w
+}
+
+// Base returns the worker's base URL.
+func (w *Worker) Base() string { return w.base }
+
+// RejectedError reports a request the backend answered with a client
+// error (4xx). Some rejections are deterministic verdicts on the shard
+// itself (malformed specs, a shard over the worker's expansion limit) and
+// some are worker-local conditions behind the same status (a full job
+// backlog is a 422 too, an evicted job a 404) — the status alone cannot
+// tell them apart. The coordinator therefore reroutes a rejected shard to
+// the next worker WITHOUT marking the rejecting worker dead: a transient
+// rejection lands the shard somewhere with capacity, a deterministic one
+// is re-rejected by every worker and fails the shard with the backend's
+// message, and either way a healthy-but-refusing worker keeps serving the
+// other shards.
+type RejectedError struct {
+	Status int
+	Msg    string
+}
+
+func (e *RejectedError) Error() string { return fmt.Sprintf("HTTP %d: %s", e.Status, e.Msg) }
+
+// Healthy probes GET /healthz once, on its own short deadline (no retries
+// and no open-ended waits — a probe that needs either is the answer).
+func (w *Worker) Healthy(ctx context.Context) bool {
+	ctx, cancel := context.WithTimeout(ctx, w.probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.base+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := w.hc.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}
+
+// SubmitSummaryOnly submits the spec list as a summary-only sweep job
+// (POST /v1/sweeps?summary=only, the specs traveling as a SweepDef's
+// explicit list) and returns the job id to poll.
+func (w *Worker) SubmitSummaryOnly(ctx context.Context, specs []spec.ScenarioSpec) (string, error) {
+	acc, err := w.SubmitDef(ctx, spec.SweepDef{Explicit: specs})
+	return acc.JobID, err
+}
+
+// SubmitDef submits a sweep definition document as a summary-only job and
+// returns the backend's acceptance envelope — the raw-document form
+// gathersim -remote uses (the coordinator's shards go through
+// SubmitSummaryOnly instead).
+func (w *Worker) SubmitDef(ctx context.Context, def spec.SweepDef) (service.SweepAccepted, error) {
+	body, err := json.Marshal(def)
+	if err != nil {
+		return service.SweepAccepted{}, err
+	}
+	data, err := w.do(ctx, http.MethodPost, "/v1/sweeps?summary=only", body, http.StatusAccepted, w.submitTimeout)
+	if err != nil {
+		return service.SweepAccepted{}, err
+	}
+	var acc service.SweepAccepted
+	if err := json.Unmarshal(data, &acc); err != nil {
+		return service.SweepAccepted{}, fmt.Errorf("cluster: %s: decoding sweep acceptance: %w", w.base, err)
+	}
+	if acc.JobID == "" {
+		return service.SweepAccepted{}, fmt.Errorf("cluster: %s: answered 202 but not with a gatherd sweep acceptance", w.base)
+	}
+	return acc, nil
+}
+
+// Summary long-polls GET /v1/jobs/{id}/summary until the backend serves
+// the job's merged aggregate (the endpoint blocks until the job is
+// terminal) and returns it. A job that terminalized without a summary —
+// failed or canceled on the backend — is an error.
+func (w *Worker) Summary(ctx context.Context, jobID string) (*agg.Summary, error) {
+	resp, err := w.SummaryResponse(ctx, jobID)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Summary, nil
+}
+
+// SummaryResponse is Summary returning the full wire envelope (summary
+// cache flag, derived key) alongside the aggregate, for clients that
+// report those — gathersim -remote.
+func (w *Worker) SummaryResponse(ctx context.Context, jobID string) (service.SummaryResponse, error) {
+	data, err := w.do(ctx, http.MethodGet, "/v1/jobs/"+jobID+"/summary", nil, http.StatusOK, 0)
+	if err != nil {
+		return service.SummaryResponse{}, err
+	}
+	var resp service.SummaryResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return service.SummaryResponse{}, fmt.Errorf("cluster: %s: decoding summary: %w", w.base, err)
+	}
+	if resp.Summary == nil {
+		return service.SummaryResponse{}, fmt.Errorf("cluster: %s: job %s returned no summary", w.base, jobID)
+	}
+	return resp, nil
+}
+
+// do performs one request with bounded retries: transport errors and 5xx
+// responses back off and retry (the worker may be restarting or briefly
+// overloaded); any other non-want status is a terminal, descriptive error.
+// A non-zero perAttempt deadline bounds each attempt, so a connection that
+// hangs without erroring still becomes a failure the coordinator can fail
+// over on; 0 leaves the attempt bounded by ctx alone — correct only for
+// the summary long-poll, which legitimately blocks as long as the job runs.
+func (w *Worker) do(ctx context.Context, method, path string, body []byte, want int, perAttempt time.Duration) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt <= w.retries; attempt++ {
+		if attempt > 0 {
+			delay := w.backoff << (attempt - 1)
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		data, status, err := w.attempt(ctx, method, path, body, perAttempt)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			lastErr = fmt.Errorf("cluster: %s: %s %s: %w", w.base, method, path, err)
+			continue
+		}
+		if status == want {
+			return data, nil
+		}
+		if status < 500 { // the request itself is bad; retrying repeats it
+			return nil, fmt.Errorf("cluster: %s: %s %s: %w",
+				w.base, method, path, &RejectedError{Status: status, Msg: errorBody(data)})
+		}
+		lastErr = fmt.Errorf("cluster: %s: %s %s: HTTP %d: %s",
+			w.base, method, path, status, errorBody(data))
+	}
+	return nil, lastErr
+}
+
+// attempt performs one HTTP round trip under the optional per-attempt
+// deadline, returning the body and status.
+func (w *Worker) attempt(ctx context.Context, method, path string, body []byte, perAttempt time.Duration) ([]byte, int, error) {
+	if perAttempt > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, perAttempt)
+		defer cancel()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, w.base+path, rd)
+	if err != nil {
+		return nil, 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := w.hc.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, 0, fmt.Errorf("reading response: %w", err)
+	}
+	return data, resp.StatusCode, nil
+}
+
+// Cancel issues a best-effort DELETE for a job the caller is abandoning —
+// a canceled sweep, or a shard moving to another worker — so the backend
+// stops burning its bounded job workers on output nobody will read.
+// Canceling an already-terminal job is a harmless no-op server-side.
+func (w *Worker) Cancel(ctx context.Context, jobID string) error {
+	_, err := w.do(ctx, http.MethodDelete, "/v1/jobs/"+jobID, nil, http.StatusOK, w.submitTimeout)
+	return err
+}
+
+// errorBody extracts the service's uniform {"error": ...} message, falling
+// back to a clipped raw body for anything else.
+func errorBody(data []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	if len(data) > 200 {
+		data = data[:200]
+	}
+	return string(bytes.TrimSpace(data))
+}

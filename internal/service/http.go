@@ -47,6 +47,7 @@ type errorResponse struct {
 //	GET    /v1/jobs/{id}/results job results, NDJSON, input order, streamed
 //	GET    /v1/jobs/{id}/summary streaming aggregate of the whole sweep,
 //	                             served from the summary cache on repeat
+//	                             (?canonical=1: canonical encoding alone)
 //	DELETE /v1/jobs/{id}         cancel a job
 //	GET    /healthz              liveness
 //	GET    /metrics              service metrics, JSON
@@ -206,7 +207,22 @@ func (s *Service) handleJobResults(w http.ResponseWriter, r *http.Request) {
 // cache when this sweep's derived key was already stored by an earlier
 // request or an identical sweep. A failed or canceled job has no summary
 // and answers 409.
+//
+// ?canonical=1 serves the summary's canonical encoding alone — no
+// response envelope (job id, cache flag) and wall time zeroed — so the
+// bodies of two runs of the same sweep compare byte-identical across any
+// deployment shape: one process, one daemon, or a coordinator fanning out
+// to a worker fleet (the cluster-smoke CI job does exactly that).
 func (s *Service) handleJobSummary(w http.ResponseWriter, r *http.Request) {
+	canonical := false
+	switch v := r.URL.Query().Get("canonical"); v {
+	case "", "0":
+	case "1":
+		canonical = true
+	default:
+		writeError(w, http.StatusBadRequest, "unknown canonical mode %q (use canonical=1)", v)
+		return
+	}
 	jb, ok := s.queue.get(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
@@ -218,6 +234,17 @@ func (s *Service) handleJobSummary(w http.ResponseWriter, r *http.Request) {
 	resp, err := s.summaryOf(jb)
 	if err != nil {
 		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	if canonical {
+		buf, err := resp.Summary.CanonicalJSON()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(buf)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -68,6 +68,15 @@ type job struct {
 	canceled  bool
 	summary   *agg.Summary // set once when the job completes successfully
 
+	// dequeued guards onDequeue — the queue's queued-depth decrement — so it
+	// fires exactly once per job, whether the job leaves the queued state by
+	// starting, by being canceled while queued, or by failing on submission
+	// (backlog full). Canceled jobs still sit in the pending channel until a
+	// worker pops and discards them; without this, they would inflate the
+	// reported queue depth the whole time.
+	dequeued  bool
+	onDequeue func()
+
 	// Memoized summary cache key: a pure function of the immutable spec
 	// list, computed on first summary request rather than per request
 	// (hashing canonicalizes every spec — O(n) work worth doing once).
@@ -145,9 +154,27 @@ func (jb *job) cancel() {
 	jb.mu.Lock()
 	wasQueued := jb.state == JobQueued
 	jb.canceled = true
+	jb.cond.Broadcast() // wake cancellation watchers (distributed jobs)
 	jb.mu.Unlock()
 	if wasQueued {
+		jb.markDequeued()
 		jb.finish(JobFailed, "canceled")
+	}
+}
+
+// markDequeued fires the job's onDequeue hook exactly once, when the job
+// leaves the queued state. The hook is called outside jb.mu: it takes the
+// queue's lock, and the two locks must not nest.
+func (jb *job) markDequeued() {
+	jb.mu.Lock()
+	f := jb.onDequeue
+	if jb.dequeued {
+		f = nil
+	}
+	jb.dequeued = true
+	jb.mu.Unlock()
+	if f != nil {
+		f()
 	}
 }
 
@@ -155,6 +182,25 @@ func (jb *job) isCanceled() bool {
 	jb.mu.Lock()
 	defer jb.mu.Unlock()
 	return jb.canceled
+}
+
+// waitCanceledOrTerminal blocks until the job is canceled or terminal —
+// the trigger for unwinding a distributed job's remote work.
+func (jb *job) waitCanceledOrTerminal() {
+	jb.mu.Lock()
+	defer jb.mu.Unlock()
+	for !jb.canceled && !jb.terminal() {
+		jb.cond.Wait()
+	}
+}
+
+// setCompleted records n specs finished at once: a distributed job's specs
+// complete as whole shards on remote workers, not one by one here.
+func (jb *job) setCompleted(n int) {
+	jb.mu.Lock()
+	jb.completed = n
+	jb.cond.Broadcast()
+	jb.mu.Unlock()
 }
 
 func (jb *job) terminal() bool {
@@ -243,6 +289,7 @@ type queue struct {
 	order   []string
 	retain  int
 	nextID  int
+	queued  int // jobs submitted and still queued: not started, not canceled
 	running int
 	pending chan *job
 	wg      sync.WaitGroup
@@ -265,6 +312,8 @@ func newQueue(workers, backlog, retain int, exec func(*job)) *queue {
 		go func() {
 			defer q.wg.Done()
 			for jb := range q.pending {
+				// No-op for jobs already dequeued by a cancel-while-queued.
+				jb.markDequeued()
 				if !jb.start() {
 					continue // canceled while queued
 				}
@@ -282,7 +331,10 @@ func newQueue(workers, backlog, retain int, exec func(*job)) *queue {
 }
 
 // submit registers a new job for the specs and enqueues it; it fails when
-// the backlog is full rather than blocking the caller.
+// the backlog is full rather than blocking the caller. A job rejected that
+// way is deregistered again before the error returns: its ID was never
+// handed to anyone, so leaving it in the store would occupy a retention
+// slot no request can ever reach.
 func (q *queue) submit(specs []spec.ScenarioSpec, summaryOnly bool) (*job, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("service: job has no specs")
@@ -290,6 +342,8 @@ func (q *queue) submit(specs []spec.ScenarioSpec, summaryOnly bool) (*job, error
 	q.mu.Lock()
 	q.nextID++
 	jb := newJob(fmt.Sprintf("j%06d", q.nextID), specs, summaryOnly)
+	jb.onDequeue = q.decQueued // set before publication in q.jobs
+	q.queued++
 	q.jobs[jb.id] = jb
 	q.order = append(q.order, jb.id)
 	// Evict the oldest terminal jobs beyond the retention bound; live jobs
@@ -314,7 +368,17 @@ func (q *queue) submit(specs []spec.ScenarioSpec, summaryOnly bool) (*job, error
 	case q.pending <- jb:
 		return jb, nil
 	default:
+		jb.markDequeued()
 		jb.finish(JobFailed, "queue backlog full")
+		q.mu.Lock()
+		delete(q.jobs, jb.id)
+		for i := len(q.order) - 1; i >= 0; i-- {
+			if q.order[i] == jb.id {
+				q.order = append(q.order[:i], q.order[i+1:]...)
+				break
+			}
+		}
+		q.mu.Unlock()
 		return nil, fmt.Errorf("service: queue backlog full (%d jobs pending)", cap(q.pending))
 	}
 }
@@ -327,12 +391,24 @@ func (q *queue) get(id string) (*job, bool) {
 	return jb, ok
 }
 
-// depth reports the number of queued (submitted, not yet started) and
-// currently running jobs.
+// decQueued is every job's onDequeue hook: one decrement when the job
+// leaves the queued state (started, canceled while queued, or rejected on
+// a full backlog).
+func (q *queue) decQueued() {
+	q.mu.Lock()
+	q.queued--
+	q.mu.Unlock()
+}
+
+// depth reports the number of queued (submitted, not yet started or
+// canceled) and currently running jobs. The queued count is tracked
+// explicitly rather than read from len(q.pending): jobs canceled while
+// queued sit in the pending channel until a worker pops and discards them,
+// and counting those would over-report the depth.
 func (q *queue) depth() (queued, running int) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.pending), q.running
+	return q.queued, q.running
 }
 
 // close stops accepting work and waits for the workers to drain.

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -74,6 +75,12 @@ type Service struct {
 	// executions. It must stay deterministic.
 	execute func(spec.ScenarioSpec) (*sim.RunResult, error)
 
+	// distribute, when set (SetDistributor), computes a summary-only job's
+	// whole summary instead of running its specs locally — the hook
+	// cmd/gatherd -workers uses to fan sweeps out to a cluster.Coordinator.
+	// It must be a deterministic function of the specs.
+	distribute func(ctx context.Context, specs []spec.ScenarioSpec) (*agg.Summary, error)
+
 	requests      atomic.Int64 // HTTP requests served (any endpoint)
 	runRequests   atomic.Int64 // specs served via RunSpec (HTTP or job)
 	cacheHits     atomic.Int64
@@ -98,6 +105,19 @@ func New(cfg Config) *Service {
 
 // Close drains the job workers. Jobs still queued run to completion first.
 func (s *Service) Close() { s.queue.close() }
+
+// SetDistributor routes summary-only sweep jobs through fn — typically a
+// cluster.Coordinator fanning shards out to worker backends — instead of
+// the local spec runner. Everything else (single runs, raw-row sweeps, the
+// whole job lifecycle: status, summary long-polling, cancellation, the
+// summary cache) keeps working locally and unchanged; fn's context is
+// canceled when the job is. fn must be a deterministic function of the
+// specs, or the summary cache and the merge-determinism guarantee break.
+// Call it before the service starts taking traffic; it is not synchronized
+// against running jobs.
+func (s *Service) SetDistributor(fn func(ctx context.Context, specs []spec.ScenarioSpec) (*agg.Summary, error)) {
+	s.distribute = fn
+}
 
 func (s *Service) compileAndRun(sp spec.ScenarioSpec) (*sim.RunResult, error) {
 	sc, err := sp.Compile()
@@ -200,10 +220,16 @@ func (s *Service) submitSweep(def spec.SweepDef, summaryOnly bool) (JobStatus, e
 			return JobStatus{}, fmt.Errorf("service: sweep team of %d agents exceeds the limit of %d", len(tm.Labels), maxTeamSize)
 		}
 	}
+	for _, sp := range def.Explicit {
+		if len(sp.Agents) > maxTeamSize {
+			return JobStatus{}, fmt.Errorf("service: sweep spec of %d agents exceeds the limit of %d", len(sp.Agents), maxTeamSize)
+		}
+	}
 	limit := s.cfg.MaxSweepSpecs
-	// The product of the axis lengths bounds (and, filters being absent
-	// from definitions, equals) the spec count, so an over-limit sweep is
-	// rejected arithmetically — before even the graph axis materializes.
+	// The explicit list plus the product of the axis lengths bounds (and,
+	// filters being absent from definitions, equals) the spec count, so an
+	// over-limit sweep is rejected arithmetically — before even the graph
+	// axis materializes.
 	graphs := addCapped(len(def.Graphs), mulCapped(len(def.Families), len(def.Sizes), limit), limit)
 	teams := addCapped(len(def.Teams), len(def.TeamSizes), limit)
 	product := mulCapped(graphs, teams, limit)
@@ -212,6 +238,7 @@ func (s *Service) submitSweep(def spec.SweepDef, summaryOnly bool) (JobStatus, e
 	}
 	product = mulCapped(product, maxOne(len(def.Wakes)), limit)
 	product = mulCapped(product, maxOne(len(def.Algorithms)), limit)
+	product = addCapped(product, len(def.Explicit), limit)
 	if product > limit {
 		return JobStatus{}, fmt.Errorf("service: sweep expands to more than %d specs", limit)
 	}
@@ -298,6 +325,10 @@ func (s *Service) CancelJob(id string) (JobStatus, bool) {
 // summary when the job completes — so every finished job has a streaming
 // aggregate, and a summary-only job stores nothing else.
 func (s *Service) runJob(jb *job) {
+	if jb.summaryOnly && s.distribute != nil {
+		s.runJobDistributed(jb)
+		return
+	}
 	p := s.cfg.Parallelism
 	if p > len(jb.specs) {
 		p = len(jb.specs)
@@ -346,6 +377,34 @@ func (s *Service) runJob(jb *job) {
 	}
 	jb.setSummary(total)
 	jb.finish(JobDone, "")
+}
+
+// runJobDistributed executes a summary-only job through the distributor:
+// the fleet computes the summary, the local job object keeps carrying the
+// lifecycle — status polling, summary long-polling, cancellation (which
+// cancels the distributor's context) and the summary cache all behave as
+// for a locally run job.
+func (s *Service) runJobDistributed(jb *job) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	watcherDone := make(chan struct{})
+	go func() {
+		defer close(watcherDone)
+		jb.waitCanceledOrTerminal()
+		cancel()
+	}()
+	sum, err := s.distribute(ctx, jb.specs)
+	switch {
+	case jb.isCanceled():
+		jb.finish(JobFailed, "canceled")
+	case err != nil:
+		jb.finish(JobFailed, err.Error())
+	default:
+		jb.setCompleted(len(jb.specs))
+		jb.setSummary(sum)
+		jb.finish(JobDone, "")
+	}
+	<-watcherDone // finish broadcast released it; don't leak past Close
 }
 
 // Metrics is the wire form of GET /metrics.

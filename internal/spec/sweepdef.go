@@ -12,8 +12,14 @@ import (
 // Filters are the one builder feature with no data form (they are opaque Go
 // predicates); a Sweep carrying filters refuses to serialize.
 type SweepDef struct {
-	// Name is the per-spec name template (see Sweep.Name placeholders).
+	// Name is the per-spec name template (see Sweep.Name placeholders). It
+	// applies to axis-generated specs only; Explicit specs keep their own.
 	Name string `json:"name,omitempty"`
+	// Explicit lists fully-built scenario specs, emitted before any axis
+	// expansion. It is how an arbitrary spec list — one a builder cannot
+	// express, such as a contiguous shard of another sweep's expansion
+	// (internal/cluster) — travels as a sweep document.
+	Explicit []ScenarioSpec `json:"specs,omitempty"`
 	// Graphs lists explicit graph specs; Families × Sizes appends its
 	// product after them.
 	Graphs   []GraphSpec `json:"graphs,omitempty"`
@@ -44,9 +50,9 @@ func (d SweepDef) Validate() error {
 	return nil
 }
 
-// Sweep builds the live sweep the definition describes. An invalid
-// definition (see Validate) yields a sweep whose expansion fails with the
-// validation error.
+// Sweep builds the live sweep the definition's axes describe; Explicit
+// specs have no builder form and are not part of it — expand through Specs
+// to get them too.
 func (d SweepDef) Sweep() *Sweep {
 	if err := d.Validate(); err != nil {
 		return NewSweep().fail(err)
@@ -62,9 +68,28 @@ func (d SweepDef) Sweep() *Sweep {
 	return s
 }
 
-// Specs expands the definition into its scenario specs.
+// Specs expands the definition into its scenario specs: the Explicit list
+// first, then the axis product. A definition with neither explicit specs
+// nor axes fails like an axis-less builder sweep would.
 func (d SweepDef) Specs() ([]ScenarioSpec, error) {
-	return d.Sweep().Specs()
+	if len(d.Explicit) > 0 && !d.hasAxes() {
+		return append([]ScenarioSpec(nil), d.Explicit...), nil
+	}
+	expanded, err := d.Sweep().Specs()
+	if err != nil {
+		return nil, err
+	}
+	if len(d.Explicit) == 0 {
+		return expanded, nil
+	}
+	return append(append([]ScenarioSpec(nil), d.Explicit...), expanded...), nil
+}
+
+// hasAxes reports whether any axis field is set — whether Sweep() has
+// anything to expand.
+func (d SweepDef) hasAxes() bool {
+	return len(d.Graphs)+len(d.Families)+len(d.Sizes)+len(d.Teams)+
+		len(d.TeamSizes)+len(d.Wakes)+len(d.Algorithms) > 0
 }
 
 // MarshalIndentJSON renders the definition as indented JSON.

@@ -125,3 +125,61 @@ func TestSweepWithFiltersHasNoDef(t *testing.T) {
 		t.Errorf("filtered sweep serialized: err=%v", err)
 	}
 }
+
+// TestSweepDefExplicitSpecs covers the explicit spec list — the wire form
+// cluster shards travel in: explicit-only definitions expand to exactly
+// that list, explicit + axes concatenate (explicit first), and the list
+// survives a JSON round trip bit-identically.
+func TestSweepDefExplicitSpecs(t *testing.T) {
+	axes := SweepDef{Families: []string{"ring", "path"}, Sizes: []int{4, 6}, TeamSizes: []int{2}}
+	expanded, err := axes.Specs()
+	if err != nil {
+		t.Fatalf("axes expansion: %v", err)
+	}
+	shard := expanded[1:3] // a contiguous shard of another sweep's expansion
+
+	// Explicit-only: expansion is the list itself, no graph/team axes needed.
+	only := SweepDef{Explicit: shard}
+	got, err := only.Specs()
+	if err != nil {
+		t.Fatalf("explicit-only expansion: %v", err)
+	}
+	if !reflect.DeepEqual(got, shard) {
+		t.Fatalf("explicit-only expansion drifted:\n%s\n%s", specsJSON(t, got), specsJSON(t, shard))
+	}
+
+	// Round trip through the wire form.
+	buf, err := json.Marshal(only)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSweepDef(buf)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	got2, err := back.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specsJSON(t, got2) != specsJSON(t, shard) {
+		t.Fatalf("wire round trip changed the specs:\n%s\n%s", specsJSON(t, got2), specsJSON(t, shard))
+	}
+
+	// Explicit + axes: explicit specs come first, then the axis product.
+	both := SweepDef{Explicit: shard, Families: []string{"complete"}, Sizes: []int{5}, TeamSizes: []int{2}}
+	got3, err := both.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got3) != len(shard)+1 {
+		t.Fatalf("explicit+axes expanded to %d specs, want %d", len(got3), len(shard)+1)
+	}
+	if !reflect.DeepEqual(got3[:len(shard)], shard) || got3[len(shard)].Graph.Family != "complete" {
+		t.Fatalf("explicit+axes order drifted: %s", specsJSON(t, got3))
+	}
+
+	// A definition with neither explicit specs nor axes still fails.
+	if _, err := (SweepDef{}).Specs(); err == nil {
+		t.Error("empty definition expanded without error")
+	}
+}

@@ -112,6 +112,21 @@
 // /v1/jobs/{id}/results. NewService embeds the same machinery in-process
 // (see examples/serveclient and DESIGN.md §8).
 //
+// # Scaling out
+//
+// A fleet of gatherd daemons scales sweeps horizontally: a
+// ClusterCoordinator partitions a sweep's expanded specs into contiguous
+// shards — a pure function of spec index and fleet size
+// (ClusterShardBounds) — submits each shard to its ClusterWorker as a
+// summary-only job, reroutes shards off workers that fail or go unhealthy,
+// and merges the per-shard summaries. Because every reducer merges
+// associatively and commutatively, the merged total is bit-identical
+// (CanonicalJSON) to a single-process run of the whole sweep, whatever the
+// fleet size and whichever workers died along the way. `gatherd -workers
+// http://a,http://b` serves the same fan-out behind POST
+// /v1/sweeps?summary=only, and `gathersim -remote` drives it from the CLI
+// (see examples/cluster and DESIGN.md §10).
+//
 // See README.md for the repository front door, DESIGN.md for the system
 // inventory, the documented substitutions (exploration sequences,
 // rendezvous procedure, EST) and the experiment index, and EXPERIMENTS.md
@@ -121,6 +136,7 @@ package nochatter
 import (
 	"nochatter/internal/agg"
 	"nochatter/internal/baseline"
+	"nochatter/internal/cluster"
 	"nochatter/internal/config"
 	"nochatter/internal/gather"
 	"nochatter/internal/gossip"
@@ -284,6 +300,42 @@ type (
 	JobState = service.JobState
 	// ServiceMetrics is the wire form of GET /metrics.
 	ServiceMetrics = service.Metrics
+)
+
+// Cluster-sharded sweeps, re-exported from internal/cluster: a coordinator
+// that partitions a sweep's expanded specs contiguously across a fleet of
+// gatherd workers, submits each shard as a summary-only job, fails shards
+// over to surviving workers, and merges the per-shard summaries into a
+// total bit-identical (CanonicalJSON) to a single-process run. cmd/gatherd
+// -workers serves this behind POST /v1/sweeps?summary=only. See DESIGN.md
+// §10 and examples/cluster.
+type (
+	// ClusterCoordinator shards sweeps across gatherd workers and merges
+	// their summaries deterministically.
+	ClusterCoordinator = cluster.Coordinator
+	// ClusterWorker is the HTTP client of one gatherd backend: summary-only
+	// submission, summary long-polling, health probes, bounded retries.
+	ClusterWorker = cluster.Worker
+	// ClusterWorkerOption configures a ClusterWorker (retry budget, HTTP
+	// client).
+	ClusterWorkerOption = cluster.WorkerOption
+)
+
+// Cluster constructors and the sharding function, re-exported from
+// internal/cluster.
+var (
+	// NewClusterCoordinator returns a coordinator over the given workers.
+	NewClusterCoordinator = cluster.NewCoordinator
+	// NewClusterWorker returns a client for the gatherd at a base URL.
+	NewClusterWorker = cluster.NewWorker
+	// ClusterShardBounds is the deterministic sharding function: the
+	// half-open spec range [lo, hi) of shard i when n specs are partitioned
+	// contiguously over a worker count.
+	ClusterShardBounds = cluster.ShardBounds
+	// WithClusterRetries sets a worker's retry budget and backoff base.
+	WithClusterRetries = cluster.WithRetries
+	// WithClusterHTTPClient sets a worker's HTTP client.
+	WithClusterHTTPClient = cluster.WithHTTPClient
 )
 
 // Service construction and spec hashing, re-exported from internal/service.

@@ -1,0 +1,104 @@
+// gatherlint runs the repo's determinism lint suite: custom static
+// analyzers (internal/analysis) that prove the invariants content
+// addressing and cluster merging depend on — no ambient clock or
+// randomness in canonical paths (detrand), no map-order leaks into
+// ordered output (maporder), pinned wire encodings (wiretags), and no
+// locks held across blocking calls nor context-less fleet HTTP
+// (lockscope). See DESIGN.md §11.
+//
+// Usage:
+//
+//	gatherlint [-only detrand,maporder] [packages...]   # default ./...
+//	gatherlint -list
+//
+// Findings print as file:line:col: analyzer: message and the exit status
+// is 1 when any survive their //lint:allow filters. Under GITHUB_ACTIONS
+// each finding is also emitted as an ::error workflow annotation so it
+// lands on the PR diff.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nochatter/internal/analysis"
+	"nochatter/internal/analysis/gatherlint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list the suite's analyzers and exit")
+	flag.Parse()
+
+	suite := gatherlint.Suite()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		suite = selectAnalyzers(suite, *only)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := gatherlint.Run(suite, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gatherlint:", err)
+		os.Exit(2)
+	}
+	github := os.Getenv("GITHUB_ACTIONS") == "true"
+	for _, d := range diags {
+		fmt.Println(relativize(d))
+		if github {
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=gatherlint %s::%s\n",
+				relPath(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "gatherlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers filters the suite by name, failing on unknown names so
+// a typo cannot silently skip a check.
+func selectAnalyzers(suite []*analysis.Analyzer, only string) []*analysis.Analyzer {
+	byName := make(map[string]*analysis.Analyzer, len(suite))
+	for _, a := range suite {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "gatherlint: unknown analyzer %q\n", name)
+			os.Exit(2)
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// relativize renders a diagnostic with a working-directory-relative path:
+// shorter to read, and the form CI annotations need.
+func relativize(d analysis.Diagnostic) string {
+	d.Pos.Filename = relPath(d.Pos.Filename)
+	return d.String()
+}
+
+// relPath makes a path relative to the working directory when possible.
+func relPath(path string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return path
+	}
+	if rel, ok := strings.CutPrefix(path, wd+string(os.PathSeparator)); ok {
+		return rel
+	}
+	return path
+}

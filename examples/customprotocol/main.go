@@ -14,6 +14,7 @@ package main
 import (
 	"fmt"
 	"os"
+	"sort"
 
 	"nochatter"
 )
@@ -91,7 +92,13 @@ func run() error {
 		return err
 	}
 	fmt.Printf("readings: %v\n", readings)
-	for label, o := range results {
+	labels := make([]int, 0, len(results))
+	for label := range results {
+		labels = append(labels, label)
+	}
+	sort.Ints(labels)
+	for _, label := range labels {
+		o := results[label]
 		fmt.Printf("  agent %-3d learned: min reading = %d, measured by %d agents\n",
 			label, o.min, o.count)
 	}

@@ -1,0 +1,143 @@
+// Package analysistest runs an analyzer over testdata packages and checks
+// its findings against `// want` annotations — the standard-library
+// analogue of golang.org/x/tools/go/analysis/analysistest.
+//
+// Testdata mirrors a GOPATH layout, testdata/src/<importpath>/*.go, and
+// the import path is real: analyzers scope rules by package path, so a
+// fixture at testdata/src/nochatter/internal/sim/x is determinism-critical
+// exactly like the package it mirrors, while testdata/src/example.com/y
+// is not. A line expecting a finding carries a comment of the form
+//
+//	code() // want "regexp"
+//
+// where the quoted (or backquoted) regexp must match the analyzer
+// message; several want patterns on one line expect several findings.
+// Findings without a want, and wants without a finding, fail the test.
+// `//lint:allow` suppression runs before matching, so fixtures also prove
+// the escape hatch works.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"nochatter/internal/analysis"
+	"nochatter/internal/analysis/load"
+)
+
+// wantRe matches one quoted or backquoted pattern in a want comment.
+var wantRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// Run loads each testdata package and checks the analyzer's diagnostics
+// against its want annotations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, importPaths ...string) {
+	t.Helper()
+	for _, path := range importPaths {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(path))
+		pkg, err := load.Dir(dir, path)
+		if err != nil {
+			t.Errorf("%s: load: %v", path, err)
+			continue
+		}
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: type error: %v", path, terr)
+		}
+		if len(pkg.TypeErrors) > 0 {
+			continue
+		}
+		diags, err := analysis.RunPackage(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		check(t, pkg, diags)
+	}
+}
+
+// want is one expected finding.
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// check compares findings against the package's want annotations.
+func check(t *testing.T, pkg *load.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		if w := matchWant(wants, d); w != nil {
+			w.matched = true
+			continue
+		}
+		t.Errorf("unexpected finding: %s", d)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// matchWant finds an unmatched want covering the diagnostic.
+func matchWant(wants []*want, d analysis.Diagnostic) *want {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {
+			return w
+		}
+	}
+	return nil
+}
+
+// collectWants scans the package's comments for want annotations.
+func collectWants(t *testing.T, pkg *load.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				ws, err := parseWants(pos, text)
+				if err != nil {
+					t.Errorf("%s:%d: %v", pos.Filename, pos.Line, err)
+					continue
+				}
+				wants = append(wants, ws...)
+			}
+		}
+	}
+	return wants
+}
+
+// parseWants parses every pattern in one want comment.
+func parseWants(pos token.Position, text string) ([]*want, error) {
+	matches := wantRe.FindAllStringSubmatch(text, -1)
+	if len(matches) == 0 {
+		return nil, fmt.Errorf("malformed want comment: no quoted pattern in %q", text)
+	}
+	wants := make([]*want, 0, len(matches))
+	for _, m := range matches {
+		raw := m[1]
+		if m[2] != "" {
+			raw = m[2]
+		} else {
+			// Quoted form: unescape \" so patterns can contain quotes.
+			raw = strings.ReplaceAll(raw, `\"`, `"`)
+		}
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			return nil, fmt.Errorf("bad want pattern %q: %v", raw, err)
+		}
+		wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: re})
+	}
+	return wants, nil
+}

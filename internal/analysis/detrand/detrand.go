@@ -1,0 +1,131 @@
+// Package detrand forbids ambient nondeterminism — wall-clock reads and
+// the process-global random source — inside determinism-critical packages.
+//
+// Those packages (internal/sim, agg, spec, graph, cluster; see
+// analysis.DeterminismCritical) compute values that feed content
+// addresses and cluster merges, so every output must be a pure function
+// of spec data. One stray time.Now in a canonical path, or one draw from
+// the randomly-seeded global math/rand source, silently breaks cache
+// identity across processes — the exact failure the differential tests
+// can only sample. Randomness is fine when it is seeded from the spec:
+// rand.New(rand.NewSource(seed)) stays legal, the global helpers do not.
+//
+// The known-safe timing call sites (per-run wall-time measurement in
+// sim/batch.go — reporting only, excluded from canonical encodings)
+// carry //lint:allow detrand annotations.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"nochatter/internal/analysis"
+)
+
+// Analyzer is the detrand pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "forbid wall-clock reads and global math/rand draws in " +
+		"determinism-critical packages",
+	Run: run,
+}
+
+// bannedTime are the clock reads: each returns a value that differs
+// between two identical runs.
+var bannedTime = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// randConstructors build explicitly-seeded generators and are the
+// sanctioned alternative to the global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.DeterminismCritical(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			// Methods (e.g. (*rand.Rand).Intn on a seeded generator) are
+			// fine; only package-level functions read ambient state.
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if bannedTime[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"time.%s in a determinism-critical package: results must be a pure function of the spec (use //lint:allow detrand with a justification for reporting-only timing)",
+						fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"rand.%s draws from the process-global source: seed an explicit generator from spec data (rand.New(rand.NewSource(seed)))",
+						fn.Name())
+				}
+			}
+			return true
+		})
+		// rand.New is a constructor, but only a visibly-seeded one: the
+		// argument must itself be a source constructor call, so the seed's
+		// origin is auditable at the call site.
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Name() != "New" {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+				return true
+			}
+			if len(call.Args) != 1 || !isSourceConstructor(pass, call.Args[0]) {
+				pass.Reportf(call.Pos(),
+					"rand.New with an opaque source: construct the source at the call site (rand.NewSource(seed)) so the seed is auditable")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isSourceConstructor reports whether the expression is a direct
+// rand.NewSource/NewPCG/NewChaCha8 call.
+func isSourceConstructor(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+		return false
+	}
+	switch fn.Name() {
+	case "NewSource", "NewPCG", "NewChaCha8":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"nochatter/internal/analysis/analysistest"
+	"nochatter/internal/analysis/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, "testdata", detrand.Analyzer,
+		"nochatter/internal/sim/timing",
+		"example.com/notcritical")
+}

@@ -1,0 +1,8 @@
+// Package notcritical proves detrand scopes by import path: this package
+// is outside the determinism-critical set, so clock reads are fine.
+package notcritical
+
+import "time"
+
+// Uptime may read the clock freely here.
+func Uptime(start time.Time) time.Duration { return time.Since(start) }

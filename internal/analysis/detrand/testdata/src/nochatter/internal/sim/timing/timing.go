@@ -1,0 +1,42 @@
+// Package timing is detrand fixture data: its import path mirrors a
+// determinism-critical package, so every rule applies.
+package timing
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Clocks exercises the banned wall-clock reads.
+func Clocks() time.Duration {
+	start := time.Now()      // want "time.Now in a determinism-critical package"
+	return time.Since(start) // want "time.Since in a determinism-critical package"
+}
+
+// ClockValue passes a clock function as a value; still banned.
+var ClockValue = time.Now // want "time.Now in a determinism-critical package"
+
+// GlobalDraws exercises the banned process-global math/rand helpers.
+func GlobalDraws() int {
+	rand.Shuffle(3, func(i, j int) {}) // want "rand.Shuffle draws from the process-global source"
+	return rand.Intn(10)               // want "rand.Intn draws from the process-global source"
+}
+
+// Seeded builds an explicitly-seeded generator: methods on it are legal.
+func Seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// Opaque hides the seed's origin from the call site; banned.
+func Opaque(src rand.Source) int {
+	rng := rand.New(src) // want "rand.New with an opaque source"
+	return rng.Intn(10)
+}
+
+// Allowed demonstrates the escape hatch: a justified annotation on the
+// line above suppresses the finding.
+func Allowed() time.Time {
+	//lint:allow detrand fixture: reporting-only timing with a justification
+	return time.Now()
+}

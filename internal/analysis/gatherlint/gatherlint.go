@@ -1,0 +1,44 @@
+// Package gatherlint assembles the repo's determinism lint suite: the
+// analyzers that machine-check the invariants every layer since PR 1
+// depends on (bit-identical results and summaries at any parallelism and
+// deployment shape — DESIGN.md §11). cmd/gatherlint is the CLI front end;
+// the self-lint test in this package is the dogfooding gate that keeps
+// the module itself clean.
+package gatherlint
+
+import (
+	"nochatter/internal/analysis"
+	"nochatter/internal/analysis/detrand"
+	"nochatter/internal/analysis/load"
+	"nochatter/internal/analysis/lockscope"
+	"nochatter/internal/analysis/maporder"
+	"nochatter/internal/analysis/wiretags"
+)
+
+// Suite returns the full analyzer suite in reporting order.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detrand.Analyzer,
+		maporder.Analyzer,
+		wiretags.Analyzer,
+		lockscope.Analyzer,
+	}
+}
+
+// Run loads the packages matching the patterns and applies the analyzers,
+// returning every surviving finding.
+func Run(analyzers []*analysis.Analyzer, patterns ...string) ([]analysis.Diagnostic, error) {
+	pkgs, err := load.Packages(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		d, err := analysis.RunPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, d...)
+	}
+	return diags, nil
+}

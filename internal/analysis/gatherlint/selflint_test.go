@@ -1,0 +1,99 @@
+package gatherlint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nochatter/internal/analysis"
+	"nochatter/internal/analysis/gatherlint"
+	"nochatter/internal/analysis/load"
+	"nochatter/internal/analysis/maporder"
+)
+
+// TestRepoIsLintClean is the dogfooding gate: the whole module must pass
+// its own determinism lint suite. A finding here means either a real
+// invariant violation or a missing //lint:allow with justification.
+func TestRepoIsLintClean(t *testing.T) {
+	diags, err := gatherlint.Run(gatherlint.Suite(), "nochatter/...")
+	if err != nil {
+		t.Fatalf("gatherlint.Run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d.String())
+	}
+}
+
+// TestInjectedViolationFails proves the suite has teeth: a copy of a
+// formerly-clean package gains one nondeterministic map iteration, and
+// maporder must catch it.
+func TestInjectedViolationFails(t *testing.T) {
+	mod, err := load.ModuleDir()
+	if err != nil {
+		t.Fatalf("load.ModuleDir: %v", err)
+	}
+	src := filepath.Join(mod, "internal", "graph")
+	dir := t.TempDir()
+	names, err := filepath.Glob(filepath.Join(src, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, filepath.Base(name)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	lint := func() []analysis.Diagnostic {
+		pkg, err := load.Dir(dir, "nochatter/internal/graph")
+		if err != nil {
+			t.Fatalf("load.Dir: %v", err)
+		}
+		diags, err := analysis.RunPackage(pkg, gatherlint.Suite())
+		if err != nil {
+			t.Fatalf("analysis.RunPackage: %v", err)
+		}
+		return diags
+	}
+
+	if diags := lint(); len(diags) != 0 {
+		for _, d := range diags {
+			t.Errorf("copy of clean package has finding: %s", d.String())
+		}
+		t.Fatal("baseline not clean; injection result would be meaningless")
+	}
+
+	injected := `package graph
+
+// DegreeLabels leaks map iteration order into its returned slice.
+func DegreeLabels(byDegree map[int]string) []string {
+	var out []string
+	for _, label := range byDegree {
+		out = append(out, label)
+	}
+	return out
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "injected.go"), []byte(injected), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	diags := lint()
+	found := false
+	for _, d := range diags {
+		if d.Analyzer == maporder.Analyzer.Name && strings.HasSuffix(d.Pos.Filename, "injected.go") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("maporder did not flag the injected violation; findings: %v", diags)
+	}
+}

@@ -1,0 +1,250 @@
+// Package load turns Go packages into type-checked syntax trees for the
+// lint suite, using only the standard library and the go tool. It is the
+// offline analogue of golang.org/x/tools/go/packages: `go list -export
+// -deps -json` supplies file lists and compiled export data for every
+// dependency, target packages are parsed from source (the analyzers need
+// positions and comments), and go/types checks them against the export
+// data through go/importer's lookup hook. The module vendors no external
+// code, so the lint suite cannot depend on x/tools; this loader is what
+// makes a repo-specific analysis suite possible anyway.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Package is one type-checked target package: everything an analyzer pass
+// needs.
+type Package struct {
+	// Path is the import path the package was checked under. Analyzers use
+	// it to scope rules to determinism-critical parts of the module.
+	Path string
+	// Dir is the directory holding the package's source files.
+	Dir string
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// TypeErrors collects type-checking problems. A package that does not
+	// compile cannot be trusted to lint cleanly; drivers surface these.
+	TypeErrors []error
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+}
+
+// Packages loads every package matching the patterns (as `go list`
+// interprets them, e.g. "./..." or "nochatter/internal/..."), type-checked
+// from source with dependencies imported from compiled export data.
+func Packages(patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Export,DepOnly"}, patterns...)
+	entries, err := runGoList(args)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	var targets []listEntry
+	for _, e := range entries {
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+		if !e.DepOnly {
+			targets = append(targets, e)
+		}
+	}
+	pkgs := make([]*Package, 0, len(targets))
+	for _, e := range targets {
+		files := make([]string, len(e.GoFiles))
+		for i, f := range e.GoFiles {
+			files[i] = filepath.Join(e.Dir, f)
+		}
+		pkg, err := check(e.ImportPath, e.Dir, files, exports)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", e.ImportPath, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// Dir loads a single package from an explicit directory of Go files —
+// testdata packages the go tool refuses to list — checked under the given
+// import path. Imports must resolve within the standard library (or
+// whatever `go list` can export from the enclosing module).
+func Dir(dir, importPath string) (*Package, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("load: no Go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := make(map[string]bool)
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err == nil && p != "unsafe" {
+				imports[p] = true
+			}
+		}
+	}
+	exports, err := exportData(imports)
+	if err != nil {
+		return nil, err
+	}
+	return checkParsed(importPath, dir, fset, files, exports)
+}
+
+// exportDataCache memoizes export-data lookups across Dir calls: analyzer
+// tests load many small testdata packages with overlapping stdlib imports,
+// and each `go list -export` run costs a toolchain invocation.
+var (
+	exportDataMu    sync.Mutex
+	exportDataCache = map[string]map[string]string{}
+)
+
+// exportData resolves an import set to export-data files via
+// `go list -export -deps`.
+func exportData(imports map[string]bool) (map[string]string, error) {
+	if len(imports) == 0 {
+		return nil, nil
+	}
+	paths := make([]string, 0, len(imports))
+	for p := range imports {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	key := strings.Join(paths, ",")
+	exportDataMu.Lock()
+	defer exportDataMu.Unlock()
+	if m, ok := exportDataCache[key]; ok {
+		return m, nil
+	}
+	args := append([]string{"list", "-export", "-deps",
+		"-json=ImportPath,Export"}, paths...)
+	entries, err := runGoList(args)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]string)
+	for _, e := range entries {
+		if e.Export != "" {
+			m[e.ImportPath] = e.Export
+		}
+	}
+	exportDataCache[key] = m
+	return m, nil
+}
+
+// ModuleDir returns the root directory of the enclosing Go module.
+func ModuleDir() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("load: go env GOMOD: %w", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("load: not inside a Go module")
+	}
+	return filepath.Dir(gomod), nil
+}
+
+// runGoList executes a go list command and decodes its JSON stream.
+func runGoList(args []string) ([]listEntry, error) {
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go %s: %v\n%s", strings.Join(args[:2], " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var entries []listEntry
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decode go list output: %w", err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// check parses the named files and type-checks them; see checkParsed.
+func check(importPath, dir string, filenames []string, exports map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return checkParsed(importPath, dir, fset, files, exports)
+}
+
+// checkParsed type-checks already-parsed files against the export-data
+// map. Type errors are recorded on the package, not fatal: the driver
+// decides whether a broken package fails the run.
+func checkParsed(importPath, dir string, fset *token.FileSet, files []*ast.File, exports map[string]string) (*Package, error) {
+	pkg := &Package{Path: importPath, Dir: dir, Fset: fset, Files: files}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	// Errors are collected via conf.Error; Check's own return duplicates
+	// the first of them.
+	pkg.Types, _ = conf.Check(importPath, fset, files, pkg.Info)
+	return pkg, nil
+}

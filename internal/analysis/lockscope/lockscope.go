@@ -1,0 +1,330 @@
+// Package lockscope flags mutexes held across blocking operations, and
+// context-less HTTP requests in the fleet's client packages.
+//
+// A sync.Mutex held across a channel operation or an HTTP round trip is
+// the deadlock-and-tail-latency shape that took down the PR 5 queue
+// audit: the lock's critical section becomes as long as the slowest
+// consumer or the remote's timeout, and every metrics read behind the
+// same lock stalls with it. The analyzer tracks Lock/Unlock pairs (and
+// defer Unlock) within a function and reports channel sends, blocking
+// channel receives, and net/http calls made while a lock is held.
+// Non-blocking sends — a select with a default — are fine.
+//
+// In internal/cluster and internal/service (the packages that issue
+// requests on behalf of cancelable jobs), requests must thread a context:
+// http.NewRequest and the package-level http.Get/Post/PostForm/Head
+// helpers are reported in favor of http.NewRequestWithContext, so a
+// canceled sweep actually stops burning fleet capacity.
+package lockscope
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"nochatter/internal/analysis"
+)
+
+// Analyzer is the lockscope pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockscope",
+	Doc: "flag locks held across channel or HTTP operations, and " +
+		"context-less HTTP requests in client packages",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					scanStmts(pass, fn.Body.List, nil)
+				}
+			case *ast.FuncLit:
+				scanStmts(pass, fn.Body.List, nil)
+			}
+			return true
+		})
+	}
+	if analysis.HTTPClientPackage(pass.Pkg.Path()) {
+		checkContextless(pass)
+	}
+	return nil
+}
+
+// heldLock is one lock the current statement list knows to be held.
+type heldLock struct {
+	expr string // printable receiver, e.g. "s.mu"
+}
+
+// scanStmts walks one statement list in order, tracking which locks are
+// held and reporting blocking operations under them. Compound statements
+// recurse with the current held set (so a send inside an if-body under a
+// lock is found); a FuncLit does not inherit it (it runs elsewhere). The
+// tracking is an in-order approximation: a lock released on one branch is
+// still considered held on the fallthrough path, which matches the
+// conservative reading.
+func scanStmts(pass *analysis.Pass, stmts []ast.Stmt, held []heldLock) {
+	held = append([]heldLock(nil), held...)
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if name, ok := lockCall(pass, s.X); ok {
+				held = append(held, heldLock{expr: name})
+				continue
+			}
+			if name, ok := unlockCall(pass, s.X); ok {
+				held = removeLock(held, name)
+				continue
+			}
+			if len(held) > 0 {
+				reportBlocking(pass, s, held)
+			}
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock held to function end: the
+			// rest of the list scans with it held, which is exactly the
+			// semantics. Other deferred work runs at return and is skipped.
+			continue
+		case *ast.LabeledStmt:
+			scanStmts(pass, []ast.Stmt{s.Stmt}, held)
+		case *ast.BlockStmt:
+			scanStmts(pass, s.List, held)
+		case *ast.IfStmt:
+			if len(held) > 0 {
+				if s.Init != nil {
+					reportBlocking(pass, s.Init, held)
+				}
+				reportBlocking(pass, s.Cond, held)
+			}
+			scanStmts(pass, s.Body.List, held)
+			if s.Else != nil {
+				scanStmts(pass, []ast.Stmt{s.Else}, held)
+			}
+		case *ast.ForStmt:
+			if len(held) > 0 {
+				if s.Init != nil {
+					reportBlocking(pass, s.Init, held)
+				}
+				if s.Cond != nil {
+					reportBlocking(pass, s.Cond, held)
+				}
+				if s.Post != nil {
+					reportBlocking(pass, s.Post, held)
+				}
+			}
+			scanStmts(pass, s.Body.List, held)
+		case *ast.RangeStmt:
+			if len(held) > 0 {
+				if tv, ok := pass.TypesInfo.Types[s.X]; ok {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						pass.Reportf(s.Pos(),
+							"ranging over a channel while holding %s: each iteration blocks on a sender", held[len(held)-1].expr)
+					}
+				}
+				reportBlocking(pass, s.X, held)
+			}
+			scanStmts(pass, s.Body.List, held)
+		case *ast.SwitchStmt:
+			if len(held) > 0 && s.Tag != nil {
+				reportBlocking(pass, s.Tag, held)
+			}
+			scanCases(pass, s.Body, held)
+		case *ast.TypeSwitchStmt:
+			scanCases(pass, s.Body, held)
+		default:
+			if len(held) > 0 {
+				reportBlocking(pass, stmt, held)
+			}
+		}
+	}
+}
+
+// scanCases recurses into the case-clause bodies of a switch.
+func scanCases(pass *analysis.Pass, body *ast.BlockStmt, held []heldLock) {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			scanStmts(pass, cc.Body, held)
+		}
+	}
+}
+
+// removeLock drops the most recent hold of name.
+func removeLock(held []heldLock, name string) []heldLock {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i].expr == name {
+			return append(held[:i], held[i+1:]...)
+		}
+	}
+	return held
+}
+
+// lockCall matches x.Lock() / x.RLock() on a sync mutex, returning the
+// receiver's printable form.
+func lockCall(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	return mutexMethod(pass, e, "Lock", "RLock")
+}
+
+// unlockCall matches x.Unlock() / x.RUnlock().
+func unlockCall(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	return mutexMethod(pass, e, "Unlock", "RUnlock")
+}
+
+// mutexMethod matches a call of one of the named methods provided by the
+// sync package (directly or through embedding).
+func mutexMethod(pass *analysis.Pass, e ast.Expr, names ...string) (string, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return types.ExprString(sel.X), true
+		}
+	}
+	return "", false
+}
+
+// reportBlocking walks one statement or expression for operations that
+// can block indefinitely while a lock is held.
+func reportBlocking(pass *analysis.Pass, stmt ast.Node, held []heldLock) {
+	lock := held[len(held)-1].expr
+	var walk func(n ast.Node, nonBlockingSel bool)
+	visit := func(n ast.Node, nonBlockingSel bool) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			// A select with a default never blocks on its comm clauses.
+			hasDefault := false
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			for _, c := range x.Body.List {
+				cc, ok := c.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				if cc.Comm != nil {
+					walk(cc.Comm, hasDefault)
+				}
+				for _, s := range cc.Body {
+					walk(s, false)
+				}
+			}
+			return false
+		case *ast.SendStmt:
+			if !nonBlockingSel {
+				pass.Reportf(x.Pos(),
+					"channel send while holding %s: the critical section blocks on the receiver (move the send after Unlock)", lock)
+			}
+			return false
+		case *ast.UnaryExpr:
+			// In a comm clause of a select-with-default the receive cannot
+			// block; elsewhere it can.
+			if x.Op == token.ARROW && !nonBlockingSel {
+				pass.Reportf(x.Pos(),
+					"channel receive while holding %s: the critical section blocks on the sender (move the receive after Unlock)", lock)
+				return false
+			}
+		case *ast.CallExpr:
+			if name, ok := httpRoundTrip(pass, x); ok {
+				pass.Reportf(x.Pos(),
+					"%s while holding %s: the critical section lasts a full HTTP round trip", name, lock)
+			}
+		}
+		return true
+	}
+	walk = func(n ast.Node, nonBlockingSel bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == nil {
+				return false
+			}
+			return visit(m, nonBlockingSel)
+		})
+	}
+	walk(stmt, false)
+}
+
+// httpRoundTrip matches calls that perform an HTTP request: the net/http
+// package helpers and the methods of *http.Client.
+func httpRoundTrip(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return "", false
+	}
+	if sig.Recv() == nil {
+		if fn.Pkg().Path() != "net/http" {
+			return "", false
+		}
+		switch fn.Name() {
+		case "Get", "Post", "PostForm", "Head":
+			return "http." + fn.Name(), true
+		}
+		return "", false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	n, ok := recv.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "net/http" || n.Obj().Name() != "Client" {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Do", "Get", "Post", "PostForm", "Head":
+		return "(*http.Client)." + fn.Name(), true
+	}
+	return "", false
+}
+
+// checkContextless reports request constructions that cannot be canceled.
+func checkContextless(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "net/http" {
+				return true
+			}
+			if sig, _ := fn.Type().(*types.Signature); sig == nil || sig.Recv() != nil {
+				return true
+			}
+			switch fn.Name() {
+			case "NewRequest":
+				pass.Reportf(call.Pos(),
+					"http.NewRequest without a context: a canceled job keeps burning this worker (use http.NewRequestWithContext)")
+			case "Get", "Post", "PostForm", "Head":
+				pass.Reportf(call.Pos(),
+					"http.%s has no context: a canceled job keeps burning this worker (use http.NewRequestWithContext + Client.Do)",
+					fn.Name())
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,13 @@
+package lockscope_test
+
+import (
+	"testing"
+
+	"nochatter/internal/analysis/analysistest"
+	"nochatter/internal/analysis/lockscope"
+)
+
+func TestLockscope(t *testing.T) {
+	analysistest.Run(t, "testdata", lockscope.Analyzer,
+		"nochatter/internal/cluster/lockdemo")
+}

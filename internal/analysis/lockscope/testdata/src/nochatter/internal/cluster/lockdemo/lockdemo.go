@@ -1,0 +1,122 @@
+// Package lockdemo is lockscope fixture data: locks held across blocking
+// operations, their fixes, and context-less HTTP in a client package.
+package lockdemo
+
+import (
+	"context"
+	"net/http"
+	"sync"
+)
+
+// Box is fixture state guarded by a mutex.
+type Box struct {
+	mu  sync.Mutex
+	ch  chan int
+	n   int
+	cli *http.Client
+}
+
+// SendUnderLock blocks the critical section on a receiver.
+func (b *Box) SendUnderLock(v int) {
+	b.mu.Lock()
+	b.ch <- v // want "channel send while holding b.mu"
+	b.mu.Unlock()
+}
+
+// SendAfterUnlock is the fix: no finding.
+func (b *Box) SendAfterUnlock(v int) {
+	b.mu.Lock()
+	b.n = v
+	b.mu.Unlock()
+	b.ch <- v
+}
+
+// DeferredHold keeps the lock to function end; the nested send is under
+// it.
+func (b *Box) DeferredHold(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if v > 0 {
+		b.ch <- v // want "channel send while holding b.mu"
+	}
+}
+
+// NonBlockingSend selects with a default: never blocks, no finding.
+func (b *Box) NonBlockingSend(v int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case b.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// ReceiveUnderLock blocks the critical section on a sender.
+func (b *Box) ReceiveUnderLock() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return <-b.ch // want "channel receive while holding b.mu"
+}
+
+// DrainUnderLock blocks every iteration on a sender.
+func (b *Box) DrainUnderLock() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	total := 0
+	for v := range b.ch { // want "ranging over a channel while holding b.mu"
+		total += v
+	}
+	return total
+}
+
+// FetchUnderLock holds the lock across a full HTTP round trip.
+func (b *Box) FetchUnderLock(req *http.Request) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	resp, err := b.cli.Do(req) // want "Do while holding b.mu"
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// FetchOutsideLock is the fix: snapshot under the lock, fetch outside.
+func (b *Box) FetchOutsideLock(req *http.Request) error {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	resp, err := b.cli.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// AllowedSend demonstrates the escape hatch.
+func (b *Box) AllowedSend(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	//lint:allow lockscope fixture: the receiver is unbuffered-by-contract and never blocks
+	b.ch <- v
+}
+
+// Request builds a context-threaded request: no finding.
+func Request(ctx context.Context, url string) (*http.Request, error) {
+	return http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+}
+
+// LegacyRequest cannot be canceled.
+func LegacyRequest(url string) (*http.Request, error) {
+	return http.NewRequest(http.MethodGet, url, nil) // want "http.NewRequest without a context"
+}
+
+// QuickGet cannot be canceled either.
+func QuickGet(url string) error {
+	resp, err := http.Get(url) // want "http.Get has no context"
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}

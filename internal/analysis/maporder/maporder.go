@@ -1,0 +1,260 @@
+// Package maporder flags iteration over a Go map whose order leaks into
+// an ordered output — the canonical bit-identity killer.
+//
+// Go randomizes map iteration order per run, so a `range m` that feeds an
+// append, a writer/encoder, or a channel produces a different sequence on
+// every execution. Anywhere near a canonical encoding or a merged summary
+// this silently breaks content addressing (DESIGN.md §§9–11): the bytes
+// differ while every differential test that happens to sample a sorted
+// path stays green. The fix is mechanical — collect keys, sort, iterate
+// the sorted slice — and the analyzer recognizes exactly that idiom: an
+// append whose target is later passed to a sort.* or slices.* call is not
+// reported.
+//
+// Order-insensitive loop bodies (folding into another map, commutative
+// accumulation like sum += v, deletes) are fine and not reported.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"nochatter/internal/analysis"
+)
+
+// Analyzer is the maporder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag map iteration whose nondeterministic order feeds an " +
+		"append, writer, encoder, or channel without an intervening sort",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isUnorderedRange(pass, rs) {
+				return true
+			}
+			checkRange(pass, file, rs)
+			return true
+		})
+	}
+	return nil
+}
+
+// isUnorderedRange reports whether the range statement iterates in
+// nondeterministic order: directly over a map, or over the maps package's
+// key/value iterators (which inherit map order).
+func isUnorderedRange(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	if tv, ok := pass.TypesInfo.Types[rs.X]; ok {
+		if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+			return true
+		}
+	}
+	call, ok := rs.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "maps" {
+		return false
+	}
+	switch fn.Name() {
+	case "Keys", "Values", "All":
+		return true
+	}
+	return false
+}
+
+// checkRange walks one unordered range's body for order-sensitive sinks.
+// One report per loop: the first sink found names the failure mode.
+func checkRange(pass *analysis.Pass, file *ast.File, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // deferred/async bodies are out of scope
+		}
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(rs.Pos(),
+				"map iteration order feeds a channel send; iterate sorted keys instead (bit-identity, DESIGN.md §11)")
+			return false
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				if !isAppendCall(pass, rhs) || i >= len(s.Lhs) {
+					continue
+				}
+				target, outside := outsideTarget(pass, s.Lhs[i], rs)
+				if !outside {
+					continue
+				}
+				if obj := identObject(pass, s.Lhs[i]); obj != nil && sortedLater(pass, file, rs, obj) {
+					continue
+				}
+				pass.Reportf(rs.Pos(),
+					"map iteration order leaks into %s via append with no later sort; sort the keys or the result (bit-identity, DESIGN.md §11)",
+					target)
+				return false
+			}
+		case *ast.CallExpr:
+			if reason := writeSink(pass, s, rs); reason != "" {
+				pass.Reportf(rs.Pos(),
+					"map iteration order feeds %s; iterate sorted keys instead (bit-identity, DESIGN.md §11)", reason)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// isAppendCall reports whether the expression is a call to the append
+// builtin.
+func isAppendCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// outsideTarget reports whether the assignment target lives outside the
+// loop (so the loop's iteration order becomes its element order), and a
+// printable name for it. Struct fields and other selectors are treated as
+// outside.
+func outsideTarget(pass *analysis.Pass, lhs ast.Expr, rs *ast.RangeStmt) (string, bool) {
+	switch t := lhs.(type) {
+	case *ast.Ident:
+		obj := identObject(pass, lhs)
+		if obj == nil {
+			return "", false
+		}
+		if obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End() {
+			return "", false // per-iteration accumulator: order cannot leak out
+		}
+		return t.Name, true
+	case *ast.SelectorExpr:
+		return types.ExprString(t), true
+	}
+	return "", false
+}
+
+// identObject resolves an identifier expression to its object.
+func identObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Defs[id]
+}
+
+// sortedLater reports whether obj is passed to a sort.* or slices.* call
+// after the loop ends — the collect-then-sort idiom.
+func sortedLater(pass *analysis.Pass, file *ast.File, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			argFound := false
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					argFound = true
+				}
+				return !argFound
+			})
+			if argFound {
+				found = true
+				break
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// writeSink reports whether the call writes loop data to an ordered sink
+// owned outside the loop: fmt printing, writer/encoder methods, or
+// io.WriteString. Empty means no sink.
+func writeSink(pass *analysis.Pass, call *ast.CallExpr, rs *ast.RangeStmt) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return ""
+	}
+	if pkg := fn.Pkg(); pkg != nil {
+		sig, _ := fn.Type().(*types.Signature)
+		if sig != nil && sig.Recv() == nil {
+			switch {
+			case pkg.Path() == "fmt" && strings.HasPrefix(fn.Name(), "Print"):
+				return "fmt." + fn.Name() // stdout always outlives the loop
+			case pkg.Path() == "fmt" && strings.HasPrefix(fn.Name(), "Fprint"),
+				pkg.Path() == "io" && fn.Name() == "WriteString":
+				// Writer-taking forms: only writers that outlive the loop
+				// can observe its order.
+				if len(call.Args) > 0 && writerOutlivesLoop(pass, call.Args[0], rs) {
+					return pkg.Name() + "." + fn.Name()
+				}
+			}
+			return ""
+		}
+	}
+	switch fn.Name() {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+	default:
+		return ""
+	}
+	// Only writers that outlive the iteration order matter; a buffer built
+	// per iteration is deterministic for its own key.
+	if writerOutlivesLoop(pass, sel.X, rs) {
+		return types.ExprString(sel.X) + "." + fn.Name()
+	}
+	return ""
+}
+
+// writerOutlivesLoop reports whether the writer expression refers to
+// state declared outside the loop. Per-iteration buffers are fine; idents
+// from enclosing scope, struct fields, and anything unresolvable are
+// conservatively treated as outliving.
+func writerOutlivesLoop(pass *analysis.Pass, w ast.Expr, rs *ast.RangeStmt) bool {
+	if u, ok := w.(*ast.UnaryExpr); ok { // &buf
+		w = u.X
+	}
+	if id, ok := w.(*ast.Ident); ok {
+		obj := identObject(pass, id)
+		return obj == nil || obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+	}
+	return true
+}

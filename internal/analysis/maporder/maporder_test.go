@@ -1,0 +1,13 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"nochatter/internal/analysis/analysistest"
+	"nochatter/internal/analysis/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, "testdata", maporder.Analyzer,
+		"nochatter/internal/agg/mapiter")
+}

@@ -1,0 +1,100 @@
+// Package mapiter is maporder fixture data: every way a map's iteration
+// order can leak into an ordered output, next to the sanctioned idioms.
+package mapiter
+
+import (
+	"fmt"
+	"maps"
+	"sort"
+	"strings"
+)
+
+// Keys leaks map order into a returned slice.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "leaks into out via append"
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys collects then sorts: the sanctioned idiom, no finding.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IterKeys ranges the maps.Keys iterator: the same order leak.
+func IterKeys(m map[string]int) []string {
+	var out []string
+	for k := range maps.Keys(m) { // want "leaks into out via append"
+		out = append(out, k)
+	}
+	return out
+}
+
+// Print writes map order to stdout.
+func Print(m map[string]int) {
+	for k, v := range m { // want "feeds fmt.Printf"
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// Build writes map order into a builder owned outside the loop.
+func Build(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m { // want "feeds sb.WriteString"
+		sb.WriteString(k)
+	}
+	return sb.String()
+}
+
+// Send leaks map order into a channel.
+func Send(m map[string]int, ch chan string) {
+	for k := range m { // want "feeds a channel send"
+		ch <- k
+	}
+}
+
+// PerKey builds a per-iteration value: deterministic for its own key, no
+// finding.
+func PerKey(m map[string]int, sink map[string]string) {
+	for k, v := range m {
+		var sb strings.Builder
+		sb.WriteString(k)
+		fmt.Fprintf(&sb, "=%d", v)
+		sink[k] = sb.String()
+	}
+}
+
+// Sum is commutative accumulation: no finding.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Invert folds into another map: order-insensitive, no finding.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Allowed demonstrates the escape hatch.
+func Allowed(m map[string]int) []string {
+	var out []string
+	//lint:allow maporder fixture: the consumer treats out as an unordered set
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,13 @@
+package wiretags_test
+
+import (
+	"testing"
+
+	"nochatter/internal/analysis/analysistest"
+	"nochatter/internal/analysis/wiretags"
+)
+
+func TestWiretags(t *testing.T) {
+	analysistest.Run(t, "testdata", wiretags.Analyzer,
+		"nochatter/internal/service/wire")
+}

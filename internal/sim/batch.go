@@ -80,8 +80,10 @@ type BatchResult struct {
 
 // runTimed executes one scenario and measures its wall time.
 func (r *Runner) runTimed(i int, sc Scenario) BatchResult {
+	//lint:allow detrand Wall is reporting-only: agg excludes it from canonical encodings (DESIGN.md §9)
 	start := time.Now()
 	res, err := r.Run(sc)
+	//lint:allow detrand same wall-time measurement as above; never hashed or merged canonically
 	return BatchResult{Index: i, Result: res, Err: err, Wall: time.Since(start)}
 }
 

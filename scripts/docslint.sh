@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
-# docslint.sh — the docs gate CI runs: formatting, vet, a package-comment
-# check over every package in the module, and the output-verified examples.
+# docslint.sh — the docs gate CI runs: a package-comment check over every
+# package in the module, and the output-verified examples. Formatting, vet
+# and the determinism lint suite live in scripts/lint.sh so each check runs
+# exactly once per CI pass.
 #
 # Fails if:
-#   - any file is not gofmt-formatted
-#   - go vet reports anything
 #   - any package (including examples and cmds) lacks a doc comment
 #     immediately above its package clause
 #   - any runnable Example's // Output block does not match
@@ -13,15 +13,6 @@
 set -euo pipefail
 
 fail=0
-
-unformatted=$(gofmt -l .)
-if [ -n "$unformatted" ]; then
-  echo "gofmt: these files need formatting:" >&2
-  echo "$unformatted" >&2
-  fail=1
-fi
-
-go vet ./...
 
 # Every package must have a doc comment: a comment block ending on the line
 # directly above the package clause of at least one file.

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# lint.sh — the code gate CI runs: formatting, vet, and the repo's own
+# determinism lint suite (cmd/gatherlint; DESIGN.md §11).
+#
+# Fails if:
+#   - any file is not gofmt-formatted (testdata fixtures included)
+#   - go vet reports anything
+#   - gatherlint reports any determinism-invariant finding that is not
+#     covered by a justified //lint:allow annotation
+#
+# Run from the repository root: ./scripts/lint.sh
+set -euo pipefail
+
+fail=0
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+  echo "gofmt: these files need formatting:" >&2
+  echo "$unformatted" >&2
+  fail=1
+else
+  echo "lint: gofmt clean"
+fi
+
+if go vet ./...; then
+  echo "lint: go vet clean"
+else
+  fail=1
+fi
+
+if go run ./cmd/gatherlint ./...; then
+  echo "lint: gatherlint clean (detrand, maporder, wiretags, lockscope)"
+else
+  fail=1
+fi
+
+exit $fail

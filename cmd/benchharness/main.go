@@ -16,12 +16,13 @@
 // gatherd cold (cache misses) and hot (cache hits), with requests/sec for
 // both phases, an aggregation record comparing summary-mode sweep
 // consumption (one internal/agg document) against raw NDJSON streaming —
-// wall time and bytes shipped for each — and a cluster record: the same
-// summary-only sweep sharded over 1, 2 and 4 gatherd backends by a
-// cluster.Coordinator, with per-fleet-size wall times and the canonical
-// bit-identity of the merged total against the local fold. The bench
-// sweep's summary table (the same table gathersim -summary prints) goes
-// to stdout.
+// wall time and bytes shipped for each — and a cluster record: a
+// cost-skewed summary-only sweep dispatched over 1, 2 and 4 paced
+// fixed-capacity gatherd backends by a cluster.Coordinator, chunked
+// scheduler vs static split, with per-row wall times, scheduler counters,
+// a chunks-per-worker granularity sweep and the canonical bit-identity of
+// the merged total against the local fold. The bench sweep's summary
+// table (the same table gathersim -summary prints) goes to stdout.
 package main
 
 import (
@@ -34,12 +35,14 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"nochatter/internal/agg"
 	"nochatter/internal/cluster"
 	"nochatter/internal/experiments"
+	"nochatter/internal/sched"
 	"nochatter/internal/service"
 	"nochatter/internal/sim"
 	"nochatter/internal/spec"
@@ -99,26 +102,51 @@ type aggRecord struct {
 	SummaryRepeatWallMS  float64 `json:"service_summary_repeat_wall_ms"`
 }
 
-// clusterScaleRecord is one fleet size of the cluster bench.
+// clusterScaleRecord is one (fleet size, planner) row of the cluster bench.
 type clusterScaleRecord struct {
 	Backends int     `json:"backends"`
+	Planner  string  `json:"planner"` // "chunked" (cost-model scheduler) or "static" (one shard per worker)
+	Chunks   int64   `json:"chunks"`  // chunks dispatched across the sweep
+	Stolen   int64   `json:"stolen"`  // chunks claimed off another worker's queue
 	WallMS   float64 `json:"wall_ms"`
-	Speedup  float64 `json:"speedup_vs_1"`
+	Speedup  float64 `json:"speedup_vs_1"` // vs the 1-backend chunked row
 }
 
-// clusterRecord is the cluster-scaling entry of the -json perf record: the
-// same summary-only sweep sharded over 1, 2 and 4 gatherd backends by a
-// cluster.Coordinator, through real HTTP round trips. Each backend's
-// per-job parallelism is pinned (rather than GOMAXPROCS) so the backends
-// model fixed-capacity nodes instead of all contending for every local
-// core — the sharding win, not the scheduler's, is what is measured.
+// chunkSizeRecord is one chunks-per-worker setting of the granularity
+// sweep, run at the largest fleet size.
+type chunkSizeRecord struct {
+	ChunksPerWorker int     `json:"chunks_per_worker"`
+	Chunks          int64   `json:"chunks"`
+	WallMS          float64 `json:"wall_ms"`
+	Speedup         float64 `json:"speedup_vs_1"`
+}
+
+// clusterRecord is the cluster-scheduling entry of the -json perf record:
+// one deliberately cost-skewed summary-only sweep dispatched by a
+// cluster.Coordinator over fleets of 1, 2 and 4 gatherd backends, through
+// real HTTP round trips, under the chunked scheduler and under the static
+// one-shard-per-worker split it replaced (BENCH_PR5.json measured 0.94x
+// for the latter).
+//
+// The backends are fixed-capacity emulations: each runs the real engine —
+// results, and therefore the merged summary bytes, are the real thing —
+// and then holds the job worker for a sleep proportional to the run's
+// actual stepped rounds (PacingUSPerStep per stepped round, Parallelism
+// job slots per backend). On a HostCores-core host this is the only way
+// N co-located backends can exhibit N-fold capacity; pacing by measured
+// stepped rounds rather than the planner's model keeps the bench honest —
+// the plan only approximates the pacing, so the dispatcher's stealing has
+// to absorb the model error, exactly as against real machines.
 // MergedIdentical records the determinism law the cluster rests on: the
 // 4-backend merged summary is canonically bit-identical to the local fold.
 type clusterRecord struct {
 	Specs              int                  `json:"specs"`
 	BackendParallelism int                  `json:"backend_parallelism"`
+	HostCores          int                  `json:"host_cores"`
+	PacingUSPerStep    float64              `json:"pacing_us_per_stepped_round"`
 	MergedIdentical    bool                 `json:"merged_identical_to_local"`
 	Scales             []clusterScaleRecord `json:"scales"`
+	ChunkSizes         []chunkSizeRecord    `json:"chunk_sizes"`
 }
 
 // perfRecord is the top-level -json document.
@@ -390,31 +418,40 @@ func aggBench() (*aggRecord, error) {
 	return rec, nil
 }
 
-// clusterBench shards one summary-only sweep over fleets of 1, 2 and 4
-// in-process gatherd backends and reports the wall time per fleet size,
-// plus the canonical bit-identity of the merged result against the local
-// fold. Every backend run starts cold (fresh services), so the numbers
-// compare sharded engine work, not cache hits.
+// clusterBench dispatches one cost-skewed summary-only sweep over fleets
+// of 1, 2 and 4 paced in-process gatherd backends (see clusterRecord for
+// the emulation), under the chunked scheduler and under the static split,
+// plus a chunks-per-worker granularity sweep at 4 backends. Every fleet
+// run starts cold (fresh services), so the numbers compare scheduled
+// engine work, not cache hits.
 func clusterBench() (*clusterRecord, error) {
-	// Wider than the agg sweep: more wake schedules multiply engine work
-	// without multiplying groups, giving the shards something to chew on.
+	// Deliberately skewed: barbell exploration cost grows ~n^1.5, so the
+	// barbell block at the tail of the expansion dwarfs the rings at the
+	// head by two orders of magnitude — the shape that pinned the static
+	// split at 0.94x in BENCH_PR5.json. Wake schedules stay ≤ 101: bounded
+	// wakes multiply runs without pushing any scenario into the
+	// round-budget cap, whose multi-second outliers would let a single
+	// spec dominate every schedule (BENCH_PR5.json measured exactly that).
 	def := spec.SweepDef{
-		Name:      "cluster-{family}-n{n}-w{wake}",
-		Families:  []string{"ring", "path", "complete"},
-		Sizes:     []int{6, 8, 10, 12, 14, 16},
+		Name:      "sched-{family}-n{n}-w{wake}",
+		Families:  []string{"ring", "star", "barbell"},
+		Sizes:     []int{6, 8, 12, 16, 24, 32},
 		TeamSizes: []int{2},
-		// Wakes past ~500 push some scenarios out of the engine's
-		// fast-forward sweet spot (seconds per run); this set keeps the
-		// bench quick while still multiplying work 10× over the agg sweep.
-		Wakes: [][]int{{0, 0}, {0, 7}, {7, 0}, {0, 31}, {31, 0}, {0, 57},
-			{57, 0}, {0, 101}, {101, 0}, {0, 301}, {301, 0}, {0, 13}},
+		Wakes: [][]int{{0, 0}, {0, 7}, {7, 0}, {0, 13}, {13, 0}, {0, 31},
+			{31, 0}, {0, 57}, {57, 0}, {0, 101}, {101, 0}, {0, 77}},
 	}
 	specs, err := def.Specs()
 	if err != nil {
 		return nil, err
 	}
 	const backendParallelism = 2
-	rec := &clusterRecord{Specs: len(specs), BackendParallelism: backendParallelism}
+	const pace = 2 * time.Microsecond // per stepped round
+	rec := &clusterRecord{
+		Specs:              len(specs),
+		BackendParallelism: backendParallelism,
+		HostCores:          runtime.NumCPU(),
+		PacingUSPerStep:    float64(pace) / float64(time.Microsecond),
+	}
 
 	local, err := agg.Summarize(sim.NewRunner(), specs)
 	if err != nil {
@@ -425,44 +462,103 @@ func clusterBench() (*clusterRecord, error) {
 		return nil, err
 	}
 
-	for _, backends := range []int{1, 2, 4} {
+	// runFleet times one cold sweep over a fresh paced fleet.
+	runFleet := func(backends int, planner sched.Planner) (float64, sched.FleetStats, []byte, error) {
 		workers := make([]*cluster.Worker, backends)
 		var closers []func()
 		for i := range workers {
 			svc := service.New(service.Config{Parallelism: backendParallelism})
+			svc.SetExecutor(func(sp spec.ScenarioSpec) (*sim.RunResult, error) {
+				res, err := sp.Run()
+				if err != nil {
+					return nil, err
+				}
+				time.Sleep(time.Duration(res.SteppedRounds) * pace)
+				return res, nil
+			})
 			srv := httptest.NewServer(svc.Handler())
 			closers = append(closers, srv.Close, svc.Close)
 			workers[i] = cluster.NewWorker(srv.URL)
 		}
+		defer func() {
+			for _, c := range closers {
+				c()
+			}
+		}()
+		coord := cluster.NewCoordinator(workers...)
+		coord.SetPlanner(planner)
 		start := time.Now()
-		merged, err := cluster.NewCoordinator(workers...).SummarizeSpecs(context.Background(), specs)
+		merged, err := coord.SummarizeSpecs(context.Background(), specs)
 		wall := float64(time.Since(start).Microseconds()) / 1000
-		for _, c := range closers {
-			c()
+		if err != nil {
+			return 0, sched.FleetStats{}, nil, err
 		}
+		canon, err := merged.CanonicalJSON()
+		if err != nil {
+			return 0, sched.FleetStats{}, nil, err
+		}
+		return wall, coord.Stats(), canon, nil
+	}
+	stolen := func(fs sched.FleetStats) int64 {
+		var s int64
+		for _, w := range fs.Workers {
+			s += w.Stolen
+		}
+		return s
+	}
+
+	var base float64 // the 1-backend chunked wall, every row's denominator
+	for _, row := range []struct {
+		backends int
+		planner  sched.Planner
+		name     string
+	}{
+		{1, sched.Planner{}, "chunked"},
+		{2, sched.Planner{}, "chunked"},
+		{4, sched.Planner{}, "chunked"},
+		{2, sched.Planner{Static: true}, "static"},
+		{4, sched.Planner{Static: true}, "static"},
+	} {
+		wall, fs, canon, err := runFleet(row.backends, row.planner)
 		if err != nil {
 			return nil, err
 		}
-		sr := clusterScaleRecord{Backends: backends, WallMS: wall}
+		if base == 0 {
+			base = wall
+		}
+		sr := clusterScaleRecord{
+			Backends: row.backends, Planner: row.name,
+			Chunks: fs.Chunks, Stolen: stolen(fs), WallMS: wall,
+		}
 		if wall > 0 {
-			base := wall // the 1-backend row is its own baseline: 1.0x
-			if len(rec.Scales) > 0 {
-				base = rec.Scales[0].WallMS
-			}
 			sr.Speedup = base / wall
 		}
 		rec.Scales = append(rec.Scales, sr)
-		if backends == 4 {
-			canon, err := merged.CanonicalJSON()
-			if err != nil {
-				return nil, err
-			}
+		if row.backends == 4 && row.name == "chunked" {
 			rec.MergedIdentical = bytes.Equal(canon, localCanon)
 		}
 	}
-	fmt.Printf("cluster bench: %d specs, backends 1/2/4 took %.0f/%.0f/%.0f ms (speedup %.2fx/%.2fx), merged identical: %v\n\n",
-		rec.Specs, rec.Scales[0].WallMS, rec.Scales[1].WallMS, rec.Scales[2].WallMS,
-		rec.Scales[1].Speedup, rec.Scales[2].Speedup, rec.MergedIdentical)
+
+	// Granularity sweep: how chunk count trades balance against per-chunk
+	// submission overhead, at the largest fleet.
+	for _, cpw := range []int{1, 2, 4, 8, 16} {
+		wall, fs, _, err := runFleet(4, sched.Planner{ChunksPerWorker: cpw})
+		if err != nil {
+			return nil, err
+		}
+		cs := chunkSizeRecord{ChunksPerWorker: cpw, Chunks: fs.Chunks, WallMS: wall}
+		if wall > 0 {
+			cs.Speedup = base / wall
+		}
+		rec.ChunkSizes = append(rec.ChunkSizes, cs)
+	}
+
+	fmt.Printf("cluster bench: %d specs (paced backends, %.0fus/stepped round)\n", rec.Specs, rec.PacingUSPerStep)
+	for _, sr := range rec.Scales {
+		fmt.Printf("  %-7s %d backends: %6.0f ms  %.2fx  (%d chunks, %d stolen)\n",
+			sr.Planner, sr.Backends, sr.WallMS, sr.Speedup, sr.Chunks, sr.Stolen)
+	}
+	fmt.Printf("  merged identical to local fold: %v\n\n", rec.MergedIdentical)
 	return rec, nil
 }
 

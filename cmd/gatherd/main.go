@@ -9,14 +9,19 @@
 //
 //	gatherd [-addr :8080] [-cache 1024] [-jobs 2] [-parallelism 0]
 //	        [-backlog 1024] [-max-sweep-specs 10000]
-//	        [-workers http://a:8080,http://b:8080]
+//	        [-workers http://a:8080,http://b:8080] [-chunks 8]
 //
 // -workers turns the daemon into a cluster coordinator: summary-only sweep
-// submissions (POST /v1/sweeps?summary=only) are sharded contiguously over
-// the listed gatherd backends and the per-shard summaries merged into one
-// total that is bit-identical to a single-node run (internal/cluster,
-// DESIGN.md §10). Every other endpoint — single runs, raw-row sweeps, job
-// lifecycle — keeps serving locally.
+// submissions (POST /v1/sweeps?summary=only) are partitioned by a
+// deterministic cost model into many small chunks which the listed gatherd
+// backends pull and steal from a shared queue, and the per-chunk summaries
+// merge — in fixed chunk order — into one total that is bit-identical to a
+// single-node run (internal/cluster, internal/sched, DESIGN.md §10, §12).
+// -chunks sets the target chunk count per worker (default 8); -chunks 1
+// restores the original static one-shard-per-worker split. A coordinator's
+// GET /metrics reports chunks dispatched, stolen and retried per worker
+// under "scheduler". Every other endpoint — single runs, raw-row sweeps,
+// job lifecycle — keeps serving locally.
 //
 // API (see DESIGN.md §8 for the full table, §9 for summaries):
 //
@@ -60,6 +65,7 @@ import (
 	"time"
 
 	"nochatter/internal/cluster"
+	"nochatter/internal/sched"
 	"nochatter/internal/service"
 )
 
@@ -79,6 +85,7 @@ func run() error {
 		backlog       = flag.Int("backlog", 1024, "maximum queued (not yet running) jobs")
 		maxSweepSpecs = flag.Int("max-sweep-specs", 10000, "reject sweeps expanding to more specs than this")
 		workers       = flag.String("workers", "", "comma-separated gatherd worker base URLs; summary-only sweeps are sharded across them")
+		chunks        = flag.Int("chunks", 0, "with -workers: target chunks per worker for the sweep scheduler (0 = default 8; 1 = one static shard per worker)")
 	)
 	flag.Parse()
 
@@ -108,8 +115,19 @@ func run() error {
 			return fmt.Errorf("-workers: no worker URLs given")
 		}
 		coord := cluster.NewCoordinator(ws...)
+		switch {
+		case *chunks < 0:
+			return fmt.Errorf("-chunks: %d is not a chunk count", *chunks)
+		case *chunks == 1:
+			coord.SetPlanner(sched.Planner{Static: true})
+		case *chunks > 1:
+			coord.SetPlanner(sched.Planner{ChunksPerWorker: *chunks})
+		}
 		svc.SetDistributor(coord.SummarizeSpecs)
+		svc.SetSchedulerStats(coord.Stats)
 		log.Printf("gatherd: coordinating summary-only sweeps across %d workers", coord.Workers())
+	} else if *chunks != 0 {
+		return fmt.Errorf("-chunks requires -workers")
 	}
 	srv := &http.Server{
 		Addr:              *addr,

@@ -1,11 +1,12 @@
 // Cluster boots a two-worker gatherd fleet plus a coordinator — all
 // in-process, so the example is self-contained — and runs one sweep three
-// ways: locally in this process, sharded across the fleet through the
+// ways: locally in this process, scheduled across the fleet through the
 // coordinator API, and through a coordinator daemon's HTTP front door. The
 // point of the demo is the determinism law that makes the fleet trivial to
 // operate: all three summaries are bit-identical (CanonicalJSON), because
-// summary folding is associative and commutative, so sharding (and
-// failover) cannot change the answer.
+// the chunk plan is a pure function of the spec list and summary folding
+// is associative and commutative, so scheduling, stealing and failover
+// cannot change the answer.
 //
 //	go run ./examples/cluster
 //
@@ -77,14 +78,20 @@ func run() error {
 	fmt.Printf("local fold:         %d runs, %d gathered, median gather round %.0f\n",
 		local.Total.Runs, local.Total.Gathered, local.Total.Rounds.Quantile(0.5))
 
-	// A two-worker fleet behind a coordinator. Shard boundaries are a pure
-	// function of spec count and fleet size, so re-runs shard identically.
+	// A two-worker fleet behind a coordinator. The chunk plan is a pure
+	// function of the spec list and the scheduler configuration — the same
+	// sweep always plans identically, and the cost model gives expensive
+	// specs smaller chunks so idle workers can steal around them.
+	plan := nochatter.SchedPlanner{}.PlanSpecs(expanded, 2)
+	fmt.Printf("chunk plan:         %d specs → %d cost-balanced chunks for 2 workers\n",
+		len(expanded), len(plan))
+	for _, c := range plan[:3] {
+		fmt.Printf("  chunk %d: specs [%d,%d), predicted cost %d\n", c.Index, c.Lo, c.Hi, c.Cost)
+	}
+	fmt.Printf("  ... (%d more)\n", len(plan)-3)
+
 	w1, w2 := bootWorker(&cleanup), bootWorker(&cleanup)
 	coord := nochatter.NewClusterCoordinator(w1, w2)
-	for i := 0; i < coord.Workers(); i++ {
-		lo, hi := nochatter.ClusterShardBounds(len(expanded), coord.Workers(), i)
-		fmt.Printf("  shard %d → worker %d: specs [%d,%d)\n", i, i, lo, hi)
-	}
 	merged, err := coord.SummarizeSpecs(context.Background(), expanded)
 	if err != nil {
 		return err
@@ -95,12 +102,17 @@ func run() error {
 	}
 	fmt.Printf("2-worker cluster:   %d runs, bit-identical to local: %v\n",
 		merged.Total.Runs, bytes.Equal(mergedCanon, localCanon))
+	for _, ws := range coord.Stats().Workers {
+		fmt.Printf("  worker %d: %d chunks dispatched (%d stolen, %d retried)\n",
+			ws.Worker, ws.Dispatched, ws.Stolen, ws.Retried)
+	}
 
 	// The same fan-out behind a daemon's front door: a coordinator service
 	// whose summary-only sweeps are distributed to the fleet — what
 	// `gatherd -workers ...` serves.
 	front := nochatter.NewService(nochatter.ServiceConfig{})
 	front.SetDistributor(coord.SummarizeSpecs)
+	front.SetSchedulerStats(coord.Stats) // /metrics "scheduler" key
 	frontSrv := httptest.NewServer(front.Handler())
 	cleanup = append(cleanup, frontSrv.Close, front.Close)
 

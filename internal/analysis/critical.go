@@ -17,6 +17,7 @@ var criticalPrefixes = []string{
 	"nochatter/internal/spec",
 	"nochatter/internal/graph",
 	"nochatter/internal/cluster",
+	"nochatter/internal/sched",
 }
 
 // wirePrefixes are the packages whose structs cross the wire or feed
@@ -29,6 +30,7 @@ var wirePrefixes = []string{
 	"nochatter/internal/agg",
 	"nochatter/internal/cluster",
 	"nochatter/internal/sim",
+	"nochatter/internal/sched",
 }
 
 // httpClientPrefixes are the packages that issue HTTP requests on behalf

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"nochatter/internal/agg"
+	"nochatter/internal/sched"
 	"nochatter/internal/service"
 	"nochatter/internal/sim"
 	"nochatter/internal/spec"
@@ -36,6 +37,26 @@ func testSweep(t *testing.T) []spec.ScenarioSpec {
 	}
 	if len(specs) < 100 {
 		t.Fatalf("differential sweep has %d specs, want >= 100", len(specs))
+	}
+	return specs
+}
+
+// testSkewedSweep expands a sweep whose per-spec costs span two orders of
+// magnitude — cheap small rings next to barbells, whose bridged cliques
+// stretch exploration superlinearly — so chunk scheduling, stealing and
+// failover are exercised under the cost imbalance they exist for.
+func testSkewedSweep(t *testing.T) []spec.ScenarioSpec {
+	t.Helper()
+	def := spec.SweepDef{
+		Name:      "skew-{family}-n{n}-w{wake}",
+		Families:  []string{"ring", "barbell"},
+		Sizes:     []int{6, 10, 16, 24},
+		TeamSizes: []int{2},
+		Wakes:     [][]int{{0, 0}, {0, 7}, {7, 0}},
+	}
+	specs, err := def.Specs()
+	if err != nil {
+		t.Fatal(err)
 	}
 	return specs
 }
@@ -196,8 +217,8 @@ func TestClusterAllWorkersDown(t *testing.T) {
 	defer down.Close()
 	ws := []*Worker{fastWorker(down.URL), fastWorker(down.URL)}
 	_, err := NewCoordinator(ws...).SummarizeSpecs(context.Background(), testSweep(t)[:4])
-	if err == nil || !strings.Contains(err.Error(), "no worker served it") {
-		t.Fatalf("got %v, want a no-worker-served-it error", err)
+	if err == nil || !strings.Contains(err.Error(), "no worker can serve it") {
+		t.Fatalf("got %v, want a no-worker-can-serve-it error", err)
 	}
 }
 
@@ -282,13 +303,13 @@ func TestCoordinatorDaemonEndToEnd(t *testing.T) {
 	}
 }
 
-// TestClusterRejectedShardReroutes proves a 4xx rejection — which may be a
+// TestClusterRejectedChunkReroutes proves a 4xx rejection — which may be a
 // worker-local condition like a full backlog behind the same status a
-// deterministic verdict uses — moves the shard to the next worker without
-// retrying on, or dead-marking, the rejecting one; and that when every
-// worker rejects, the shard fails with the backend's message rather than
-// spinning.
-func TestClusterRejectedShardReroutes(t *testing.T) {
+// deterministic verdict uses — moves the rejected chunk to another worker
+// without retrying it on, or retiring, the rejecting one; and that when
+// every worker rejects, the sweep fails with the backend's message rather
+// than spinning.
+func TestClusterRejectedChunkReroutes(t *testing.T) {
 	newRejecter := func(submits *atomic.Int64) *httptest.Server {
 		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			if r.Method == http.MethodPost {
@@ -303,10 +324,11 @@ func TestClusterRejectedShardReroutes(t *testing.T) {
 	}
 
 	// One rejecting worker plus one healthy: the sweep still completes,
-	// bit-identical, with the rejecter tried exactly once (no retries of a
-	// doomed submission, no second shard dragged onto it via a dead set —
-	// and no shard lost).
+	// bit-identical, with each chunk submitted to the rejecter at most once
+	// (no retries of a doomed submission — every rejected chunk lands on
+	// the healthy worker, and no chunk is lost).
 	specs := testSweep(t)[:8]
+	chunks := len(sched.Planner{}.PlanSpecs(specs, 2))
 	var submits atomic.Int64
 	ws := []*Worker{fastWorker(newRejecter(&submits).URL), fastWorker(newBackend(t))}
 	sum, err := NewCoordinator(ws...).SummarizeSpecs(context.Background(), specs)
@@ -316,16 +338,112 @@ func TestClusterRejectedShardReroutes(t *testing.T) {
 	if got, want := mustCanonical(t, sum), localCanonical(t, specs); got != want {
 		t.Error("rerouted sweep differs from the single-process summary")
 	}
-	if got := submits.Load(); got != 1 {
-		t.Errorf("rejecting worker saw %d submissions, want 1", got)
+	if got := submits.Load(); got < 1 || got > int64(chunks) {
+		t.Errorf("rejecting worker saw %d submissions, want between 1 and one per chunk (%d)", got, chunks)
 	}
 
-	// Every worker rejecting: the shard fails with the rejection message.
+	// Every worker rejecting: the sweep fails with the rejection message.
 	var s1, s2 atomic.Int64
 	ws = []*Worker{fastWorker(newRejecter(&s1).URL), fastWorker(newRejecter(&s2).URL)}
 	_, err = NewCoordinator(ws...).SummarizeSpecs(context.Background(), specs)
 	if err == nil || !strings.Contains(err.Error(), "queue backlog full") {
 		t.Fatalf("got %v, want the backend's rejection message", err)
+	}
+}
+
+// TestClusterUnevenCostsMatchesLocal is the scheduler's differential test:
+// a sweep whose spec costs are deliberately skewed, summarized over 1, 2,
+// 3 and 4 workers — different plans, different stealing patterns,
+// different completion orders — always produces the CanonicalJSON bytes of
+// the single-process fold.
+func TestClusterUnevenCostsMatchesLocal(t *testing.T) {
+	specs := testSkewedSweep(t)
+	want := localCanonical(t, specs)
+	for _, workers := range []int{1, 2, 3, 4} {
+		ws := make([]*Worker, workers)
+		for i := range ws {
+			ws[i] = fastWorker(newBackend(t))
+		}
+		coord := NewCoordinator(ws...)
+		sum, err := coord.SummarizeSpecs(context.Background(), specs)
+		if err != nil {
+			t.Fatalf("%d workers: %v", workers, err)
+		}
+		if got := mustCanonical(t, sum); got != want {
+			t.Errorf("%d workers: merged summary differs from the single-process run", workers)
+		}
+		stats := coord.Stats()
+		if stats.Sweeps != 1 || stats.Chunks == 0 {
+			t.Errorf("%d workers: stats = %+v, want 1 sweep and some chunks", workers, stats)
+		}
+		var dispatched int64
+		for _, w := range stats.Workers {
+			dispatched += w.Dispatched
+		}
+		if dispatched != stats.Chunks {
+			t.Errorf("%d workers: per-worker dispatches sum to %d, fleet counted %d chunks", workers, dispatched, stats.Chunks)
+		}
+	}
+}
+
+// TestClusterStragglerSteals pairs a healthy backend with one that crawls
+// (every submission stalls before being served) and proves the healthy
+// worker steals the straggler's queued chunks — the fleet is not held to
+// the pace of its slowest member — while the merged bytes stay identical
+// to the local fold.
+func TestClusterStragglerSteals(t *testing.T) {
+	specs := testSweep(t)[:24]
+	want := localCanonical(t, specs)
+
+	svc := service.New(service.Config{})
+	defer svc.Close()
+	inner := svc.Handler()
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			time.Sleep(80 * time.Millisecond)
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer slow.Close()
+
+	ws := []*Worker{fastWorker(slow.URL), fastWorker(newBackend(t))}
+	coord := NewCoordinator(ws...)
+	sum, err := coord.SummarizeSpecs(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustCanonical(t, sum); got != want {
+		t.Error("straggler run differs from the single-process summary")
+	}
+	stats := coord.Stats()
+	straggler, fast := stats.Workers[0], stats.Workers[1]
+	if fast.Dispatched <= straggler.Dispatched {
+		t.Errorf("fast worker ran %d chunks vs straggler's %d; stealing had no effect", fast.Dispatched, straggler.Dispatched)
+	}
+	if fast.Stolen == 0 {
+		t.Errorf("fast worker stole no chunks from the straggler's queue: %+v", stats.Workers)
+	}
+}
+
+// TestClusterStaticPlannerMatchesLocal pins the escape hatch: the
+// degenerate one-chunk-per-worker plan (gatherd -chunks 1) still merges to
+// the local fold.
+func TestClusterStaticPlannerMatchesLocal(t *testing.T) {
+	specs := testSweep(t)[:12]
+	want := localCanonical(t, specs)
+	ws := []*Worker{fastWorker(newBackend(t)), fastWorker(newBackend(t))}
+	coord := NewCoordinator(ws...)
+	coord.SetPlanner(sched.Planner{Static: true})
+	sum, err := coord.SummarizeSpecs(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustCanonical(t, sum); got != want {
+		t.Error("static-plan run differs from the single-process summary")
+	}
+	stats := coord.Stats()
+	if stats.Chunks != 2 {
+		t.Errorf("static plan over 2 workers dispatched %d chunks, want 2", stats.Chunks)
 	}
 }
 

@@ -2,12 +2,12 @@ package cluster
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"nochatter/internal/agg"
+	"nochatter/internal/sched"
 	"nochatter/internal/spec"
 )
 
@@ -17,38 +17,68 @@ import (
 // shards identically, and spec j always lands in the shard i satisfying
 // i·n/shards <= j < (i+1)·n/shards. Shards differ in size by at most one
 // spec; when n < shards the trailing shards are empty.
+//
+// Since the scheduler rework this is the degenerate one-chunk-per-worker
+// plan (sched.StaticBounds); it remains the wire-stable spec-to-shard
+// function other tooling may rely on.
 func ShardBounds(n, shards, i int) (lo, hi int) {
-	return i * n / shards, (i + 1) * n / shards
+	return sched.StaticBounds(n, shards, i)
 }
 
-// Coordinator fans a sweep out over a fleet of gatherd workers: shard i of
-// the expanded spec list goes to worker i, each as a summary-only job, and
-// the per-shard summaries merge into one total. Because summary folding is
+// Coordinator fans a sweep out over a fleet of gatherd workers. The spec
+// list is partitioned by a deterministic, cost-weighted chunk planner
+// (internal/sched) into many more chunks than workers; each worker pulls
+// the next unclaimed chunk — its own first, then stealing from busier
+// workers' queues — runs it as a summary-only job, and the per-chunk
+// summaries fold into one total in fixed chunk order. Because every chunk
+// job is a deterministic function of its specs and summary folding is
 // associative and commutative (DESIGN.md §9), the merged total is
 // bit-identical (agg.Summary.CanonicalJSON) to what one process computes
-// for the whole sweep — the distributed analogue of the FoldBatch law.
+// for the whole sweep, whatever the assignment or completion order — the
+// distributed analogue of the FoldBatch law. See DESIGN.md §12.
 //
-// Failover: a worker that fails a health probe, a submission or a summary
-// poll is marked dead for the remainder of that sweep, and the shard moves
-// to the next surviving worker in ring order (i, i+1, … mod fleet size).
-// Re-running a shard elsewhere cannot change the result — every shard job
-// is a deterministic function of its specs — so failover needs no
-// coordination beyond picking any survivor. A sweep fails only when some
-// shard exhausts the whole fleet.
+// Failover is per chunk: a worker that fails a health probe, a submission
+// or a summary poll is retired for the remainder of that sweep, and its
+// chunks — claimed or queued — are re-dispatched to survivors. A
+// RejectedError (4xx) re-queues only the rejected chunk and leaves the
+// worker in the fleet: it answered, it is healthy, and a deterministic
+// rejection simply travels the fleet until the sweep fails with the
+// backend's message. A sweep fails only when some chunk exhausts every
+// worker that could still take it.
 type Coordinator struct {
 	workers []*Worker
+	planner sched.Planner
+
+	mu    sync.Mutex
+	stats sched.FleetStats
 }
 
-// NewCoordinator returns a coordinator over the given workers. The fleet
-// is fixed for the coordinator's lifetime; worker health is re-discovered
-// per sweep, so a worker that was down during one sweep is tried again by
-// the next.
+// NewCoordinator returns a coordinator over the given workers, planning
+// with the default cost-weighted chunker (sched.Planner zero value). The
+// fleet is fixed for the coordinator's lifetime; worker health is
+// re-discovered per sweep, so a worker that was down during one sweep is
+// tried again by the next.
 func NewCoordinator(workers ...*Worker) *Coordinator {
 	return &Coordinator{workers: workers}
 }
 
 // Workers returns the fleet size.
 func (c *Coordinator) Workers() int { return len(c.workers) }
+
+// SetPlanner replaces the chunk planner for subsequent sweeps. The zero
+// Planner restores the default; Planner{Static: true} restores the
+// pre-scheduler one-shard-per-worker behavior. Not safe to call
+// concurrently with a running sweep.
+func (c *Coordinator) SetPlanner(p sched.Planner) { c.planner = p }
+
+// Stats returns the scheduler counters accumulated across every sweep the
+// coordinator has dispatched: chunks dispatched, stolen and retried per
+// worker. Safe for concurrent use.
+func (c *Coordinator) Stats() sched.FleetStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats.Clone()
+}
 
 // SummarizeSweep expands the definition and summarizes it across the
 // fleet; see SummarizeSpecs.
@@ -60,10 +90,10 @@ func (c *Coordinator) SummarizeSweep(ctx context.Context, def spec.SweepDef) (*a
 	return c.SummarizeSpecs(ctx, specs)
 }
 
-// SummarizeSpecs shards the spec list contiguously over the fleet
-// (ShardBounds), runs every shard as a summary-only job on its worker —
-// concurrently, with failover to surviving workers — and merges the shard
-// summaries into the sweep's total.
+// SummarizeSpecs plans the spec list into chunks, dispatches them
+// pull-style across the fleet with per-chunk retry and work stealing, and
+// merges the chunk summaries — in chunk-index order, regardless of which
+// worker ran what or when it finished — into the sweep's total.
 func (c *Coordinator) SummarizeSpecs(ctx context.Context, specs []spec.ScenarioSpec) (*agg.Summary, error) {
 	if len(c.workers) == 0 {
 		return nil, fmt.Errorf("cluster: coordinator has no workers")
@@ -71,89 +101,101 @@ func (c *Coordinator) SummarizeSpecs(ctx context.Context, specs []spec.ScenarioS
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("cluster: sweep has no specs")
 	}
-	shards := len(c.workers)
-	sums := make([]*agg.Summary, shards)
-	errs := make([]error, shards)
-	// The dead set is per-sweep: failures observed by any shard steer every
-	// later failover of this sweep, and a recovered worker gets a fresh
-	// chance on the next sweep.
-	dead := &deadSet{dead: make([]bool, shards)}
-	var wg sync.WaitGroup
-	for i := 0; i < shards; i++ {
-		lo, hi := ShardBounds(len(specs), shards, i)
-		if lo == hi {
-			continue // fewer specs than workers: trailing shards are empty
+	plan := c.planner.PlanSpecs(specs, len(c.workers))
+	d := sched.NewDispatcher(plan, len(c.workers))
+	sums := make([]*agg.Summary, len(plan))
+
+	// Propagate cancellation into blocked Claim calls.
+	watcherDone := make(chan struct{})
+	defer close(watcherDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			d.Abort(ctx.Err())
+		case <-watcherDone:
 		}
+	}()
+
+	var wg sync.WaitGroup
+	for wi := range c.workers {
 		wg.Add(1)
-		go func(i int, shard []spec.ScenarioSpec) {
+		go func(wi int) {
 			defer wg.Done()
-			sums[i], errs[i] = c.runShard(ctx, dead, i, shard)
-		}(i, specs[lo:hi])
+			c.runWorker(ctx, d, wi, specs, sums)
+		}(wi)
 	}
 	wg.Wait()
-	if err := errors.Join(errs...); err != nil {
-		return nil, err
+
+	c.mu.Lock()
+	c.stats.Absorb(d.Stats())
+	c.mu.Unlock()
+
+	if err := d.Err(); err != nil {
+		// A canceled sweep surfaces as the cancellation, not as whichever
+		// worker failure the teardown happened to observe first.
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("cluster: %w", err)
 	}
 	total := agg.NewSummary()
 	for _, s := range sums {
-		total.Merge(s) // nil (empty-shard) summaries merge as the identity
+		total.Merge(s)
 	}
 	return total, nil
 }
 
-// runShard runs one shard to completion: submit to the shard's assigned
-// worker, long-poll its summary, and on a worker-level failure (probe,
-// transport, 5xx) mark that worker dead and move to the next survivor in
-// ring order. Every candidate is probed (/healthz) before a submission is
-// risked on it. A RejectedError (4xx) also moves the shard along — the
-// rejection may be worker-local (full backlog, evicted job) — but does
-// NOT mark the worker dead: it answered, it is healthy, and killing it
-// would poison every other shard's failover; a deterministic rejection
-// simply gets re-rejected by each worker until the shard fails with the
-// backend's message. A shard job abandoned mid-flight (cancellation, or
-// failover away from a worker that accepted it) is best-effort canceled
-// on its backend so the fleet stops burning capacity on output nobody
-// will read.
-func (c *Coordinator) runShard(ctx context.Context, dead *deadSet, i int, shard []spec.ScenarioSpec) (*agg.Summary, error) {
-	var lastErr error
-	for off := 0; off < len(c.workers); off++ {
-		if ctx.Err() != nil {
-			return nil, ctx.Err()
+// runWorker drives one worker's pull loop: probe health once, then claim,
+// run and report chunks until the dispatcher has nothing left for it.
+// Every claimed chunk is handed back — Done on success, Fail otherwise —
+// before the loop moves on or exits, so no chunk is ever stranded
+// in-flight. A chunk job abandoned mid-flight (cancellation, or a summary
+// poll that failed after submission) is best-effort canceled on its
+// backend so the fleet stops burning capacity on output nobody will read.
+func (c *Coordinator) runWorker(ctx context.Context, d *sched.Dispatcher, wi int, specs []spec.ScenarioSpec, sums []*agg.Summary) {
+	w := c.workers[wi]
+	if !w.Healthy(ctx) {
+		d.Retire(wi, fmt.Errorf("cluster: %s is unhealthy", w.Base()))
+		return
+	}
+	for {
+		chunk, ok, err := d.Claim(wi)
+		if err != nil || !ok {
+			return
 		}
-		wi := (i + off) % len(c.workers)
-		if dead.isDead(wi) {
-			continue
-		}
-		w := c.workers[wi]
-		if !w.Healthy(ctx) {
-			if ctx.Err() != nil {
-				return nil, ctx.Err()
-			}
-			dead.mark(wi)
-			lastErr = fmt.Errorf("cluster: %s is unhealthy", w.Base())
-			continue
-		}
-		jobID, err := w.SubmitSummaryOnly(ctx, shard)
+		sum, err := c.runChunk(ctx, w, specs[chunk.Lo:chunk.Hi])
 		if err == nil {
-			var sum *agg.Summary
-			if sum, err = w.Summary(ctx, jobID); err == nil {
-				return sum, nil
-			}
-			abandonJob(w, jobID)
+			sums[chunk.Index] = sum
+			d.Done(wi, chunk)
+			continue
 		}
+		d.Fail(wi, chunk, err)
 		if ctx.Err() != nil {
-			return nil, ctx.Err()
+			return // the watcher aborts the dispatch
 		}
-		var rejected *RejectedError
-		if !errors.As(err, &rejected) {
-			dead.mark(wi) // worker-level failure; rejections leave it alive
+		if !IsRejected(err) {
+			// Transport failure, 5xx, or a poll that died: the worker is
+			// gone for this sweep. A rejection (4xx) leaves it standing —
+			// it answered, and killing it would starve other chunks.
+			d.Retire(wi, fmt.Errorf("cluster: %s: %w", w.Base(), err))
+			return
 		}
-		lastErr = err
 	}
-	if lastErr == nil {
-		lastErr = fmt.Errorf("every worker was already marked dead by other shards")
+}
+
+// runChunk runs one chunk on one worker: submit the chunk's specs as a
+// summary-only job and long-poll the summary.
+func (c *Coordinator) runChunk(ctx context.Context, w *Worker, shard []spec.ScenarioSpec) (*agg.Summary, error) {
+	jobID, err := w.SubmitSummaryOnly(ctx, shard)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("cluster: shard %d (%d specs): no worker served it: %w", i, len(shard), lastErr)
+	sum, err := w.Summary(ctx, jobID)
+	if err != nil {
+		abandonJob(w, jobID)
+		return nil, err
+	}
+	return sum, nil
 }
 
 // abandonJob tells a worker to cancel a job the coordinator no longer
@@ -165,22 +207,4 @@ func abandonJob(w *Worker, jobID string) {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
 	_ = w.Cancel(ctx, jobID)
-}
-
-// deadSet tracks workers observed failing during one sweep.
-type deadSet struct {
-	mu   sync.Mutex
-	dead []bool
-}
-
-func (d *deadSet) mark(i int) {
-	d.mu.Lock()
-	d.dead[i] = true
-	d.mu.Unlock()
-}
-
-func (d *deadSet) isDead(i int) bool {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.dead[i]
 }

@@ -1,29 +1,34 @@
 // Package cluster scales sweeps horizontally across a fleet of gatherd
 // workers. A Coordinator deterministically partitions a sweep's expanded
-// spec list into contiguous shards — one per worker, shard boundaries a
-// pure function of spec count and worker count (ShardBounds) — submits
-// each shard as a summary-only job over the existing gatherd HTTP API, and
-// merges the per-shard agg.Summary values into one total.
+// spec list into contiguous cost-balanced chunks (internal/sched) — many
+// more chunks than workers, boundaries a pure function of the spec list
+// and the scheduling parameters — lets idle workers pull and steal chunks
+// over the existing gatherd HTTP API, and merges the per-chunk
+// agg.Summary values into one total in fixed chunk order.
 //
 // The whole design rests on the reducer laws of internal/agg (DESIGN.md
 // §9): observations fold associatively and commutatively, so any partition
-// of a sweep into shards merges back to the summary a single process would
+// of a sweep into chunks merges back to the summary a single process would
 // have computed, bit for bit (Summary.CanonicalJSON — wall time, the one
-// machine-decided metric, is excluded as always). Sharding is therefore
-// free of coordination: no shard ordering, no worker affinity and no
+// machine-decided metric, is excluded as always). Scheduling is therefore
+// free of coordination: no chunk ordering, no worker affinity and no
 // failover decision can change the result, which is what makes the
-// fleet's failure handling simple — when a worker dies mid-job, its shard
-// is simply resubmitted to any surviving worker. See DESIGN.md §10.
+// fleet's failure handling simple — when a worker dies mid-job, its chunks
+// are simply resubmitted to any surviving worker. See DESIGN.md §10, §12.
 package cluster
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"nochatter/internal/agg"
@@ -52,6 +57,16 @@ type Worker struct {
 	// is limited by the caller's context alone.
 	probeTimeout  time.Duration
 	submitTimeout time.Duration
+
+	// jitter spreads retry delays so that workers which failed together
+	// (one backend restart tripping every in-flight chunk) do not retry in
+	// lockstep. It is seeded from the worker's base URL — an explicit,
+	// auditable source, never the process-global one (the detrand rule) —
+	// so jitter is reproducible per worker yet decorrelated across a
+	// fleet. Guarded by jmu: job abandonment cancels run concurrently with
+	// the worker's own requests.
+	jmu    sync.Mutex
+	jitter *rand.Rand
 }
 
 // WorkerOption configures a Worker.
@@ -85,6 +100,9 @@ func NewWorker(baseURL string, opts ...WorkerOption) *Worker {
 	for _, opt := range opts {
 		opt(w)
 	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(w.base))
+	w.jitter = rand.New(rand.NewPCG(h.Sum64(), 0x6e6f636861747465))
 	return w
 }
 
@@ -108,6 +126,13 @@ type RejectedError struct {
 }
 
 func (e *RejectedError) Error() string { return fmt.Sprintf("HTTP %d: %s", e.Status, e.Msg) }
+
+// IsRejected reports whether err wraps a RejectedError — a 4xx verdict the
+// coordinator reroutes without retiring the answering worker.
+func IsRejected(err error) bool {
+	var rejected *RejectedError
+	return errors.As(err, &rejected)
+}
 
 // Healthy probes GET /healthz once, on its own short deadline (no retries
 // and no open-ended waits — a probe that needs either is the answer).
@@ -200,6 +225,11 @@ func (w *Worker) do(ctx context.Context, method, path string, body []byte, want 
 	for attempt := 0; attempt <= w.retries; attempt++ {
 		if attempt > 0 {
 			delay := w.backoff << (attempt - 1)
+			// Full jitter on top of the exponential base: up to +100%,
+			// decorrelating workers whose retries a shared failure aligned.
+			w.jmu.Lock()
+			delay += time.Duration(w.jitter.Int64N(int64(delay) + 1))
+			w.jmu.Unlock()
 			select {
 			case <-time.After(delay):
 			case <-ctx.Done():

@@ -1,0 +1,93 @@
+package sched
+
+import (
+	"testing"
+
+	"nochatter/internal/spec"
+)
+
+func costSpec(family string, n, k int) spec.ScenarioSpec {
+	agents := make([]spec.AgentSpec, k)
+	for i := range agents {
+		agents[i] = spec.AgentSpec{Label: i + 1, Start: i % max(n, 1), Algorithm: spec.Known()}
+	}
+	return spec.ScenarioSpec{
+		Name:   family,
+		Graph:  spec.GraphSpec{Family: family, N: n},
+		Agents: agents,
+	}
+}
+
+func TestDefaultCostOrderings(t *testing.T) {
+	// The model's job is ratios, not absolutes: pin the orderings the
+	// planner relies on.
+	ring := DefaultCost(costSpec("ring", 16, 2))
+	barbell := DefaultCost(costSpec("barbell", 16, 2))
+	if barbell <= 2*ring {
+		t.Fatalf("barbell n=16 (%d) should dwarf ring n=16 (%d)", barbell, ring)
+	}
+	small := DefaultCost(costSpec("ring", 6, 2))
+	large := DefaultCost(costSpec("ring", 48, 2))
+	if large <= small {
+		t.Fatalf("ring n=48 (%d) should cost more than n=6 (%d)", large, small)
+	}
+	k2 := DefaultCost(costSpec("complete", 16, 2))
+	k6 := DefaultCost(costSpec("complete", 16, 6))
+	if k6 <= k2 {
+		t.Fatalf("k=6 (%d) should cost more than k=2 (%d)", k6, k2)
+	}
+}
+
+func TestDefaultCostHypercubeDimension(t *testing.T) {
+	// Hypercube N is the dimension; cost must scale with 2^N nodes, so one
+	// extra dimension roughly doubles the cost.
+	d4 := DefaultCost(costSpec("hypercube", 4, 2))
+	d5 := DefaultCost(costSpec("hypercube", 5, 2))
+	if d5 < d4+d4/2 {
+		t.Fatalf("dim 5 (%d) should be near double dim 4 (%d)", d5, d4)
+	}
+	// Absurd dimensions must not overflow.
+	huge := DefaultCost(costSpec("hypercube", 500, 2))
+	if huge < 1 || huge > maxSpecCost {
+		t.Fatalf("hypercube dim 500 cost %d out of clamp range", huge)
+	}
+}
+
+func TestDefaultCostDegenerate(t *testing.T) {
+	for _, sp := range []spec.ScenarioSpec{
+		costSpec("ring", 0, 0),
+		costSpec("", -3, 1),
+		costSpec("no-such-family", 10, 2),
+		costSpec("barbell", 1<<20, 2),
+	} {
+		c := DefaultCost(sp)
+		if c < 1 || c > maxSpecCost {
+			t.Fatalf("cost(%q n=%d) = %d outside [1, maxSpecCost]", sp.Graph.Family, sp.Graph.N, c)
+		}
+	}
+}
+
+func TestClampCost(t *testing.T) {
+	cases := map[int64]int64{
+		-1:              1,
+		0:               1,
+		1:               1,
+		12345:           12345,
+		maxSpecCost:     maxSpecCost,
+		maxSpecCost + 1: maxSpecCost,
+	}
+	for in, want := range cases {
+		if got := clampCost(in); got != want {
+			t.Fatalf("clampCost(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestIsqrt(t *testing.T) {
+	for _, v := range []int64{0, 1, 2, 3, 4, 15, 16, 17, 1 << 20, 1<<40 + 12345} {
+		got := isqrt(v)
+		if got*got > v || (got+1)*(got+1) <= v {
+			t.Fatalf("isqrt(%d) = %d", v, got)
+		}
+	}
+}

@@ -1,0 +1,304 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+)
+
+// chunk lifecycle states inside a Dispatcher.
+const (
+	statePending uint8 = iota // unclaimed, waiting in a queue
+	stateClaimed              // held by a worker
+	stateDone                 // summary recorded
+)
+
+// Dispatcher hands a fixed chunk plan out to workers, pull-style. Every
+// chunk has a home worker — the one the static assignment (StaticBounds
+// over the chunk list) would have given it — and a worker claims, in
+// order: a failed chunk awaiting reassignment it has not itself failed,
+// then the next chunk of its own home queue, then the next chunk stolen
+// from another worker's queue in ring order. Claim blocks while nothing
+// is claimable but chunks are still in flight elsewhere: an in-flight
+// chunk may yet fail and need this worker.
+//
+// Failure handling is per chunk, replacing the whole-shard ring failover:
+// Fail re-queues the chunk for any worker that has not already failed it,
+// and the sweep as a whole fails only when some chunk has been failed by
+// every worker that could still take it. Retire removes a dying worker
+// from that accounting. None of this can change the merged result — which
+// worker runs a chunk is invisible to the chunk's summary, and folding
+// happens in chunk-index order regardless of completion order — so the
+// dispatcher tracks progress and stats, never results.
+//
+// All methods are safe for concurrent use.
+type Dispatcher struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	chunks  []Chunk
+	workers int
+	home    []int // chunk index → home worker under the static assignment
+
+	state   []uint8
+	tried   [][]bool // tried[c][w]: worker w failed chunk c (nil until a failure)
+	cursor  []int    // per-worker scan position into its home queue
+	queues  [][]int  // per-worker home queues (chunk indices, ascending)
+	retry   []int    // failed chunks awaiting reassignment, oldest first
+	live    []bool
+	nlive   int
+	pending int // chunks not yet done
+
+	stats   []WorkerStats
+	lastErr error
+	term    error // terminal failure; set at most once
+}
+
+// NewDispatcher returns a dispatcher over the plan for the given worker
+// count. The plan must be non-empty and workers positive.
+func NewDispatcher(chunks []Chunk, workers int) *Dispatcher {
+	if workers < 1 {
+		workers = 1
+	}
+	d := &Dispatcher{
+		chunks:  chunks,
+		workers: workers,
+		home:    make([]int, len(chunks)),
+		state:   make([]uint8, len(chunks)),
+		tried:   make([][]bool, len(chunks)),
+		cursor:  make([]int, workers),
+		queues:  make([][]int, workers),
+		live:    make([]bool, workers),
+		nlive:   workers,
+		pending: len(chunks),
+		stats:   make([]WorkerStats, workers),
+	}
+	d.cond = sync.NewCond(&d.mu)
+	for w := 0; w < workers; w++ {
+		d.live[w] = true
+		d.stats[w].Worker = w
+		lo, hi := StaticBounds(len(chunks), workers, w)
+		for c := lo; c < hi; c++ {
+			d.home[c] = w
+			d.queues[w] = append(d.queues[w], c)
+		}
+	}
+	return d
+}
+
+// Claim blocks until worker w can take a chunk, all chunks are done, or
+// the dispatch is terminally failed. It returns (chunk, true, nil) on a
+// claim, (_, false, nil) when the worker should exit because no work
+// remains for it, and (_, false, err) on terminal failure.
+func (d *Dispatcher) Claim(w int) (Chunk, bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.term != nil {
+			return Chunk{}, false, d.term
+		}
+		if d.pending == 0 || !d.live[w] {
+			return Chunk{}, false, nil
+		}
+		if c, ok := d.claimLocked(w); ok {
+			return d.chunks[c], true, nil
+		}
+		if !d.waitWorthwhileLocked(w) {
+			return Chunk{}, false, nil
+		}
+		d.cond.Wait()
+	}
+}
+
+// claimLocked picks the next chunk for w: reassignments first (a failed
+// chunk gates sweep completion), then w's own home queue, then a steal
+// from the first victim in ring order with a pending chunk.
+func (d *Dispatcher) claimLocked(w int) (int, bool) {
+	for i, c := range d.retry {
+		if d.state[c] == statePending && !d.triedBy(c, w) {
+			d.retry = append(d.retry[:i:i], d.retry[i+1:]...)
+			d.stats[w].Retried++
+			d.take(c, w)
+			return c, true
+		}
+	}
+	if c, ok := d.popQueueLocked(w, w); ok {
+		d.take(c, w)
+		return c, true
+	}
+	for off := 1; off < d.workers; off++ {
+		v := (w + off) % d.workers
+		if c, ok := d.popQueueLocked(v, w); ok {
+			d.stats[w].Stolen++
+			d.take(c, w)
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// popQueueLocked advances victim v's home-queue cursor to its next
+// pending chunk that claimant w has not failed, and returns it.
+func (d *Dispatcher) popQueueLocked(v, w int) (int, bool) {
+	q := d.queues[v]
+	for d.cursor[v] < len(q) && d.state[q[d.cursor[v]]] != statePending {
+		d.cursor[v]++
+	}
+	// Past the cursor, skip (without consuming) pending chunks w already
+	// failed — they stay claimable by other workers via the retry queue.
+	for i := d.cursor[v]; i < len(q); i++ {
+		c := q[i]
+		if d.state[c] == statePending && !d.triedBy(c, w) {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+func (d *Dispatcher) take(c, w int) {
+	d.state[c] = stateClaimed
+	d.stats[w].Dispatched++
+	d.stats[w].Specs += int64(d.chunks[c].Specs())
+}
+
+// waitWorthwhileLocked reports whether w could still be handed work: some
+// chunk is in flight (it may fail back into the retry queue), or some
+// pending chunk exists that w has not failed. Without either, Claim
+// returns instead of sleeping forever.
+func (d *Dispatcher) waitWorthwhileLocked(w int) bool {
+	for c := range d.chunks {
+		switch d.state[c] {
+		case stateClaimed:
+			return true
+		case statePending:
+			if !d.triedBy(c, w) {
+				return true // claimable, racing claims notwithstanding
+			}
+		}
+	}
+	return false
+}
+
+func (d *Dispatcher) triedBy(c, w int) bool {
+	return d.tried[c] != nil && d.tried[c][w]
+}
+
+// Done records worker w's successful completion of chunk c.
+func (d *Dispatcher) Done(w int, c Chunk) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.state[c.Index] != stateClaimed {
+		panic(fmt.Sprintf("sched: Done(%d) on chunk in state %d", c.Index, d.state[c.Index]))
+	}
+	d.state[c.Index] = stateDone
+	d.pending--
+	if d.pending == 0 {
+		d.cond.Broadcast()
+	}
+}
+
+// Fail records worker w failing chunk c with err and re-queues the chunk
+// for reassignment. When every worker still standing has failed the
+// chunk, the dispatch fails terminally — the fleet cannot serve it.
+func (d *Dispatcher) Fail(w int, c Chunk, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	i := c.Index
+	if d.state[i] != stateClaimed {
+		panic(fmt.Sprintf("sched: Fail(%d) on chunk in state %d", i, d.state[i]))
+	}
+	if d.tried[i] == nil {
+		d.tried[i] = make([]bool, d.workers)
+	}
+	d.tried[i][w] = true
+	d.state[i] = statePending
+	d.retry = append(d.retry, i)
+	d.stats[w].Failed++
+	if err != nil {
+		d.lastErr = err
+	}
+	if !d.serveableLocked(i) {
+		d.failLocked(fmt.Sprintf("chunk %d (%d specs)", i, c.Specs()))
+	}
+	d.cond.Broadcast()
+}
+
+// Retire removes worker w from dispatch for the remainder of the sweep —
+// a probe, submission or poll failed at the worker level. Chunks only w
+// could still have served become unserveable and fail the dispatch.
+func (d *Dispatcher) Retire(w int, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.live[w] {
+		return
+	}
+	d.live[w] = false
+	d.nlive--
+	if err != nil {
+		d.lastErr = err
+	}
+	for c := range d.chunks {
+		if d.state[c] == statePending && !d.serveableLocked(c) {
+			d.failLocked(fmt.Sprintf("chunk %d (%d specs)", c, d.chunks[c].Specs()))
+			break
+		}
+	}
+	d.cond.Broadcast()
+}
+
+// serveableLocked reports whether some live worker could still take
+// pending chunk c.
+func (d *Dispatcher) serveableLocked(c int) bool {
+	for w := 0; w < d.workers; w++ {
+		if d.live[w] && !d.triedBy(c, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// failLocked sets the terminal error (first failure wins).
+func (d *Dispatcher) failLocked(what string) {
+	if d.term != nil {
+		return
+	}
+	err := d.lastErr
+	if err == nil {
+		err = fmt.Errorf("every worker was retired")
+	}
+	d.term = fmt.Errorf("sched: %s: no worker can serve it: %w", what, err)
+}
+
+// Abort fails the dispatch terminally (context cancellation) and wakes
+// every blocked Claim.
+func (d *Dispatcher) Abort(err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.term == nil {
+		d.term = err
+	}
+	d.cond.Broadcast()
+}
+
+// Err returns the terminal error, if the dispatch failed.
+func (d *Dispatcher) Err() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.term != nil {
+		return d.term
+	}
+	if d.pending > 0 {
+		// Defensive: callers only read Err after their workers exit, at
+		// which point pending chunks imply a missed terminal transition.
+		return fmt.Errorf("sched: %d chunks never completed", d.pending)
+	}
+	return nil
+}
+
+// Stats returns a snapshot of per-worker dispatch counters.
+func (d *Dispatcher) Stats() []WorkerStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]WorkerStats, len(d.stats))
+	copy(out, d.stats)
+	return out
+}

@@ -1,0 +1,318 @@
+package sched
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func uniformPlan(n, chunks int) []Chunk {
+	costs := make([]int64, n)
+	for i := range costs {
+		costs[i] = 1000
+	}
+	return Planner{ChunksPerWorker: chunks}.Plan(costs, 1)
+}
+
+// drain runs worker w synchronously until Claim stops handing it work,
+// completing every chunk, and returns the claimed chunk indices.
+func drain(d *Dispatcher, w int) []int {
+	var got []int
+	for {
+		c, ok, err := d.Claim(w)
+		if err != nil || !ok {
+			return got
+		}
+		got = append(got, c.Index)
+		d.Done(w, c)
+	}
+}
+
+func TestDispatchSingleWorkerClaimsAllInOrder(t *testing.T) {
+	plan := uniformPlan(20, 5)
+	d := NewDispatcher(plan, 1)
+	got := drain(d, 0)
+	if len(got) != len(plan) {
+		t.Fatalf("claimed %d chunks, want %d", len(got), len(plan))
+	}
+	for i, c := range got {
+		if c != i {
+			t.Fatalf("single worker claimed out of home order: %v", got)
+		}
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("Err after clean drain: %v", err)
+	}
+}
+
+func TestDispatchEachChunkClaimedOnce(t *testing.T) {
+	plan := uniformPlan(40, 16)
+	d := NewDispatcher(plan, 4)
+	var mu sync.Mutex
+	claimed := map[int]int{}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, c := range drain(d, w) {
+				mu.Lock()
+				claimed[c]++
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if len(claimed) != len(plan) {
+		t.Fatalf("%d distinct chunks claimed, want %d", len(claimed), len(plan))
+	}
+	for c, times := range claimed {
+		if times != 1 {
+			t.Fatalf("chunk %d claimed %d times", c, times)
+		}
+	}
+	var total int64
+	for _, s := range d.Stats() {
+		total += s.Dispatched
+	}
+	if total != int64(len(plan)) {
+		t.Fatalf("stats count %d dispatches, want %d", total, len(plan))
+	}
+}
+
+// TestDispatchStealsFromStraggler holds worker 0's first chunk hostage and
+// checks worker 1 steals the rest of worker 0's queue rather than idling.
+// Worker 1 drains in a goroutine: its final Claim rightly blocks while
+// worker 0's chunk is in flight (it could still fail back into the queue)
+// and only returns once Done lands.
+func TestDispatchStealsFromStraggler(t *testing.T) {
+	plan := uniformPlan(16, 8)
+	d := NewDispatcher(plan, 2)
+	c0, ok, err := d.Claim(0)
+	if !ok || err != nil {
+		t.Fatalf("worker 0 first claim: ok=%v err=%v", ok, err)
+	}
+	done := make(chan []int)
+	go func() { done <- drain(d, 1) }()
+	for {
+		if s := d.Stats(); s[1].Dispatched == int64(len(plan)-1) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	d.Done(0, c0)
+	got := <-done
+	if len(got) != len(plan)-1 {
+		t.Fatalf("worker 1 claimed %d chunks, want %d", len(got), len(plan)-1)
+	}
+	s := d.Stats()
+	if s[1].Stolen == 0 {
+		t.Fatalf("worker 1 should have stolen from worker 0's queue: %+v", s)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("Err: %v", err)
+	}
+}
+
+// TestDispatchFailReassigns fails a chunk on worker 0 and checks worker 1
+// picks it up as a retry, and that worker 0 never sees it again.
+func TestDispatchFailReassigns(t *testing.T) {
+	plan := uniformPlan(8, 4)
+	d := NewDispatcher(plan, 2)
+	c, ok, err := d.Claim(0)
+	if !ok || err != nil {
+		t.Fatalf("claim: ok=%v err=%v", ok, err)
+	}
+	d.Fail(0, c, errors.New("backend hiccup"))
+	seen0 := drain(d, 0)
+	for _, idx := range seen0 {
+		if idx == c.Index {
+			t.Fatalf("worker 0 re-claimed a chunk it failed")
+		}
+	}
+	seen1 := drain(d, 1)
+	found := false
+	for _, idx := range seen1 {
+		if idx == c.Index {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("failed chunk %d never reassigned to worker 1 (got %v)", c.Index, seen1)
+	}
+	s := d.Stats()
+	if s[0].Failed != 1 || s[1].Retried != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("Err: %v", err)
+	}
+}
+
+// TestDispatchExhaustionIsTerminal fails one chunk on every worker and
+// checks the dispatch reports terminal failure to all claimers.
+func TestDispatchExhaustionIsTerminal(t *testing.T) {
+	plan := uniformPlan(4, 2)
+	d := NewDispatcher(plan, 2)
+	boom := errors.New("boom")
+	c0, ok, err := d.Claim(0) // worker 0's home chunk
+	if !ok || err != nil || c0.Index != 0 {
+		t.Fatalf("claim 0: chunk=%v ok=%v err=%v", c0, ok, err)
+	}
+	d.Fail(0, c0, boom)
+	cr, ok, err := d.Claim(1) // the retry outranks worker 1's home queue
+	if !ok || err != nil || cr.Index != 0 {
+		t.Fatalf("claim 1: chunk=%v ok=%v err=%v", cr, ok, err)
+	}
+	d.Fail(1, cr, boom)
+	err = d.Err()
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("want terminal error wrapping boom, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "no worker can serve") {
+		t.Fatalf("terminal error %q should name the unserveable chunk", err)
+	}
+	if _, ok, cerr := d.Claim(0); ok || cerr == nil {
+		t.Fatalf("Claim after terminal failure: ok=%v err=%v", ok, cerr)
+	}
+}
+
+// TestDispatchRetireMovesWork retires worker 0 mid-sweep; its unclaimed
+// chunks must flow to worker 1 and the sweep must still complete.
+func TestDispatchRetireMovesWork(t *testing.T) {
+	plan := uniformPlan(12, 6)
+	d := NewDispatcher(plan, 2)
+	c, ok, err := d.Claim(0)
+	if !ok || err != nil {
+		t.Fatalf("claim: ok=%v err=%v", ok, err)
+	}
+	d.Fail(0, c, errors.New("transport down"))
+	d.Retire(0, errors.New("transport down"))
+	if _, ok, _ := d.Claim(0); ok {
+		t.Fatalf("retired worker was handed a chunk")
+	}
+	got := drain(d, 1)
+	if len(got) != len(plan) {
+		t.Fatalf("worker 1 completed %d chunks after retirement, want all %d", len(got), len(plan))
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("Err: %v", err)
+	}
+}
+
+// TestDispatchAllRetiredIsTerminal retires the whole fleet with work
+// pending and checks the dispatch fails rather than hangs.
+func TestDispatchAllRetiredIsTerminal(t *testing.T) {
+	plan := uniformPlan(6, 3)
+	d := NewDispatcher(plan, 2)
+	dead := errors.New("fleet down")
+	d.Retire(0, dead)
+	d.Retire(1, dead)
+	if err := d.Err(); err == nil || !errors.Is(err, dead) {
+		t.Fatalf("want terminal error after full retirement, got %v", err)
+	}
+}
+
+// TestDispatchClaimBlocksForRetry parks worker 1 in Claim with no pending
+// work, then fails worker 0's in-flight chunk and checks worker 1 wakes up
+// and serves the retry.
+func TestDispatchClaimBlocksForRetry(t *testing.T) {
+	plan := uniformPlan(2, 2)
+	d := NewDispatcher(plan, 2)
+	c0, ok, err := d.Claim(0)
+	if !ok || err != nil {
+		t.Fatalf("claim 0: ok=%v err=%v", ok, err)
+	}
+	c1, ok, err := d.Claim(1)
+	if !ok || err != nil {
+		t.Fatalf("claim 1: ok=%v err=%v", ok, err)
+	}
+	d.Done(1, c1)
+
+	woke := make(chan []int)
+	go func() { woke <- drain(d, 1) }() // blocks: only c0 remains, in flight on worker 0
+	d.Fail(0, c0, errors.New("flaky"))
+	got := <-woke
+	if len(got) != 1 || got[0] != c0.Index {
+		t.Fatalf("blocked worker woke with %v, want [%d]", got, c0.Index)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("Err: %v", err)
+	}
+}
+
+func TestDispatchAbortWakesClaimers(t *testing.T) {
+	plan := uniformPlan(4, 2)
+	d := NewDispatcher(plan, 2)
+	c, _, _ := d.Claim(0)
+	_ = c // hold in flight so worker 1 blocks
+	if _, ok, _ := d.Claim(1); !ok {
+		t.Fatalf("worker 1 should get the second chunk first")
+	}
+	// Exhaust worker 1's claimable work; next Claim blocks on c's fate.
+	done := make(chan error)
+	go func() {
+		_, ok, err := d.Claim(1)
+		if ok {
+			err = errors.New("claim succeeded after abort")
+		}
+		done <- err
+	}()
+	canceled := errors.New("context canceled")
+	d.Abort(canceled)
+	if err := <-done; !errors.Is(err, canceled) {
+		t.Fatalf("blocked claimer got %v, want abort error", err)
+	}
+}
+
+// TestDispatchConcurrentStress hammers the dispatcher from many goroutines
+// with interleaved failures; run under -race this is the memory-safety
+// check, and the bookkeeping must still balance.
+func TestDispatchConcurrentStress(t *testing.T) {
+	const workers = 6
+	plan := uniformPlan(200, 64)
+	d := NewDispatcher(plan, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			failedOnce := false
+			for {
+				c, ok, err := d.Claim(w)
+				if err != nil || !ok {
+					return
+				}
+				// Each worker fails one chunk from a per-worker residue
+				// class, forcing retries through the concurrent path
+				// while guaranteeing no chunk is failed by every worker.
+				if !failedOnce && c.Index%workers == w {
+					failedOnce = true
+					d.Fail(w, c, errors.New("transient"))
+					continue
+				}
+				d.Done(w, c)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := d.Err(); err != nil {
+		t.Fatalf("Err: %v", err)
+	}
+	var dispatched, specs int64
+	for _, s := range d.Stats() {
+		dispatched += s.Dispatched
+		specs += s.Specs
+	}
+	// Every chunk claimed once per attempt: len(plan) successes plus one
+	// extra claim per recorded failure.
+	var failures int64
+	for _, s := range d.Stats() {
+		failures += s.Failed
+	}
+	if dispatched != int64(len(plan))+failures {
+		t.Fatalf("dispatched %d, want %d successes + %d retries", dispatched, len(plan), failures)
+	}
+}

@@ -1,0 +1,61 @@
+package sched
+
+// WorkerStats counts one worker's share of a dispatch. Wire type: gatherd
+// serves these under /metrics so operators can see whether the fleet is
+// balanced (Dispatched roughly even, Stolen small) or carried (one worker
+// stealing most chunks while another straggles or fails).
+type WorkerStats struct {
+	// Worker is the worker's index in the coordinator's fleet.
+	Worker int `json:"worker"`
+	// Dispatched counts chunks the worker claimed (home, stolen and
+	// retried claims all included).
+	Dispatched int64 `json:"dispatched"`
+	// Stolen counts claims taken from another worker's home queue.
+	Stolen int64 `json:"stolen"`
+	// Retried counts claims of chunks another worker had failed.
+	Retried int64 `json:"retried"`
+	// Failed counts chunks this worker claimed and then failed.
+	Failed int64 `json:"failed"`
+	// Specs is the total spec count across the worker's claimed chunks.
+	Specs int64 `json:"specs"`
+}
+
+// add accumulates a per-sweep snapshot into a running total.
+func (s *WorkerStats) add(o WorkerStats) {
+	s.Dispatched += o.Dispatched
+	s.Stolen += o.Stolen
+	s.Retried += o.Retried
+	s.Failed += o.Failed
+	s.Specs += o.Specs
+}
+
+// FleetStats aggregates scheduler counters across the sweeps a
+// coordinator has dispatched. Wire type, exposed via gatherd /metrics.
+type FleetStats struct {
+	// Sweeps counts distributed sweeps dispatched.
+	Sweeps int64 `json:"sweeps"`
+	// Chunks counts chunks across those sweeps' plans.
+	Chunks int64 `json:"chunks"`
+	// Workers holds per-worker totals, indexed by fleet position.
+	Workers []WorkerStats `json:"workers"`
+}
+
+// Absorb folds one dispatch's per-worker snapshot into the totals.
+func (f *FleetStats) Absorb(perWorker []WorkerStats) {
+	f.Sweeps++
+	for len(f.Workers) < len(perWorker) {
+		f.Workers = append(f.Workers, WorkerStats{Worker: len(f.Workers)})
+	}
+	for i, w := range perWorker {
+		f.Chunks += w.Dispatched
+		f.Workers[i].add(w)
+	}
+}
+
+// Clone returns a deep copy, safe to hand across a mutex boundary.
+func (f FleetStats) Clone() FleetStats {
+	out := f
+	out.Workers = make([]WorkerStats, len(f.Workers))
+	copy(out.Workers, f.Workers)
+	return out
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"nochatter/internal/agg"
+	"nochatter/internal/sched"
 	"nochatter/internal/sim"
 	"nochatter/internal/spec"
 )
@@ -81,6 +82,10 @@ type Service struct {
 	// It must be a deterministic function of the specs.
 	distribute func(ctx context.Context, specs []spec.ScenarioSpec) (*agg.Summary, error)
 
+	// schedStats, when set (SetSchedulerStats), reports the distributor's
+	// scheduler counters so /metrics can expose them.
+	schedStats func() sched.FleetStats
+
 	requests      atomic.Int64 // HTTP requests served (any endpoint)
 	runRequests   atomic.Int64 // specs served via RunSpec (HTTP or job)
 	cacheHits     atomic.Int64
@@ -117,6 +122,26 @@ func (s *Service) Close() { s.queue.close() }
 // against running jobs.
 func (s *Service) SetDistributor(fn func(ctx context.Context, specs []spec.ScenarioSpec) (*agg.Summary, error)) {
 	s.distribute = fn
+}
+
+// SetSchedulerStats exposes the distributor's scheduler counters —
+// typically cluster.(*Coordinator).Stats — under the "scheduler" key of
+// GET /metrics, so operators of a coordinator node can watch chunks being
+// dispatched, stolen and retried per worker. Call it alongside
+// SetDistributor, before the service takes traffic.
+func (s *Service) SetSchedulerStats(fn func() sched.FleetStats) {
+	s.schedStats = fn
+}
+
+// SetExecutor replaces the per-spec execution function the cache sits in
+// front of. The default compiles and runs the spec in-process; harnesses
+// swap in wrappers — counting executions, or pacing runs to emulate a
+// fixed-capacity backend — around the same deterministic result. fn must
+// remain a pure function of the spec: its results are content-addressed,
+// cached and merged under that assumption. Call it before the service
+// takes traffic; it is not synchronized against running jobs.
+func (s *Service) SetExecutor(fn func(spec.ScenarioSpec) (*sim.RunResult, error)) {
+	s.execute = fn
 }
 
 func (s *Service) compileAndRun(sp spec.ScenarioSpec) (*sim.RunResult, error) {
@@ -426,6 +451,10 @@ type Metrics struct {
 	SummaryMisses   int64   `json:"summary_cache_misses"`
 	UptimeSeconds   float64 `json:"uptime_seconds"`
 	RoundsPerSecond float64 `json:"rounds_per_second"`
+	// Scheduler carries the coordinator's chunk-dispatch counters when this
+	// node distributes sweeps over a fleet (SetSchedulerStats); absent on
+	// plain workers.
+	Scheduler *sched.FleetStats `json:"scheduler,omitempty"`
 }
 
 // Snapshot returns current service metrics. Hit rate counts coalesced
@@ -449,6 +478,10 @@ func (s *Service) Snapshot() Metrics {
 		UptimeSeconds:   time.Since(s.start).Seconds(),
 	}
 	m.JobsQueued, m.JobsRunning = s.queue.depth()
+	if s.schedStats != nil {
+		fs := s.schedStats()
+		m.Scheduler = &fs
+	}
 	if served := m.CacheHits + m.Coalesced + m.CacheMisses; served > 0 {
 		m.CacheHitRate = float64(m.CacheHits+m.Coalesced) / float64(served)
 	}

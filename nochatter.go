@@ -115,17 +115,19 @@
 // # Scaling out
 //
 // A fleet of gatherd daemons scales sweeps horizontally: a
-// ClusterCoordinator partitions a sweep's expanded specs into contiguous
-// shards — a pure function of spec index and fleet size
-// (ClusterShardBounds) — submits each shard to its ClusterWorker as a
-// summary-only job, reroutes shards off workers that fail or go unhealthy,
-// and merges the per-shard summaries. Because every reducer merges
-// associatively and commutatively, the merged total is bit-identical
-// (CanonicalJSON) to a single-process run of the whole sweep, whatever the
-// fleet size and whichever workers died along the way. `gatherd -workers
+// ClusterCoordinator partitions a sweep's expanded specs into many small
+// cost-balanced chunks — a pure function of the spec list and the
+// scheduling parameters (SchedPlanner, SchedDefaultCost) — which each
+// ClusterWorker pulls and steals from a shared queue as summary-only
+// jobs, with failed chunks rerouted off workers that fail or go
+// unhealthy. Per-chunk summaries merge in fixed chunk order; because
+// every reducer merges associatively and commutatively, the merged total
+// is bit-identical (CanonicalJSON) to a single-process run of the whole
+// sweep, whatever the fleet size, whichever workers died along the way
+// and whatever order chunks finished in. `gatherd -workers
 // http://a,http://b` serves the same fan-out behind POST
 // /v1/sweeps?summary=only, and `gathersim -remote` drives it from the CLI
-// (see examples/cluster and DESIGN.md §10).
+// (see examples/cluster and DESIGN.md §10, §12).
 //
 // See README.md for the repository front door, DESIGN.md for the system
 // inventory, the documented substitutions (exploration sequences,
@@ -142,6 +144,7 @@ import (
 	"nochatter/internal/gossip"
 	"nochatter/internal/graph"
 	"nochatter/internal/randomized"
+	"nochatter/internal/sched"
 	"nochatter/internal/service"
 	"nochatter/internal/sim"
 	"nochatter/internal/spec"
@@ -302,15 +305,16 @@ type (
 	ServiceMetrics = service.Metrics
 )
 
-// Cluster-sharded sweeps, re-exported from internal/cluster: a coordinator
-// that partitions a sweep's expanded specs contiguously across a fleet of
-// gatherd workers, submits each shard as a summary-only job, fails shards
-// over to surviving workers, and merges the per-shard summaries into a
-// total bit-identical (CanonicalJSON) to a single-process run. cmd/gatherd
-// -workers serves this behind POST /v1/sweeps?summary=only. See DESIGN.md
-// §10 and examples/cluster.
+// Cluster-scheduled sweeps, re-exported from internal/cluster: a
+// coordinator that partitions a sweep's expanded specs into cost-balanced
+// chunks which a fleet of gatherd workers pulls and steals as summary-only
+// jobs, reroutes failed chunks to survivors, and merges the per-chunk
+// summaries — in fixed chunk order — into a total bit-identical
+// (CanonicalJSON) to a single-process run. cmd/gatherd -workers serves
+// this behind POST /v1/sweeps?summary=only. See DESIGN.md §10, §12 and
+// examples/cluster.
 type (
-	// ClusterCoordinator shards sweeps across gatherd workers and merges
+	// ClusterCoordinator schedules sweeps across gatherd workers and merges
 	// their summaries deterministically.
 	ClusterCoordinator = cluster.Coordinator
 	// ClusterWorker is the HTTP client of one gatherd backend: summary-only
@@ -328,14 +332,47 @@ var (
 	NewClusterCoordinator = cluster.NewCoordinator
 	// NewClusterWorker returns a client for the gatherd at a base URL.
 	NewClusterWorker = cluster.NewWorker
-	// ClusterShardBounds is the deterministic sharding function: the
+	// ClusterShardBounds is the deterministic static sharding function: the
 	// half-open spec range [lo, hi) of shard i when n specs are partitioned
-	// contiguously over a worker count.
+	// contiguously over a worker count — the degenerate one-chunk-per-worker
+	// plan (SchedStaticBounds is the same function).
 	ClusterShardBounds = cluster.ShardBounds
 	// WithClusterRetries sets a worker's retry budget and backoff base.
 	WithClusterRetries = cluster.WithRetries
 	// WithClusterHTTPClient sets a worker's HTTP client.
 	WithClusterHTTPClient = cluster.WithHTTPClient
+)
+
+// The sweep scheduler, re-exported from internal/sched: the deterministic
+// cost-weighted chunk planner behind ClusterCoordinator, its calibrated
+// cost model, and the stats the coordinator reports. The partition is a
+// pure function of the spec list and the scheduling parameters — never of
+// timing or completion order — which is what keeps distributed totals
+// bit-identical to local ones. See DESIGN.md §12.
+type (
+	// SchedChunk is one schedulable unit: a contiguous spec range, its
+	// predicted cost, and its fixed merge position.
+	SchedChunk = sched.Chunk
+	// SchedPlanner partitions expanded sweeps into cost-balanced chunks;
+	// the zero value is the coordinator's default configuration.
+	SchedPlanner = sched.Planner
+	// SchedCostModel predicts one spec's relative execution cost.
+	SchedCostModel = sched.CostModel
+	// SchedWorkerStats counts one worker's share of dispatched, stolen,
+	// retried and failed chunks.
+	SchedWorkerStats = sched.WorkerStats
+	// SchedFleetStats aggregates scheduler counters across a coordinator's
+	// sweeps, as served under "scheduler" in a coordinator's GET /metrics.
+	SchedFleetStats = sched.FleetStats
+)
+
+// Scheduler functions, re-exported from internal/sched.
+var (
+	// SchedDefaultCost is the calibrated per-spec cost model (engine-stepped
+	// rounds as a function of graph family, size and team size).
+	SchedDefaultCost = sched.DefaultCost
+	// SchedStaticBounds is the degenerate one-chunk-per-worker partition.
+	SchedStaticBounds = sched.StaticBounds
 )
 
 // Service construction and spec hashing, re-exported from internal/service.

@@ -10,6 +10,7 @@
 //	gatherd [-addr :8080] [-cache 1024] [-jobs 2] [-parallelism 0]
 //	        [-backlog 1024] [-max-sweep-specs 10000]
 //	        [-workers http://a:8080,http://b:8080] [-chunks 8]
+//	        [-log-level info] [-pprof 127.0.0.1:6060]
 //
 // -workers turns the daemon into a cluster coordinator: summary-only sweep
 // submissions (POST /v1/sweeps?summary=only) are partitioned by a
@@ -20,8 +21,14 @@
 // -chunks sets the target chunk count per worker (default 8); -chunks 1
 // restores the original static one-shard-per-worker split. A coordinator's
 // GET /metrics reports chunks dispatched, stolen and retried per worker
-// under "scheduler". Every other endpoint — single runs, raw-row sweeps,
+// under "scheduler", and GET /v1/fleet serves per-worker health, load and
+// live sweep progress. Every other endpoint — single runs, raw-row sweeps,
 // job lifecycle — keeps serving locally.
+//
+// -log-level selects structured-log verbosity (debug|info|warn|error;
+// worker retirements and chunk failures log at warn with the worker URL
+// and chunk id). -pprof serves net/http/pprof on a second, loopback-only
+// listener for live profiling; non-loopback addresses are refused.
 //
 // API (see DESIGN.md §8 for the full table, §9 for summaries):
 //
@@ -55,8 +62,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -65,6 +74,7 @@ import (
 	"time"
 
 	"nochatter/internal/cluster"
+	olog "nochatter/internal/obs/log"
 	"nochatter/internal/sched"
 	"nochatter/internal/service"
 )
@@ -86,8 +96,16 @@ func run() error {
 		maxSweepSpecs = flag.Int("max-sweep-specs", 10000, "reject sweeps expanding to more specs than this")
 		workers       = flag.String("workers", "", "comma-separated gatherd worker base URLs; summary-only sweeps are sharded across them")
 		chunks        = flag.Int("chunks", 0, "with -workers: target chunks per worker for the sweep scheduler (0 = default 8; 1 = one static shard per worker)")
+		logLevel      = flag.String("log-level", "info", "log level: debug|info|warn|error")
+		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060); empty disables")
 	)
 	flag.Parse()
+
+	level, err := olog.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger := olog.New(os.Stderr, level, "gatherd")
 
 	svc := service.New(service.Config{
 		CacheSize:     *cacheSize,
@@ -123,11 +141,20 @@ func run() error {
 		case *chunks > 1:
 			coord.SetPlanner(sched.Planner{ChunksPerWorker: *chunks})
 		}
+		coord.SetLogger(olog.New(os.Stderr, level, "cluster"))
+		coord.SetObs(svc.Registry(), svc.Tracer())
 		svc.SetDistributor(coord.SummarizeSpecs)
 		svc.SetSchedulerStats(coord.Stats)
-		log.Printf("gatherd: coordinating summary-only sweeps across %d workers", coord.Workers())
+		svc.SetFleet(func(ctx context.Context) any { return coord.Fleet(ctx) })
+		logger.Info("coordinating summary-only sweeps", "workers", coord.Workers())
 	} else if *chunks != 0 {
 		return fmt.Errorf("-chunks requires -workers")
+	}
+
+	if *pprofAddr != "" {
+		if err := servePprof(*pprofAddr, logger); err != nil {
+			return err
+		}
 	}
 	srv := &http.Server{
 		Addr:              *addr,
@@ -139,7 +166,7 @@ func run() error {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("gatherd: serving on %s", *addr)
+		logger.Info("serving", "addr", *addr)
 		errCh <- srv.ListenAndServe()
 	}()
 	select {
@@ -147,12 +174,41 @@ func run() error {
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("gatherd: shutting down")
+	logger.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}
 	svc.Close()
+	return nil
+}
+
+// servePprof starts the net/http/pprof handlers on their own listener. The
+// profiler exposes heap contents and stack traces, so the address must be
+// loopback — a daemon reachable from the network never accidentally ships
+// its memory to whoever asks.
+func servePprof(addr string, logger *slog.Logger) error {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("-pprof: %w", err)
+	}
+	if ip := net.ParseIP(host); host != "localhost" && (ip == nil || !ip.IsLoopback()) {
+		return fmt.Errorf("-pprof: %q is not a loopback address; profiling exposes process memory and must not be network-reachable", addr)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("-pprof: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		_ = http.Serve(ln, mux) //nolint — pprof listener lives for the process
+	}()
+	logger.Info("pprof listening", "addr", ln.Addr().String())
 	return nil
 }

@@ -12,8 +12,14 @@
 //	gathersim -dump-spec > scenario.json
 //	gathersim -spec scenario.json
 //	gathersim -dump-spec | gathersim -spec -
-//	gathersim -sweep sweep.json [-parallelism 8]
+//	gathersim -sweep sweep.json [-parallelism 8] [-watch]
 //	gathersim -remote http://host:8080 [-graph ring -n 12 | -spec f | -sweep f]
+//
+// -watch renders a live progress line on stderr while a sweep runs: specs
+// completed, percent of the scheduler's cost model done, and a cost-model
+// ETA. Against a coordinator daemon it additionally polls /v1/fleet and
+// shows live chunk completion and per-worker steal counters. Stdout stays
+// clean — the summary table lands there, pipeable as ever.
 //
 // -spec - reads the spec from stdin, so specs pipe straight from
 // -dump-spec output or gatherd responses.
@@ -55,6 +61,7 @@ import (
 
 	"nochatter/internal/agg"
 	"nochatter/internal/cluster"
+	"nochatter/internal/sched"
 	"nochatter/internal/service"
 	"nochatter/internal/sim"
 	"nochatter/internal/spec"
@@ -86,6 +93,7 @@ func run() error {
 		parallel   = flag.Int("parallelism", 0, "concurrent scenarios for -sweep (0 = GOMAXPROCS)")
 		summary    = flag.Bool("summary", false, "print the aggregate summary table after the run")
 		remote     = flag.String("remote", "", "gatherd base URL: run the scenario or sweep on that daemon instead of in-process")
+		watch      = flag.Bool("watch", false, "with -sweep: render live progress (specs done, cost-model ETA; against a coordinator, chunk and steal counters) on stderr while the sweep runs")
 	)
 	flag.Parse()
 
@@ -95,7 +103,7 @@ func run() error {
 		var conflict error
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "sweep", "parallelism", "summary", "remote":
+			case "sweep", "parallelism", "summary", "remote", "watch":
 			default:
 				conflict = fmt.Errorf("-%s conflicts with -sweep: the sweep file defines the scenarios", f.Name)
 			}
@@ -107,9 +115,12 @@ func run() error {
 			return conflict
 		}
 		if *remote != "" {
-			return runSweepRemote(*sweepPath, *remote)
+			return runSweepRemote(*sweepPath, *remote, *watch)
 		}
-		return runSweep(*sweepPath, *parallel)
+		return runSweep(*sweepPath, *parallel, *watch)
+	}
+	if *watch {
+		return fmt.Errorf("-watch requires -sweep: single runs finish before a progress line helps")
 	}
 
 	var sp spec.ScenarioSpec
@@ -283,7 +294,7 @@ func runRemote(base string, sp spec.ScenarioSpec, summary bool) error {
 // the sweep out over a whole fleet. The HTTP client is the same
 // cluster.Worker the coordinator uses, so the CLI shares its retries,
 // deadlines and error reporting instead of duplicating the protocol.
-func runSweepRemote(path, base string) error {
+func runSweepRemote(path, base string, watch bool) error {
 	var data []byte
 	var err error
 	if path == "-" {
@@ -304,7 +315,29 @@ func runSweepRemote(path, base string) error {
 	if err != nil {
 		return fmt.Errorf("remote sweep: %w", err)
 	}
+	stopWatch := func() {}
+	if watch {
+		// The watcher polls status (and /v1/fleet, when the daemon
+		// coordinates one) while the summary long-poll below blocks. The
+		// cost model is computed from the same expansion the daemon ran.
+		specs, err := def.Specs()
+		if err != nil {
+			return err
+		}
+		var costTotal int64
+		for _, sp := range specs {
+			costTotal += sched.DefaultCost(sp)
+		}
+		summaryDone := make(chan struct{})
+		watchDone := make(chan struct{})
+		go func() {
+			defer close(watchDone)
+			watchSweepRemote(context.Background(), w, acc.JobID, len(specs), costTotal, start, summaryDone)
+		}()
+		stopWatch = func() { close(summaryDone); <-watchDone }
+	}
 	sr, err := w.SummaryResponse(context.Background(), acc.JobID)
+	stopWatch() // the progress line must be gone before the table renders
 	if err != nil {
 		return fmt.Errorf("remote sweep: %w", err)
 	}
@@ -321,7 +354,7 @@ func runSweepRemote(path, base string) error {
 // the fold-as-you-stream path — raw results are folded into the summary as
 // they complete, never materialized — and renders the shared agg table
 // (identical to what GET /v1/jobs/{id}/summary reports for the same sweep).
-func runSweep(path string, parallelism int) error {
+func runSweep(path string, parallelism int, watch bool) error {
 	var data []byte
 	var err error
 	if path == "-" {
@@ -341,7 +374,12 @@ func runSweep(path string, parallelism int) error {
 		return err
 	}
 	start := time.Now()
-	s, err := agg.Summarize(sim.NewRunner(sim.WithParallelism(parallelism)), specs)
+	var s *agg.Summary
+	if watch {
+		s, err = watchSweepLocal(specs, parallelism)
+	} else {
+		s, err = agg.Summarize(sim.NewRunner(sim.WithParallelism(parallelism)), specs)
+	}
 	if err != nil {
 		return err
 	}

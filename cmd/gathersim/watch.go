@@ -1,0 +1,148 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"nochatter/internal/agg"
+	"nochatter/internal/cluster"
+	"nochatter/internal/sched"
+	"nochatter/internal/sim"
+	"nochatter/internal/spec"
+)
+
+// watchInterval paces the live progress line. Fast enough to feel live,
+// slow enough that a remote watch's status probes are negligible load.
+const watchInterval = 500 * time.Millisecond
+
+// renderProgress draws one in-place progress line: specs completed, percent
+// of the scheduler's cost model done, elapsed wall time and the cost-model
+// ETA (remaining cost at the observed cost rate — the same weighting the
+// chunk planner balances by, so skewed sweeps get an honest estimate where
+// a spec-count ETA would lie by an order of magnitude).
+func renderProgress(w io.Writer, specsDone, specsTotal int, costDone, costTotal int64, elapsed time.Duration, extra string) {
+	pct := 0.0
+	if costTotal > 0 {
+		pct = 100 * float64(costDone) / float64(costTotal)
+	}
+	eta := "--"
+	if costDone > 0 && costTotal > costDone {
+		rem := time.Duration(float64(elapsed) * float64(costTotal-costDone) / float64(costDone))
+		eta = rem.Round(time.Second).String()
+	}
+	line := fmt.Sprintf("\rsweep %d/%d specs  %5.1f%% cost  elapsed %s  eta %s%s",
+		specsDone, specsTotal, pct, elapsed.Round(time.Second), eta, extra)
+	// Pad over any longer previous line, then rewind for the next frame.
+	fmt.Fprintf(w, "%-100s", line)
+}
+
+func clearProgress(w io.Writer) {
+	fmt.Fprintf(w, "\r%-100s\r", "")
+}
+
+// watchSweepLocal is runSweep's -watch body: the same fold-as-you-stream
+// summary, with the fold counting specs and planner cost so a ticker can
+// draw live progress on stderr while the table still lands on stdout.
+func watchSweepLocal(specs []spec.ScenarioSpec, parallelism int) (*agg.Summary, error) {
+	scs, err := spec.CompileAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	costs := make([]int64, len(specs))
+	var costTotal int64
+	for i, sp := range specs {
+		costs[i] = sched.DefaultCost(sp)
+		costTotal += costs[i]
+	}
+	var specsDone, costDone atomic.Int64
+	start := time.Now()
+	stop := make(chan struct{})
+	tickerDone := make(chan struct{})
+	go func() {
+		defer close(tickerDone)
+		tick := time.NewTicker(watchInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				renderProgress(os.Stderr, int(specsDone.Load()), len(specs),
+					costDone.Load(), costTotal, time.Since(start), "")
+			}
+		}
+	}()
+	s := sim.FoldBatch(sim.NewRunner(sim.WithParallelism(parallelism)), scs, agg.NewSummary,
+		func(acc *agg.Summary, br sim.BatchResult) {
+			acc.Observe(agg.KeyOf(specs[br.Index]), br.Result, br.Err, br.Wall)
+			specsDone.Add(1)
+			costDone.Add(costs[br.Index])
+		}, (*agg.Summary).Merge)
+	close(stop)
+	<-tickerDone
+	clearProgress(os.Stderr)
+	return s, nil
+}
+
+// watchSweepRemote polls the submitted job while the summary long-poll
+// runs: job status (specs completed) always, and — when the daemon is a
+// coordinator — /v1/fleet, whose active-sweep section carries the
+// scheduler's live cost progress and per-worker steal counters. The first
+// 404 from /v1/fleet marks the target as a plain worker and stops asking.
+func watchSweepRemote(ctx context.Context, w *cluster.Worker, jobID string, specsTotal int, costTotal int64, start time.Time, summaryDone <-chan struct{}) {
+	fleetCapable := true
+	tick := time.NewTicker(watchInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-summaryDone:
+			clearProgress(os.Stderr)
+			return
+		case <-tick.C:
+		}
+		specsDone := 0
+		if st, err := w.Status(ctx, jobID); err == nil {
+			specsDone = st.Completed
+		}
+		// Without fleet data, scale total cost by spec completion — coarse,
+		// but a plain worker reports nothing finer.
+		costDone := int64(0)
+		if specsTotal > 0 {
+			costDone = costTotal * int64(specsDone) / int64(specsTotal)
+		}
+		extra := ""
+		if fleetCapable {
+			fs, err := w.Fleet(ctx)
+			switch {
+			case cluster.IsRejected(err):
+				fleetCapable = false // a plain worker; stop asking
+			case err == nil:
+				for _, sp := range fs.Active {
+					if sp.Job != jobID {
+						continue
+					}
+					p := sp.Progress
+					if p.CostTotal > 0 {
+						costDone, costTotal = p.CostDone, p.CostTotal
+					}
+					extra = fmt.Sprintf("  chunks %d/%d", p.ChunksDone, p.ChunksTotal)
+				}
+				var steals []string
+				for _, ws := range fs.Workers {
+					if ws.Stolen > 0 {
+						steals = append(steals, fmt.Sprintf("w%d:%d", ws.Worker, ws.Stolen))
+					}
+				}
+				if len(steals) > 0 {
+					extra += "  stolen " + strings.Join(steals, " ")
+				}
+			}
+		}
+		renderProgress(os.Stderr, specsDone, specsTotal, costDone, costTotal, time.Since(start), extra)
+	}
+}

@@ -33,6 +33,16 @@ var wirePrefixes = []string{
 	"nochatter/internal/sched",
 }
 
+// obsPrefixes are the observability packages, whose registries and tracers
+// accept caller-supplied callbacks (gauge functions, object snapshots).
+// lockscope additionally forbids calling any function-typed value while a
+// lock is held here: a callback is free to take subsystem locks of its own
+// — or to re-enter the registry — so invoking one inside a critical
+// section is a lock-order inversion waiting for its second participant.
+var obsPrefixes = []string{
+	"nochatter/internal/obs",
+}
+
 // httpClientPrefixes are the packages that issue HTTP requests on behalf
 // of jobs with lifecycles — where a context-less request can outlive its
 // job and burn fleet capacity. lockscope requires context-threaded
@@ -62,3 +72,7 @@ func WirePackage(path string) bool { return hasAnyPrefix(path, wirePrefixes) }
 // HTTPClientPackage reports whether the package's HTTP requests must be
 // context-threaded.
 func HTTPClientPackage(path string) bool { return hasAnyPrefix(path, httpClientPrefixes) }
+
+// ObsPackage reports whether the package is held to the no-callback-under-
+// lock rule.
+func ObsPackage(path string) bool { return hasAnyPrefix(path, obsPrefixes) }

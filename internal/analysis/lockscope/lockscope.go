@@ -15,6 +15,13 @@
 // http.NewRequest and the package-level http.Get/Post/PostForm/Head
 // helpers are reported in favor of http.NewRequestWithContext, so a
 // canceled sweep actually stops burning fleet capacity.
+//
+// In internal/obs — whose registry and tracer accept caller-supplied
+// callbacks — the rule tightens further: calling any function-typed value
+// while a lock is held is reported. A gauge function may take subsystem
+// locks of its own or re-enter the registry, so the only safe shape is the
+// one Registry.Snapshot uses: collect the callbacks under the lock, call
+// them after Unlock.
 package lockscope
 
 import (
@@ -242,6 +249,12 @@ func reportBlocking(pass *analysis.Pass, stmt ast.Node, held []heldLock) {
 				pass.Reportf(x.Pos(),
 					"%s while holding %s: the critical section lasts a full HTTP round trip", name, lock)
 			}
+			if analysis.ObsPackage(pass.Pkg.Path()) {
+				if name, ok := dynamicCall(pass, x); ok {
+					pass.Reportf(x.Pos(),
+						"calling %s while holding %s: a caller-supplied function may take its own locks or re-enter the registry (collect under the lock, call after Unlock)", name, lock)
+				}
+			}
 		}
 		return true
 	}
@@ -254,6 +267,38 @@ func reportBlocking(pass *analysis.Pass, stmt ast.Node, held []heldLock) {
 		})
 	}
 	walk(stmt, false)
+}
+
+// dynamicCall matches a call through a function-typed value — a variable,
+// field or parameter holding a func — as opposed to a statically known
+// function or method. In the obs packages those values are caller-supplied
+// callbacks (GaugeFunc, Object), and invoking one under a lock hands the
+// critical section to arbitrary foreign code.
+func dynamicCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fun.Sel]
+	default:
+		// A computed callee (index expression, call result): dynamic by
+		// construction when its type is a function signature.
+		if tv, ok := pass.TypesInfo.Types[fun]; ok && tv.Type != nil {
+			if _, isSig := tv.Type.Underlying().(*types.Signature); isSig {
+				return types.ExprString(call.Fun), true
+			}
+		}
+		return "", false
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return "", false // static func, method, builtin, or a conversion
+	}
+	if _, isSig := v.Type().Underlying().(*types.Signature); !isSig {
+		return "", false
+	}
+	return types.ExprString(call.Fun), true
 }
 
 // httpRoundTrip matches calls that perform an HTTP request: the net/http

@@ -9,5 +9,6 @@ import (
 
 func TestLockscope(t *testing.T) {
 	analysistest.Run(t, "testdata", lockscope.Analyzer,
-		"nochatter/internal/cluster/lockdemo")
+		"nochatter/internal/cluster/lockdemo",
+		"nochatter/internal/obs/snapdemo")
 }

@@ -1,0 +1,75 @@
+// Package snapdemo is lockscope fixture data for the obs-package rule:
+// caller-supplied callbacks invoked under a lock, and the collect-then-call
+// shape that fixes them.
+package snapdemo
+
+import "sync"
+
+// Reg is a miniature registry: named callbacks evaluated at snapshot time.
+type Reg struct {
+	mu    sync.Mutex
+	funcs map[string]func() float64
+	note  func(string)
+}
+
+// SnapshotUnderLock evaluates caller callbacks inside the critical section.
+func (r *Reg) SnapshotUnderLock() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.funcs))
+	for name, fn := range r.funcs {
+		out[name] = fn() // want "calling fn while holding r.mu"
+	}
+	return out
+}
+
+// NotifyUnderLock calls a stored callback field under the lock.
+func (r *Reg) NotifyUnderLock(msg string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.note(msg) // want "calling r.note while holding r.mu"
+}
+
+// SnapshotCollectThenCall is the fix: collect under the lock, call after.
+func (r *Reg) SnapshotCollectThenCall() map[string]float64 {
+	type named struct {
+		name string
+		fn   func() float64
+	}
+	r.mu.Lock()
+	collected := make([]named, 0, len(r.funcs))
+	for name, fn := range r.funcs {
+		collected = append(collected, named{name, fn})
+	}
+	r.mu.Unlock()
+	out := make(map[string]float64, len(collected))
+	for _, nf := range collected {
+		out[nf.name] = nf.fn()
+	}
+	return out
+}
+
+// StaticCallsUnderLock shows what the rule does not flag: statically known
+// functions and methods, builtins and conversions stay legal under a lock.
+func (r *Reg) StaticCallsUnderLock() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.funcs)
+	return clamp(int64(n))
+}
+
+func clamp(v int64) int {
+	if v > 1<<30 {
+		return 1 << 30
+	}
+	return int(v)
+}
+
+// AllowedCallback demonstrates the escape hatch for a callback documented
+// never to block or take locks.
+func (r *Reg) AllowedCallback(msg string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	//lint:allow lockscope fixture: the callback is a pure formatter by contract
+	r.note(msg)
+}

@@ -3,10 +3,13 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
 	"nochatter/internal/agg"
+	"nochatter/internal/obs"
+	olog "nochatter/internal/obs/log"
 	"nochatter/internal/sched"
 	"nochatter/internal/spec"
 )
@@ -48,9 +51,29 @@ func ShardBounds(n, shards, i int) (lo, hi int) {
 type Coordinator struct {
 	workers []*Worker
 	planner sched.Planner
+	log     *slog.Logger
 
-	mu    sync.Mutex
-	stats sched.FleetStats
+	// Observability (reporting-only; nil handles no-op). chunkMS is the
+	// chunk-duration histogram registered by SetObs; tr receives chunk and
+	// worker lifecycle events, tagged with the service job id when the
+	// sweep's context carries one (obs.WithJob).
+	tr      *obs.Tracer
+	chunkMS *obs.Histogram
+
+	//lint:allow detrand reporting-only throughput baseline; never enters results
+	start time.Time
+
+	mu      sync.Mutex
+	stats   sched.FleetStats
+	active  map[*sched.Dispatcher]*activeSweep
+	lastErr []string // per-worker last retire/fail reason, "" when none
+}
+
+// activeSweep is a running dispatch the coordinator reports live progress
+// for: /v1/fleet's active section and the live half of Stats().
+type activeSweep struct {
+	job     string
+	started time.Time // reporting-only (ETA base)
 }
 
 // NewCoordinator returns a coordinator over the given workers, planning
@@ -59,7 +82,37 @@ type Coordinator struct {
 // re-discovered per sweep, so a worker that was down during one sweep is
 // tried again by the next.
 func NewCoordinator(workers ...*Worker) *Coordinator {
-	return &Coordinator{workers: workers}
+	return &Coordinator{
+		workers: workers,
+		log:     olog.Discard(),
+		//lint:allow detrand reporting-only throughput baseline (chunks/sec denominators)
+		start:   time.Now(),
+		active:  make(map[*sched.Dispatcher]*activeSweep),
+		lastErr: make([]string, len(workers)),
+	}
+}
+
+// SetLogger attaches a structured logger for fleet lifecycle events —
+// worker retirements, chunk failures and retries log the worker URL and
+// chunk id. The default discards. Not safe to call concurrently with a
+// running sweep.
+func (c *Coordinator) SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = olog.Discard()
+	}
+	c.log = l
+}
+
+// SetObs attaches the observability sinks: a chunk_ms duration histogram
+// is registered on reg, and tr receives the full chunk lifecycle
+// (claimed/stolen/retried/merged/failed, plus worker retirements) for
+// every subsequent sweep. Either argument may be nil. Not safe to call
+// concurrently with a running sweep.
+func (c *Coordinator) SetObs(reg *obs.Registry, tr *obs.Tracer) {
+	if reg != nil {
+		c.chunkMS = reg.Histogram("chunk_ms")
+	}
+	c.tr = tr
 }
 
 // Workers returns the fleet size.
@@ -72,12 +125,24 @@ func (c *Coordinator) Workers() int { return len(c.workers) }
 func (c *Coordinator) SetPlanner(p sched.Planner) { c.planner = p }
 
 // Stats returns the scheduler counters accumulated across every sweep the
-// coordinator has dispatched: chunks dispatched, stolen and retried per
-// worker. Safe for concurrent use.
+// coordinator has dispatched — chunks dispatched, stolen, retried, failed
+// and completed per worker — with any in-flight sweep's counters folded in
+// live, so /metrics moves while a long sweep runs instead of jumping when
+// it finishes. Safe for concurrent use.
 func (c *Coordinator) Stats() sched.FleetStats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats.Clone()
+	out := c.stats.Clone()
+	dispatchers := make([]*sched.Dispatcher, 0, len(c.active))
+	//lint:allow maporder AbsorbLive is commutative per-worker addition; order cannot reach results
+	for d := range c.active {
+		dispatchers = append(dispatchers, d)
+	}
+	c.mu.Unlock()
+	// Dispatcher.Stats takes the dispatcher's own lock; taken outside ours.
+	for _, d := range dispatchers {
+		out.AbsorbLive(d.Stats())
+	}
+	return out
 }
 
 // SummarizeSweep expands the definition and summarizes it across the
@@ -105,6 +170,14 @@ func (c *Coordinator) SummarizeSpecs(ctx context.Context, specs []spec.ScenarioS
 	d := sched.NewDispatcher(plan, len(c.workers))
 	sums := make([]*agg.Summary, len(plan))
 
+	job := obs.JobFrom(ctx)
+	d.SetObs(c.tr, job)
+	c.log.Debug("sweep dispatched", "job", job, "specs", len(specs), "chunks", len(plan), "workers", len(c.workers))
+	c.mu.Lock()
+	//lint:allow detrand sweep start timestamp: ETA reporting only, never part of results
+	c.active[d] = &activeSweep{job: job, started: time.Now()}
+	c.mu.Unlock()
+
 	// Propagate cancellation into blocked Claim calls.
 	watcherDone := make(chan struct{})
 	defer close(watcherDone)
@@ -126,7 +199,11 @@ func (c *Coordinator) SummarizeSpecs(ctx context.Context, specs []spec.ScenarioS
 	}
 	wg.Wait()
 
+	// The dispatch is over: drop it from the live set, then absorb its
+	// final counters — in that order under one lock hold, so a concurrent
+	// Stats() never sees the sweep both live and absorbed.
 	c.mu.Lock()
+	delete(c.active, d)
 	c.stats.Absorb(d.Stats())
 	c.mu.Unlock()
 
@@ -136,8 +213,10 @@ func (c *Coordinator) SummarizeSpecs(ctx context.Context, specs []spec.ScenarioS
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
+		c.log.Warn("sweep failed", "job", job, "err", err)
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
+	c.log.Debug("sweep merged", "job", job, "chunks", len(plan))
 	total := agg.NewSummary()
 	for _, s := range sums {
 		total.Merge(s)
@@ -154,8 +233,12 @@ func (c *Coordinator) SummarizeSpecs(ctx context.Context, specs []spec.ScenarioS
 // backend so the fleet stops burning capacity on output nobody will read.
 func (c *Coordinator) runWorker(ctx context.Context, d *sched.Dispatcher, wi int, specs []spec.ScenarioSpec, sums []*agg.Summary) {
 	w := c.workers[wi]
+	progress := obs.ProgressFrom(ctx)
 	if !w.Healthy(ctx) {
-		d.Retire(wi, fmt.Errorf("cluster: %s is unhealthy", w.Base()))
+		err := fmt.Errorf("cluster: %s is unhealthy", w.Base())
+		c.noteWorkerErr(wi, err)
+		c.log.Warn("worker retired", "worker", w.Base(), "reason", "health probe failed")
+		d.Retire(wi, err)
 		return
 	}
 	for {
@@ -163,12 +246,21 @@ func (c *Coordinator) runWorker(ctx context.Context, d *sched.Dispatcher, wi int
 		if err != nil || !ok {
 			return
 		}
+		//lint:allow detrand chunk wall time: feeds the chunk_ms histogram only, never results
+		begin := time.Now()
 		sum, err := c.runChunk(ctx, w, specs[chunk.Lo:chunk.Hi])
 		if err == nil {
+			//lint:allow detrand same reporting-only chunk duration measurement
+			c.chunkMS.Observe(time.Since(begin).Milliseconds())
 			sums[chunk.Index] = sum
 			d.Done(wi, chunk)
+			if progress != nil {
+				progress(d.Progress().SpecsDone)
+			}
 			continue
 		}
+		c.noteWorkerErr(wi, err)
+		c.log.Warn("chunk failed", "worker", w.Base(), "chunk", chunk.Index, "specs", chunk.Specs(), "err", err)
 		d.Fail(wi, chunk, err)
 		if ctx.Err() != nil {
 			return // the watcher aborts the dispatch
@@ -177,10 +269,19 @@ func (c *Coordinator) runWorker(ctx context.Context, d *sched.Dispatcher, wi int
 			// Transport failure, 5xx, or a poll that died: the worker is
 			// gone for this sweep. A rejection (4xx) leaves it standing —
 			// it answered, and killing it would starve other chunks.
+			c.log.Warn("worker retired", "worker", w.Base(), "chunk", chunk.Index, "err", err)
 			d.Retire(wi, fmt.Errorf("cluster: %s: %w", w.Base(), err))
 			return
 		}
 	}
+}
+
+// noteWorkerErr remembers worker wi's most recent failure for /v1/fleet's
+// last-error column.
+func (c *Coordinator) noteWorkerErr(wi int, err error) {
+	c.mu.Lock()
+	c.lastErr[wi] = err.Error()
+	c.mu.Unlock()
 }
 
 // runChunk runs one chunk on one worker: submit the chunk's specs as a

@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"nochatter/internal/sched"
+)
+
+// FleetStatus is the wire form of GET /v1/fleet on a coordinator: one row
+// per worker combining the coordinator's scheduler counters (live, so a
+// running sweep's steals and completions show up as they happen) with a
+// fresh probe of the worker itself (health, queue depth, cache hit rate),
+// plus a progress section for every sweep currently in flight.
+type FleetStatus struct {
+	// Workers has one entry per fleet member, in fleet order.
+	Workers []WorkerStatus `json:"workers"`
+	// Sweeps counts distributed sweeps completed since the coordinator
+	// started; Chunks counts chunk claims across all sweeps (including
+	// live ones).
+	Sweeps int64 `json:"sweeps"`
+	Chunks int64 `json:"chunks"`
+	// Active reports every in-flight sweep's progress, ordered by job id;
+	// empty when the fleet is idle.
+	Active []SweepProgress `json:"active,omitempty"`
+}
+
+// WorkerStatus is one worker's row in FleetStatus.
+type WorkerStatus struct {
+	Worker int    `json:"worker"`
+	URL    string `json:"url"`
+	// Healthy is a fresh /healthz probe; the backend fields below it come
+	// from the worker's /metrics document and are zero when the scrape
+	// failed (a dead worker still gets a row — that is the point).
+	Healthy       bool    `json:"healthy"`
+	QueueDepth    int64   `json:"queue_depth"`
+	JobsRunning   int64   `json:"jobs_running"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	SpecsExecuted int64   `json:"specs_executed"`
+	// Scheduler counters, accumulated across sweeps plus live dispatches.
+	Dispatched int64 `json:"dispatched"`
+	Stolen     int64 `json:"stolen"`
+	Retried    int64 `json:"retried"`
+	Failed     int64 `json:"failed"`
+	Done       int64 `json:"done"`
+	Specs      int64 `json:"specs"`
+	// ChunksPerSec is the worker's completed-chunk throughput over the
+	// coordinator's lifetime (reporting-only wall clock).
+	ChunksPerSec float64 `json:"chunks_per_sec"`
+	// LastError is the most recent retire/fail reason the coordinator saw
+	// for this worker, or empty.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// SweepProgress is one in-flight sweep's completion state with a
+// cost-model ETA: remaining cost over observed cost throughput, the same
+// weighting the planner balanced chunks by.
+type SweepProgress struct {
+	// Job is the service job id the sweep runs under ("" when the sweep
+	// was submitted outside the service, e.g. library use).
+	Job      string         `json:"job,omitempty"`
+	Progress sched.Progress `json:"progress"`
+	// ElapsedMS is wall time since dispatch; EtaMS extrapolates the
+	// remaining cost at the observed cost rate (0 until any cost
+	// completes). Both reporting-only.
+	ElapsedMS int64 `json:"elapsed_ms"`
+	EtaMS     int64 `json:"eta_ms"`
+}
+
+// Fleet assembles the coordinator's fleet status: scheduler counters and
+// active-sweep progress from coordinator state, health and backend load
+// from probing every worker concurrently. The probes are bounded by each
+// worker's probe deadline, so a fleet with dead members still answers
+// quickly. Safe for concurrent use.
+func (c *Coordinator) Fleet(ctx context.Context) FleetStatus {
+	// Coordinator-side state first, under the lock...
+	c.mu.Lock()
+	stats := c.stats.Clone()
+	lastErr := append([]string(nil), c.lastErr...)
+	type liveSweep struct {
+		d    *sched.Dispatcher
+		info activeSweep
+	}
+	live := make([]liveSweep, 0, len(c.active))
+	//lint:allow maporder stats absorption is commutative and Active is sorted below
+	for d, info := range c.active {
+		live = append(live, liveSweep{d, *info})
+	}
+	c.mu.Unlock()
+	// A stable reporting order: active sweeps by job id (ties by start).
+	sort.Slice(live, func(i, j int) bool {
+		if live[i].info.job != live[j].info.job {
+			return live[i].info.job < live[j].info.job
+		}
+		return live[i].info.started.Before(live[j].info.started)
+	})
+
+	// ...then everything that blocks (dispatcher locks, HTTP probes)
+	// strictly outside it.
+	for _, ls := range live {
+		stats.AbsorbLive(ls.d.Stats())
+	}
+	out := FleetStatus{Sweeps: stats.Sweeps, Chunks: stats.Chunks}
+	//lint:allow detrand reporting-only timestamps: ETA and throughput denominators
+	now := time.Now()
+	for _, ls := range live {
+		p := ls.d.Progress()
+		sp := SweepProgress{Job: ls.info.job, Progress: p, ElapsedMS: now.Sub(ls.info.started).Milliseconds()}
+		if p.CostDone > 0 && p.CostTotal > p.CostDone {
+			sp.EtaMS = int64(float64(sp.ElapsedMS) * float64(p.CostTotal-p.CostDone) / float64(p.CostDone))
+		}
+		out.Active = append(out.Active, sp)
+	}
+
+	elapsedSec := now.Sub(c.start).Seconds()
+	out.Workers = make([]WorkerStatus, len(c.workers))
+	var wg sync.WaitGroup
+	for wi, w := range c.workers {
+		ws := &out.Workers[wi]
+		ws.Worker = wi
+		ws.URL = w.Base()
+		if wi < len(lastErr) {
+			ws.LastError = lastErr[wi]
+		}
+		if wi < len(stats.Workers) {
+			sw := stats.Workers[wi]
+			ws.Dispatched = sw.Dispatched
+			ws.Stolen = sw.Stolen
+			ws.Retried = sw.Retried
+			ws.Failed = sw.Failed
+			ws.Done = sw.Done
+			ws.Specs = sw.Specs
+			if elapsedSec > 0 {
+				ws.ChunksPerSec = float64(sw.Done) / elapsedSec
+			}
+		}
+		wg.Add(1)
+		go func(w *Worker, ws *WorkerStatus) {
+			defer wg.Done()
+			ws.Healthy = w.Healthy(ctx)
+			if m, err := w.Metrics(ctx); err == nil {
+				ws.QueueDepth = m.JobsQueued
+				ws.JobsRunning = m.JobsRunning
+				ws.CacheHitRate = m.CacheHitRate
+				ws.SpecsExecuted = m.SpecsExecuted
+			}
+		}(w, ws)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,208 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"nochatter/internal/obs"
+	"nochatter/internal/sched"
+)
+
+// TestFleetStatusAfterSweep runs a real 2-worker sweep with the full
+// observability stack attached, then checks /v1/fleet's source of truth —
+// Coordinator.Fleet — reports what actually happened: both workers healthy
+// and probed, every chunk dispatched and merged, the chunk-duration
+// histogram populated, and the tracer carrying the sweep's lifecycle
+// tagged with its job id.
+func TestFleetStatusAfterSweep(t *testing.T) {
+	w0 := fastWorker(newBackend(t))
+	w1 := fastWorker(newBackend(t))
+	coord := NewCoordinator(w0, w1)
+
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(obs.DefaultTraceEvents)
+	coord.SetObs(reg, tr)
+
+	specs := testSweep(t)
+	ctx := obs.WithJob(context.Background(), "j000001")
+	sum, err := coord.SummarizeSpecs(ctx, specs)
+	if err != nil {
+		t.Fatalf("SummarizeSpecs: %v", err)
+	}
+	if got := mustCanonical(t, sum); got != localCanonical(t, specs) {
+		t.Fatal("fleet summary diverged from local ground truth with obs attached")
+	}
+
+	fs := coord.Fleet(context.Background())
+	if fs.Sweeps != 1 {
+		t.Fatalf("Sweeps = %d, want 1", fs.Sweeps)
+	}
+	if len(fs.Active) != 0 {
+		t.Fatalf("Active = %+v, want empty after the sweep drained", fs.Active)
+	}
+	if len(fs.Workers) != 2 {
+		t.Fatalf("Workers = %d rows, want 2", len(fs.Workers))
+	}
+	var dispatched, done, specsRun int64
+	for _, ws := range fs.Workers {
+		if !ws.Healthy {
+			t.Errorf("worker %d (%s) reported unhealthy", ws.Worker, ws.URL)
+		}
+		if ws.LastError != "" {
+			t.Errorf("worker %d has last_error %q on a clean sweep", ws.Worker, ws.LastError)
+		}
+		if ws.SpecsExecuted == 0 {
+			t.Errorf("worker %d backend scrape shows 0 specs executed", ws.Worker)
+		}
+		dispatched += ws.Dispatched
+		done += ws.Done
+		specsRun += ws.Specs
+	}
+	if dispatched == 0 || dispatched != done {
+		t.Fatalf("dispatched=%d done=%d, want equal and > 0", dispatched, done)
+	}
+	if fs.Chunks != dispatched {
+		t.Fatalf("Chunks = %d, want %d (sum of per-worker dispatched)", fs.Chunks, dispatched)
+	}
+	if specsRun != int64(len(specs)) {
+		t.Fatalf("per-worker specs sum to %d, want %d", specsRun, len(specs))
+	}
+
+	// The chunk-duration histogram saw every chunk.
+	var doc map[string]json.RawMessage
+	buf, err := json.Marshal(reg)
+	if err != nil {
+		t.Fatalf("marshal registry: %v", err)
+	}
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		t.Fatalf("decode registry: %v", err)
+	}
+	var chunkMS struct {
+		Count int64 `json:"count"`
+	}
+	if err := json.Unmarshal(doc["chunk_ms"], &chunkMS); err != nil {
+		t.Fatalf("registry has no chunk_ms histogram: %v", err)
+	}
+	if chunkMS.Count != done {
+		t.Fatalf("chunk_ms count = %d, want %d (one observation per merged chunk)", chunkMS.Count, done)
+	}
+
+	// The tracer carries the sweep's chunk lifecycle under its job id.
+	events := tr.Job("j000001")
+	if len(events) == 0 {
+		t.Fatal("tracer has no events for the sweep's job id")
+	}
+	var claimed, merged int64
+	for _, ev := range events {
+		switch ev.Phase {
+		case obs.PhaseClaimed, obs.PhaseStolen:
+			claimed++
+		case obs.PhaseMerged:
+			merged++
+		case obs.PhaseFailed, obs.PhaseRetired:
+			t.Errorf("unexpected %s event on a clean sweep: %+v", ev.Phase, ev)
+		}
+	}
+	if claimed != done || merged != done {
+		t.Fatalf("trace saw %d claims and %d merges, want %d of each", claimed, merged, done)
+	}
+}
+
+// TestFleetReportsRetiredWorker points one fleet slot at a dead address:
+// the sweep must still merge correctly via the survivor, and the fleet row
+// for the dead worker must say so — unhealthy, zero completions, and a
+// last-error explaining the retirement.
+func TestFleetReportsRetiredWorker(t *testing.T) {
+	alive := fastWorker(newBackend(t))
+	dead := fastWorker("http://127.0.0.1:1") // nothing listens here
+	coord := NewCoordinator(alive, dead)
+	tr := obs.NewTracer(obs.DefaultTraceEvents)
+	coord.SetObs(nil, tr)
+
+	specs := testSweep(t)[:20]
+	sum, err := coord.SummarizeSpecs(context.Background(), specs)
+	if err != nil {
+		t.Fatalf("SummarizeSpecs with one dead worker: %v", err)
+	}
+	if got := mustCanonical(t, sum); got != localCanonical(t, specs) {
+		t.Fatal("failover summary diverged from local ground truth")
+	}
+
+	fs := coord.Fleet(context.Background())
+	w := fs.Workers
+	if !w[0].Healthy || w[0].Done == 0 {
+		t.Fatalf("surviving worker row wrong: %+v", w[0])
+	}
+	if w[1].Healthy {
+		t.Fatalf("dead worker reported healthy: %+v", w[1])
+	}
+	if w[1].Done != 0 {
+		t.Fatalf("dead worker completed %d chunks", w[1].Done)
+	}
+	if !strings.Contains(w[1].LastError, "unhealthy") {
+		t.Fatalf("dead worker last_error = %q, want the retirement reason", w[1].LastError)
+	}
+	var retired bool
+	for _, ev := range tr.Snapshot() {
+		if ev.Phase == obs.PhaseRetired && ev.Worker == 1 {
+			retired = true
+		}
+	}
+	if !retired {
+		t.Fatal("tracer never recorded the dead worker's retirement")
+	}
+}
+
+// TestCoordinatorLiveStats pins the live half of Stats(): while a sweep is
+// in flight its dispatcher counters fold into Stats() and Fleet() without
+// being double counted once the sweep is absorbed.
+func TestCoordinatorLiveStats(t *testing.T) {
+	w := fastWorker(newBackend(t))
+	coord := NewCoordinator(w)
+
+	// Seed one absorbed sweep.
+	specs := testSweep(t)[:12]
+	if _, err := coord.SummarizeSpecs(context.Background(), specs); err != nil {
+		t.Fatal(err)
+	}
+	after := coord.Stats()
+	if after.Sweeps != 1 || after.Chunks == 0 {
+		t.Fatalf("absorbed stats wrong: %+v", after)
+	}
+
+	// A hand-registered live dispatcher shows up in Stats()/Fleet() without
+	// bumping Sweeps, and disappears cleanly when dropped.
+	plan := sched.Planner{ChunksPerWorker: 2}.PlanSpecs(specs, 1)
+	d := sched.NewDispatcher(plan, 1)
+	if _, ok, err := d.Claim(0); err != nil || !ok {
+		t.Fatalf("claim on live dispatcher: ok=%v err=%v", ok, err)
+	}
+	coord.mu.Lock()
+	coord.active[d] = &activeSweep{job: "j-live", started: coord.start}
+	coord.mu.Unlock()
+
+	live := coord.Stats()
+	if live.Sweeps != after.Sweeps {
+		t.Fatalf("live dispatcher bumped Sweeps: %d -> %d", after.Sweeps, live.Sweeps)
+	}
+	if live.Chunks != after.Chunks+1 {
+		t.Fatalf("live claim not folded in: chunks %d, want %d", live.Chunks, after.Chunks+1)
+	}
+	fs := coord.Fleet(context.Background())
+	if len(fs.Active) != 1 || fs.Active[0].Job != "j-live" {
+		t.Fatalf("Fleet.Active = %+v, want the live sweep", fs.Active)
+	}
+	p := fs.Active[0].Progress
+	if p.ChunksTotal != len(plan) || p.InFlight != 1 {
+		t.Fatalf("live progress wrong: %+v", p)
+	}
+
+	coord.mu.Lock()
+	delete(coord.active, d)
+	coord.mu.Unlock()
+	if got := coord.Stats(); got.Chunks != after.Chunks {
+		t.Fatalf("dropped dispatcher still counted: %+v", got)
+	}
+}

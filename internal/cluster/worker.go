@@ -152,6 +152,61 @@ func (w *Worker) Healthy(ctx context.Context) bool {
 	return resp.StatusCode == http.StatusOK
 }
 
+// WorkerMetrics is the subset of a backend's /metrics document that
+// /v1/fleet reports per worker: queue pressure, in-flight work and cache
+// effectiveness. Unknown keys in the backend document are ignored, so a
+// newer backend stays probeable.
+type WorkerMetrics struct {
+	JobsQueued    int64   `json:"jobs_queued"`
+	JobsRunning   int64   `json:"jobs_running"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	SpecsExecuted int64   `json:"specs_executed"`
+}
+
+// Metrics fetches GET /metrics on the worker's own short deadline (like a
+// health probe, a metrics scrape that hangs is itself the answer).
+func (w *Worker) Metrics(ctx context.Context) (WorkerMetrics, error) {
+	data, err := w.do(ctx, http.MethodGet, "/metrics", nil, http.StatusOK, w.probeTimeout)
+	if err != nil {
+		return WorkerMetrics{}, err
+	}
+	var m WorkerMetrics
+	if err := json.Unmarshal(data, &m); err != nil {
+		return WorkerMetrics{}, fmt.Errorf("cluster: %s: decoding metrics: %w", w.base, err)
+	}
+	return m, nil
+}
+
+// Status fetches one job's live status (state, specs completed so far) on
+// a probe deadline — the polling half of a -watch loop, next to the
+// summary long-poll that actually delivers the result.
+func (w *Worker) Status(ctx context.Context, jobID string) (service.JobStatus, error) {
+	data, err := w.do(ctx, http.MethodGet, "/v1/jobs/"+jobID, nil, http.StatusOK, w.probeTimeout)
+	if err != nil {
+		return service.JobStatus{}, err
+	}
+	var st service.JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		return service.JobStatus{}, fmt.Errorf("cluster: %s: decoding job status: %w", w.base, err)
+	}
+	return st, nil
+}
+
+// Fleet fetches GET /v1/fleet. Plain workers answer 404 (a RejectedError
+// here), which is how a watch loop discovers its target is not a
+// coordinator and stops asking.
+func (w *Worker) Fleet(ctx context.Context) (FleetStatus, error) {
+	data, err := w.do(ctx, http.MethodGet, "/v1/fleet", nil, http.StatusOK, w.probeTimeout)
+	if err != nil {
+		return FleetStatus{}, err
+	}
+	var fs FleetStatus
+	if err := json.Unmarshal(data, &fs); err != nil {
+		return FleetStatus{}, fmt.Errorf("cluster: %s: decoding fleet status: %w", w.base, err)
+	}
+	return fs, nil
+}
+
 // SubmitSummaryOnly submits the spec list as a summary-only sweep job
 // (POST /v1/sweeps?summary=only, the specs traveling as a SweepDef's
 // explicit list) and returns the job id to poll.

@@ -1,0 +1,79 @@
+// The agg cross-check lives in an external test package: internal/sim now
+// imports obs (runner metrics), and agg imports sim, so an in-package test
+// importing agg would be an import cycle. Externally the chain is
+// obs_test → agg → sim → obs, which is fine.
+package obs_test
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"nochatter/internal/agg"
+	"nochatter/internal/obs"
+)
+
+// TestHistogramMatchesAggDist pins obs.Histogram to agg.Dist: identical
+// observations must produce identical count/sum/min/max, identical trimmed
+// buckets, and identical quantile estimates — the "same bucket scheme"
+// claim, checked rather than asserted.
+func TestHistogramMatchesAggDist(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 7))
+	var h obs.Histogram
+	var d agg.Dist
+	values := make([]int64, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		var v int64
+		switch i % 4 {
+		case 0:
+			v = rng.Int64N(10)
+		case 1:
+			v = rng.Int64N(1 << 20)
+		case 2:
+			v = rng.Int64N(1 << 50)
+		default:
+			v = math.MaxInt64 - rng.Int64N(1000) // exercise sum saturation
+		}
+		values = append(values, v)
+	}
+	for _, v := range values {
+		h.Observe(v)
+		d.Observe(v)
+	}
+	hs := h.Snapshot()
+	if hs.Count != d.Count || hs.Sum != d.Sum || hs.Min != d.Min || hs.Max != d.Max {
+		t.Fatalf("state diverged: obs{%d %d %d %d} vs dist{%d %d %d %d}",
+			hs.Count, hs.Sum, hs.Min, hs.Max, d.Count, d.Sum, d.Min, d.Max)
+	}
+	// Compare the trimmed bucket arrays through the Dist wire form.
+	distJSON, err := json.Marshal(d)
+	if err != nil {
+		t.Fatalf("marshal dist: %v", err)
+	}
+	var distWire struct {
+		Buckets []int64 `json:"buckets"`
+		P50     float64 `json:"p50"`
+		P90     float64 `json:"p90"`
+		P99     float64 `json:"p99"`
+	}
+	if err := json.Unmarshal(distJSON, &distWire); err != nil {
+		t.Fatalf("unmarshal dist: %v", err)
+	}
+	if len(hs.Buckets) != len(distWire.Buckets) {
+		t.Fatalf("bucket count diverged: %d vs %d", len(hs.Buckets), len(distWire.Buckets))
+	}
+	for i := range hs.Buckets {
+		if hs.Buckets[i] != distWire.Buckets[i] {
+			t.Fatalf("bucket %d diverged: %d vs %d", i, hs.Buckets[i], distWire.Buckets[i])
+		}
+	}
+	for _, q := range []struct {
+		q    float64
+		dist float64
+	}{{0.50, distWire.P50}, {0.90, distWire.P90}, {0.99, distWire.P99}} {
+		if got := h.Quantile(q.q); got != q.dist {
+			t.Fatalf("q%v diverged: obs %v vs dist %v", q.q, got, q.dist)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package obs
+
+import "context"
+
+// Context plumbing: the service hands its job id (and a progress sink)
+// down to the cluster coordinator through the distributor's context, so
+// chunk-level trace events land under the job the operator polls and a
+// running distributed job's completed-spec count advances live instead of
+// jumping from 0 to n at the end. Context keys keep the distributor hook's
+// signature — a deterministic function of the specs — free of
+// observability concerns.
+
+type ctxKey int
+
+const (
+	jobKey ctxKey = iota
+	progressKey
+)
+
+// WithJob returns a context carrying the job id that downstream
+// instrumentation should tag its events with.
+func WithJob(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, jobKey, id)
+}
+
+// JobFrom returns the job id carried by ctx, or "".
+func JobFrom(ctx context.Context) string {
+	id, _ := ctx.Value(jobKey).(string)
+	return id
+}
+
+// WithProgress returns a context carrying a progress sink: fn is called
+// with the cumulative number of specs completed so far each time the
+// distributed work advances. fn must be safe for concurrent use and must
+// not block — it is called from dispatch goroutines.
+func WithProgress(ctx context.Context, fn func(specsDone int)) context.Context {
+	return context.WithValue(ctx, progressKey, fn)
+}
+
+// ProgressFrom returns the progress sink carried by ctx, or nil.
+func ProgressFrom(ctx context.Context) func(specsDone int) {
+	fn, _ := ctx.Value(progressKey).(func(specsDone int))
+	return fn
+}

@@ -1,0 +1,46 @@
+// Package log is a tiny leveled-logging shim over the standard library's
+// log/slog: one constructor that turns a level name into a configured
+// *slog.Logger, so gatherd and the cluster coordinator agree on handler
+// format and level vocabulary without repeating slog setup. It adds no
+// abstraction of its own — callers hold ordinary *slog.Logger values and
+// the zero-dependency rule of internal/obs carries over (stdlib only).
+package log
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ParseLevel maps a level name (debug, info, warn, error; case-insensitive)
+// to its slog.Level.
+func ParseLevel(name string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (use debug|info|warn|error)", name)
+}
+
+// New returns a text-handler logger writing to w at the given level, with
+// a "component" attribute identifying the subsystem (gatherd, cluster).
+func New(w io.Writer, level slog.Level, component string) *slog.Logger {
+	l := slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+	if component != "" {
+		l = l.With("component", component)
+	}
+	return l
+}
+
+// Discard returns a logger that drops everything — the default for library
+// code whose caller wired no logger, so call sites never nil-check.
+func Discard() *slog.Logger {
+	return slog.New(slog.DiscardHandler)
+}

@@ -1,0 +1,50 @@
+package log
+
+import (
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug":   slog.LevelDebug,
+		"info":    slog.LevelInfo,
+		"":        slog.LevelInfo,
+		"WARN":    slog.LevelWarn,
+		" error ": slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("verbose"); err == nil {
+		t.Fatalf("ParseLevel should reject unknown names")
+	}
+}
+
+func TestNewFiltersAndTags(t *testing.T) {
+	var buf strings.Builder
+	l := New(&buf, slog.LevelWarn, "gatherd")
+	l.Info("dropped")
+	l.Warn("worker retired", "worker", "http://w:1", "chunk", 3)
+	out := buf.String()
+	if strings.Contains(out, "dropped") {
+		t.Fatalf("info line should be filtered at warn level: %s", out)
+	}
+	for _, want := range []string{"worker retired", "component=gatherd", "worker=http://w:1", "chunk=3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("log line missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestDiscard(t *testing.T) {
+	l := Discard()
+	l.Error("nothing happens") // must not panic, goes nowhere
+	if l.Enabled(nil, slog.LevelError) {
+		t.Fatalf("discard logger should report disabled")
+	}
+}

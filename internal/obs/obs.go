@@ -1,0 +1,453 @@
+// Package obs is the repository's observability spine: a typed metrics
+// registry (counters, gauges, log2-bucket latency histograms) with a
+// deterministic snapshot-to-JSON form, and a ring-buffered span tracer for
+// job and chunk lifecycles (trace.go). The service, scheduler, cluster and
+// runner layers feed it; gatherd serves its snapshots on /metrics,
+// /v1/fleet and /v1/jobs/{id}/trace.
+//
+// Design constraints, in order:
+//
+//   - Near-zero cost when disabled. Every hot-path hook is a nil check:
+//     a nil *Tracer no-ops Record, and layers that take an optional
+//     *Registry skip all observation when it is nil. BENCH_PR8.json pins
+//     the enabled-vs-disabled overhead under 2% on the GatherRing16
+//     benchmark.
+//
+//   - Strictly reporting-only. Nothing in this package may feed a content
+//     address, a canonical encoding or a cluster merge: wall-clock reads
+//     live here (obs is deliberately outside the determinism-critical
+//     package set, DESIGN.md §11) so instrumented packages never touch
+//     time themselves. DESIGN.md §13 states the exclusion argument.
+//
+//   - Stdlib only, and a leaf: obs imports nothing from this repository,
+//     so every layer — including internal/sim, which internal/agg imports —
+//     can depend on it without cycles. The histogram reuses agg.Dist's
+//     bucket scheme (bucket i counts values v with bits.Len64(v) == i) by
+//     construction rather than by import; the property test in
+//     registry_test.go pins the two bucketings to each other.
+//
+//   - No lock is ever held across a channel operation or a caller-supplied
+//     callback. Snapshot collects metric handles under the registry lock,
+//     releases it, then evaluates gauge functions — a gauge is free to take
+//     service or queue locks of its own. The lockscope analyzer enforces
+//     this shape for the whole package (DESIGN.md §13).
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready to
+// use; all methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (negative n is a caller bug; it is
+// applied as-is to keep Add branch-free on the hot path).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count. A nil counter reads 0.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable instantaneous value. The zero value is ready to use;
+// all methods are safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge's current value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the gauge by n (use negative n to decrement).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the gauge's current value. A nil gauge reads 0.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the number of histogram buckets: bits.Len64 of a
+// non-negative int64 ranges over 0..63 — the exact bucket scheme of
+// agg.Dist, so obs histograms and sweep-summary histograms bucket any
+// value identically (see the cross-check property test).
+const histBuckets = 64
+
+// Histogram is a concurrency-safe streaming distribution of non-negative
+// int64 observations — typically latencies in microseconds — with the same
+// state and laws as agg.Dist: count, saturating sum, min, max and a fixed
+// log2 histogram (bucket i counts values v with bits.Len64(v) == i).
+// Observe and Merge commute and associate, so histograms folded on any
+// number of goroutines and merged in any order agree bit for bit. The zero
+// value is empty and ready to use.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     int64
+	min     int64
+	max     int64
+	buckets [histBuckets]int64
+}
+
+// Observe folds one value. Negative values clamp to 0 (latencies and
+// counts are non-negative by construction); the sum saturates at MaxInt64,
+// which keeps merging associative and commutative (see agg.Dist.Observe
+// for the argument — the two implementations must stay in lockstep).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.mu.Lock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum = addSat(h.sum, v)
+	h.buckets[bits.Len64(uint64(v))]++
+	h.mu.Unlock()
+}
+
+// addSat adds non-negative a and b, saturating at MaxInt64.
+func addSat(a, b int64) int64 {
+	if a > math.MaxInt64-b {
+		return math.MaxInt64
+	}
+	return a + b
+}
+
+// Merge folds o into h. Merging is associative and commutative; merging an
+// empty histogram is the identity.
+func (h *Histogram) Merge(o *Histogram) {
+	if h == nil || o == nil {
+		return
+	}
+	os := o.Snapshot()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if os.Count == 0 {
+		return
+	}
+	if h.count == 0 || os.Min < h.min {
+		h.min = os.Min
+	}
+	if h.count == 0 || os.Max > h.max {
+		h.max = os.Max
+	}
+	h.count += os.Count
+	h.sum = addSat(h.sum, os.Sum)
+	for i, c := range os.Buckets {
+		h.buckets[i] += c
+	}
+}
+
+// HistogramSnapshot is the wire form of a histogram: the mergeable state
+// plus quantiles derived from it at snapshot time. Buckets are trimmed to
+// the highest non-empty one, exactly as agg.Dist marshals.
+type HistogramSnapshot struct {
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Min     int64   `json:"min"`
+	Max     int64   `json:"max"`
+	Mean    float64 `json:"mean"`
+	P50     float64 `json:"p50"`
+	P90     float64 `json:"p90"`
+	P99     float64 `json:"p99"`
+	Buckets []int64 `json:"buckets,omitempty"`
+}
+
+// Snapshot returns a consistent copy of the histogram's state with
+// derived quantiles. A nil histogram snapshots as empty.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	h.mu.Lock()
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	top := -1
+	for i, c := range h.buckets {
+		if c != 0 {
+			top = i
+		}
+	}
+	if top >= 0 {
+		s.Buckets = append([]int64(nil), h.buckets[:top+1]...)
+	}
+	h.mu.Unlock()
+	if s.Count > 0 {
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	s.P50 = s.quantile(0.50)
+	s.P90 = s.quantile(0.90)
+	s.P99 = s.quantile(0.99)
+	return s
+}
+
+// Quantile estimates the q-quantile from the histogram with the identical
+// deterministic interpolation agg.Dist.Quantile uses: locate the bucket
+// holding rank q·(Count-1), clamp its bounds to [Min, Max], interpolate.
+func (h *Histogram) Quantile(q float64) float64 { return h.Snapshot().quantile(q) }
+
+func (s HistogramSnapshot) quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count-1)
+	var cum int64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		if rank < float64(cum+c) || cum+c == s.Count {
+			lo, hi := s.bucketBounds(i)
+			frac := (rank - float64(cum)) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	return float64(s.Max)
+}
+
+// bucketBounds mirrors agg.Dist.bucketBounds: the value range bucket i
+// covers, clamped to the observed [Min, Max].
+func (s HistogramSnapshot) bucketBounds(i int) (lo, hi float64) {
+	if i == 0 {
+		lo, hi = 0, 0
+	} else {
+		lo = float64(uint64(1) << (i - 1))
+		hi = float64(uint64(1)<<i - 1)
+	}
+	if m := float64(s.Min); lo < m {
+		lo = m
+	}
+	if m := float64(s.Max); hi > m {
+		hi = m
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// Registry is a named collection of metrics with a single JSON snapshot
+// form. Metric kinds share one namespace: registering a name under two
+// different kinds panics at wiring time (a programmer error no test should
+// survive), while re-requesting the same kind returns the existing metric,
+// so independent subsystems can share counters by name.
+//
+// All methods are safe for concurrent use. Snapshot never holds the
+// registry lock across a gauge function: functions are collected under the
+// lock and evaluated after it is released, so a gauge may take arbitrary
+// locks of its own (queue depth, cache size) without lock-order concerns.
+type Registry struct {
+	mu      sync.Mutex
+	kinds   map[string]string
+	counter map[string]*Counter
+	gauge   map[string]*Gauge
+	funcs   map[string]func() float64
+	objects map[string]func() any
+	hists   map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		kinds:   make(map[string]string),
+		counter: make(map[string]*Counter),
+		gauge:   make(map[string]*Gauge),
+		funcs:   make(map[string]func() float64),
+		objects: make(map[string]func() any),
+		hists:   make(map[string]*Histogram),
+	}
+}
+
+// claim records name as kind, panicking on a cross-kind collision.
+func (r *Registry) claim(name, kind string) {
+	if k, ok := r.kinds[name]; ok && k != kind {
+		panic(fmt.Sprintf("obs: metric %q already registered as %s, now requested as %s", name, k, kind))
+	}
+	r.kinds[name] = kind
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name, "counter")
+	c := r.counter[name]
+	if c == nil {
+		c = &Counter{}
+		r.counter[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name, "gauge")
+	g := r.gauge[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauge[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a computed gauge: fn is evaluated at snapshot time,
+// outside the registry lock. Re-registering a name replaces the function.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name, "func")
+	r.funcs[name] = fn
+}
+
+// Object registers a computed snapshot entry whose value is marshaled as-is
+// — the hook for structured sub-documents like the coordinator's scheduler
+// stats. fn is evaluated at snapshot time, outside the registry lock, and
+// must return a JSON-marshalable value; returning nil omits the key from
+// that snapshot.
+func (r *Registry) Object(name string, fn func() any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name, "object")
+	r.objects[name] = fn
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name, "histogram")
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot returns every metric's current value keyed by name: counters
+// and gauges as int64, computed gauges as float64, histograms as
+// HistogramSnapshot, objects as whatever their function returns. The map
+// marshals with encoding/json's sorted-key order, so two snapshots of
+// equal state encode identically.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	type namedFunc struct {
+		name string
+		fn   func() float64
+	}
+	type namedObj struct {
+		name string
+		fn   func() any
+	}
+	out := make(map[string]any, len(r.kinds))
+	for name, c := range r.counter {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauge {
+		out[name] = g.Value()
+	}
+	hists := make([]struct {
+		name string
+		h    *Histogram
+	}, 0, len(r.hists))
+	//lint:allow maporder the collected handles land back in a map keyed by name; order cannot surface
+	for name, h := range r.hists {
+		hists = append(hists, struct {
+			name string
+			h    *Histogram
+		}{name, h})
+	}
+	funcs := make([]namedFunc, 0, len(r.funcs))
+	//lint:allow maporder same: evaluation lands in the keyed snapshot map
+	for name, fn := range r.funcs {
+		funcs = append(funcs, namedFunc{name, fn})
+	}
+	objs := make([]namedObj, 0, len(r.objects))
+	//lint:allow maporder same: evaluation lands in the keyed snapshot map
+	for name, fn := range r.objects {
+		objs = append(objs, namedObj{name, fn})
+	}
+	r.mu.Unlock()
+	// Histograms and user functions are evaluated outside the registry
+	// lock: a histogram takes its own mutex, and a gauge function may take
+	// arbitrary subsystem locks (queue depth, cache size, HTTP-free by the
+	// lockscope rules of the packages it lives in).
+	for _, nh := range hists {
+		out[nh.name] = nh.h.Snapshot()
+	}
+	for _, nf := range funcs {
+		out[nf.name] = nf.fn()
+	}
+	for _, no := range objs {
+		if v := no.fn(); v != nil {
+			out[no.name] = v
+		}
+	}
+	return out
+}
+
+// MarshalJSON encodes the registry's snapshot; the registry itself can
+// therefore be served directly as a metrics document.
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.Snapshot())
+}
+
+// Names returns the registered metric names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.kinds))
+	for name := range r.kinds {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Phase is one step of a job or chunk lifecycle. Job-level events move
+// queued → running → done | failed; chunk-level events open with a claim
+// (claimed from the home queue, stolen from another worker's, or retried
+// after a failure elsewhere) and close with merged or failed. retired is a
+// worker-level event: the worker left the fleet for the rest of the sweep.
+type Phase string
+
+const (
+	PhaseQueued  Phase = "queued"
+	PhaseRunning Phase = "running"
+	PhaseClaimed Phase = "claimed"
+	PhaseStolen  Phase = "stolen"
+	PhaseRetried Phase = "retried"
+	PhaseMerged  Phase = "merged"
+	PhaseFailed  Phase = "failed"
+	PhaseDone    Phase = "done"
+	PhaseRetired Phase = "retired"
+)
+
+// opens reports whether the phase starts a span whose duration the
+// matching terminal event will carry.
+func (p Phase) opens() bool {
+	switch p {
+	case PhaseQueued, PhaseRunning, PhaseClaimed, PhaseStolen, PhaseRetried:
+		return true
+	}
+	return false
+}
+
+// closes reports whether the phase ends an open span.
+func (p Phase) closes() bool {
+	switch p {
+	case PhaseRunning, PhaseMerged, PhaseFailed, PhaseDone:
+		return true
+	}
+	return false
+}
+
+// NoChunk and NoWorker mark an event as job-level rather than chunk- or
+// worker-scoped.
+const (
+	NoChunk  = -1
+	NoWorker = -1
+)
+
+// Event is one recorded lifecycle step — the wire form of
+// GET /v1/jobs/{id}/trace. Seq is a monotone per-tracer sequence number
+// (gaps mean the ring evicted older events); UnixMS is wall-clock and
+// therefore reporting-only, never part of any canonical encoding. DurMS is
+// set on span-closing events: a running event carries the time spent
+// queued, a done/failed job event the time spent running, and a
+// merged/failed chunk event the time since the chunk's claim.
+type Event struct {
+	Seq    uint64  `json:"seq"`
+	UnixMS int64   `json:"t_unix_ms"`
+	Job    string  `json:"job,omitempty"`
+	Chunk  int     `json:"chunk"`
+	Worker int     `json:"worker"`
+	Phase  Phase   `json:"phase"`
+	Detail string  `json:"detail,omitempty"`
+	DurMS  float64 `json:"dur_ms,omitempty"`
+}
+
+// spanKey identifies an open span: one job's, or one chunk's within a job.
+type spanKey struct {
+	job   string
+	chunk int
+}
+
+// Tracer is a bounded ring of lifecycle events, cheap enough to leave
+// attached in production: recording is one short mutex-guarded ring write,
+// and a nil *Tracer no-ops every method, so "tracing disabled" costs the
+// nil check alone. When the ring wraps, the oldest events are overwritten;
+// Seq numbers stay monotone so consumers can detect the gap.
+//
+// The tracer performs all wall-clock reads itself, which is what keeps
+// instrumentation calls legal in determinism-critical packages (sched,
+// cluster): the caller hands over ids and phases, never times. Durations
+// are derived from open-span bookkeeping: a phase that opens a span
+// (queued, claimed, stolen, retried, running) stamps its start; the
+// matching closing phase pops it and carries the elapsed time.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []Event
+	next  int // ring write position
+	count int // events currently stored (≤ len(ring))
+	seq   uint64
+	open  map[spanKey]time.Time
+}
+
+// DefaultTraceEvents is the default ring capacity — enough for the chunk
+// lifecycles of several large sweeps while bounding a long-lived daemon's
+// trace memory to a few hundred kilobytes.
+const DefaultTraceEvents = 4096
+
+// NewTracer returns a tracer whose ring holds up to capacity events
+// (capacity <= 0 selects DefaultTraceEvents).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceEvents
+	}
+	return &Tracer{ring: make([]Event, 0, capacity), open: make(map[spanKey]time.Time)}
+}
+
+// Record appends one lifecycle event. job may be empty (pre-submission
+// work); chunk and worker take NoChunk / NoWorker for job-level events.
+// Safe for concurrent use; a nil tracer no-ops.
+func (t *Tracer) Record(job string, chunk, worker int, phase Phase, detail string) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	ev := Event{UnixMS: now.UnixMilli(), Job: job, Chunk: chunk, Worker: worker, Phase: phase, Detail: detail}
+	key := spanKey{job: job, chunk: chunk}
+	t.mu.Lock()
+	if phase.closes() {
+		if start, ok := t.open[key]; ok {
+			ev.DurMS = float64(now.Sub(start).Microseconds()) / 1000
+			delete(t.open, key)
+		}
+	}
+	if phase.opens() {
+		// Bound the open-span map alongside the ring: a span whose terminal
+		// event never arrives must not leak forever.
+		if len(t.open) < cap(t.ring) {
+			t.open[key] = now
+		}
+	}
+	t.seq++
+	ev.Seq = t.seq
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, ev)
+	} else if cap(t.ring) > 0 {
+		t.ring[t.next] = ev
+	}
+	if cap(t.ring) > 0 {
+		t.next = (t.next + 1) % cap(t.ring)
+	}
+	if t.count < cap(t.ring) {
+		t.count++
+	}
+	t.mu.Unlock()
+}
+
+// Snapshot returns the retained events oldest-first. A nil tracer returns
+// nil.
+func (t *Tracer) Snapshot() []Event {
+	return t.snapshot(func(Event) bool { return true })
+}
+
+// Job returns the retained events of one job, oldest-first. A nil tracer
+// returns nil.
+func (t *Tracer) Job(id string) []Event {
+	return t.snapshot(func(ev Event) bool { return ev.Job == id })
+}
+
+// snapshot copies the ring under the lock and filters outside it — the
+// same collect-then-call shape Registry.Snapshot uses, so the predicate
+// (which the obs lockscope rule treats as foreign code) never runs inside
+// the critical section.
+func (t *Tracer) snapshot(keep func(Event) bool) []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	all := make([]Event, 0, t.count)
+	start := 0
+	if t.count == cap(t.ring) {
+		start = t.next
+	}
+	for i := 0; i < t.count; i++ {
+		all = append(all, t.ring[(start+i)%len(t.ring)])
+	}
+	t.mu.Unlock()
+	out := all[:0]
+	for _, ev := range all {
+		if keep(ev) {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Len returns the number of retained events; Cap the ring capacity. A nil
+// tracer reports 0.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count
+}
+
+// Cap returns the ring capacity. A nil tracer reports 0.
+func (t *Tracer) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return cap(t.ring)
+}

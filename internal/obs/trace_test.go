@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record("j1", 0, 0, PhaseClaimed, "")
+	if tr.Snapshot() != nil || tr.Job("j1") != nil || tr.Len() != 0 || tr.Cap() != 0 {
+		t.Fatalf("nil tracer must no-op everywhere")
+	}
+}
+
+func TestTracerRecordAndFilter(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Record("j1", NoChunk, NoWorker, PhaseQueued, "")
+	tr.Record("j1", 0, 1, PhaseClaimed, "")
+	tr.Record("j2", NoChunk, NoWorker, PhaseQueued, "")
+	tr.Record("j1", 0, 1, PhaseMerged, "")
+	tr.Record("j1", NoChunk, NoWorker, PhaseDone, "")
+
+	all := tr.Snapshot()
+	if len(all) != 5 {
+		t.Fatalf("snapshot has %d events, want 5", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Seq <= all[i-1].Seq {
+			t.Fatalf("seq not monotone: %d then %d", all[i-1].Seq, all[i].Seq)
+		}
+	}
+	j1 := tr.Job("j1")
+	if len(j1) != 4 {
+		t.Fatalf("job filter kept %d events, want 4", len(j1))
+	}
+	for _, ev := range j1 {
+		if ev.Job != "j1" {
+			t.Fatalf("job filter leaked event for %q", ev.Job)
+		}
+	}
+	// Job-level events carry the no-chunk/no-worker markers.
+	if j1[0].Chunk != NoChunk || j1[0].Worker != NoWorker {
+		t.Fatalf("queued event has chunk=%d worker=%d, want markers", j1[0].Chunk, j1[0].Worker)
+	}
+}
+
+func TestTracerSpanDurations(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Record("j1", 3, 0, PhaseClaimed, "")
+	time.Sleep(5 * time.Millisecond)
+	tr.Record("j1", 3, 0, PhaseMerged, "")
+	evs := tr.Snapshot()
+	if evs[0].DurMS != 0 {
+		t.Fatalf("opening event should carry no duration, got %v", evs[0].DurMS)
+	}
+	if evs[1].DurMS < 4 {
+		t.Fatalf("merged event duration %vms, want >= ~5ms", evs[1].DurMS)
+	}
+	// The span closed: a second merged event must not find it again.
+	tr.Record("j1", 3, 0, PhaseMerged, "")
+	if last := tr.Snapshot()[2]; last.DurMS != 0 {
+		t.Fatalf("closed span reused: dur %v", last.DurMS)
+	}
+}
+
+func TestTracerQueuedToRunningHandoff(t *testing.T) {
+	// running both closes the queued span (carrying queue latency) and opens
+	// the run span, which done then closes.
+	tr := NewTracer(16)
+	tr.Record("j1", NoChunk, NoWorker, PhaseQueued, "")
+	time.Sleep(2 * time.Millisecond)
+	tr.Record("j1", NoChunk, NoWorker, PhaseRunning, "")
+	time.Sleep(2 * time.Millisecond)
+	tr.Record("j1", NoChunk, NoWorker, PhaseDone, "")
+	evs := tr.Job("j1")
+	if evs[1].DurMS <= 0 {
+		t.Fatalf("running event should carry queued duration, got %v", evs[1].DurMS)
+	}
+	if evs[2].DurMS <= 0 {
+		t.Fatalf("done event should carry running duration, got %v", evs[2].DurMS)
+	}
+}
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Record("j1", i, 0, PhaseClaimed, "")
+	}
+	evs := tr.Snapshot()
+	if len(evs) != 4 || tr.Len() != 4 || tr.Cap() != 4 {
+		t.Fatalf("ring retained %d/%d events, want 4/4", len(evs), tr.Len())
+	}
+	// Oldest-first means the survivors are chunks 6..9, seqs 7..10.
+	for i, ev := range evs {
+		if ev.Chunk != 6+i || ev.Seq != uint64(7+i) {
+			t.Fatalf("event %d = chunk %d seq %d, want chunk %d seq %d", i, ev.Chunk, ev.Seq, 6+i, 7+i)
+		}
+	}
+}
+
+func TestTracerOpenSpanMapBounded(t *testing.T) {
+	tr := NewTracer(8)
+	for i := 0; i < 100; i++ {
+		tr.Record("j1", i, 0, PhaseClaimed, "") // never closed
+	}
+	tr.mu.Lock()
+	open := len(tr.open)
+	tr.mu.Unlock()
+	if open > tr.Cap() {
+		t.Fatalf("open-span map grew to %d, cap is %d", open, tr.Cap())
+	}
+}
+
+func TestEventWireForm(t *testing.T) {
+	ev := Event{Seq: 1, UnixMS: 1700000000000, Job: "j000001", Chunk: 2, Worker: 0, Phase: PhaseStolen, DurMS: 1.5}
+	buf, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	for _, want := range []string{`"seq":1`, `"t_unix_ms":1700000000000`, `"job":"j000001"`, `"phase":"stolen"`, `"dur_ms":1.5`} {
+		if !strings.Contains(string(buf), want) {
+			t.Fatalf("event wire form missing %s: %s", want, buf)
+		}
+	}
+	// Optional fields drop when unset so job-level events stay compact.
+	buf, _ = json.Marshal(Event{Seq: 2, Chunk: NoChunk, Worker: NoWorker, Phase: PhaseQueued})
+	if strings.Contains(string(buf), "dur_ms") || strings.Contains(string(buf), `"job"`) {
+		t.Fatalf("unset optional fields should be omitted: %s", buf)
+	}
+}

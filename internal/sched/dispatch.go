@@ -3,6 +3,8 @@ package sched
 import (
 	"fmt"
 	"sync"
+
+	"nochatter/internal/obs"
 )
 
 // chunk lifecycle states inside a Dispatcher.
@@ -51,6 +53,20 @@ type Dispatcher struct {
 	stats   []WorkerStats
 	lastErr error
 	term    error // terminal failure; set at most once
+
+	// Progress accounting (reporting-only, never part of results).
+	doneChunks int
+	inFlight   int
+	doneCost   int64
+	totalCost  int64
+	doneSpecs  int
+	totalSpecs int
+
+	// Optional lifecycle tracing (reporting-only). tr is nil unless the
+	// coordinator attached one via SetObs; obs.Tracer.Record no-ops on nil
+	// and reads the clock itself, so this package never touches wall time.
+	tr  *obs.Tracer
+	job string
 }
 
 // NewDispatcher returns a dispatcher over the plan for the given worker
@@ -73,6 +89,10 @@ func NewDispatcher(chunks []Chunk, workers int) *Dispatcher {
 		stats:   make([]WorkerStats, workers),
 	}
 	d.cond = sync.NewCond(&d.mu)
+	for _, c := range chunks {
+		d.totalCost += c.Cost
+		d.totalSpecs += c.Specs()
+	}
 	for w := 0; w < workers; w++ {
 		d.live[w] = true
 		d.stats[w].Worker = w
@@ -83,6 +103,19 @@ func NewDispatcher(chunks []Chunk, workers int) *Dispatcher {
 		}
 	}
 	return d
+}
+
+// SetObs attaches a lifecycle tracer: every claim, steal, retry,
+// completion, failure and retirement is recorded as an event tagged with
+// job (the service job id the sweep runs under, "" outside the service).
+// Call it before handing the dispatcher to workers. Tracing is
+// reporting-only and never alters dispatch decisions; a nil tracer keeps
+// the hot path at a single pointer check.
+func (d *Dispatcher) SetObs(tr *obs.Tracer, job string) {
+	d.mu.Lock()
+	d.tr = tr
+	d.job = job
+	d.mu.Unlock()
 }
 
 // Claim blocks until worker w can take a chunk, all chunks are done, or
@@ -118,11 +151,13 @@ func (d *Dispatcher) claimLocked(w int) (int, bool) {
 			d.retry = append(d.retry[:i:i], d.retry[i+1:]...)
 			d.stats[w].Retried++
 			d.take(c, w)
+			d.tr.Record(d.job, c, w, obs.PhaseRetried, "")
 			return c, true
 		}
 	}
 	if c, ok := d.popQueueLocked(w, w); ok {
 		d.take(c, w)
+		d.tr.Record(d.job, c, w, obs.PhaseClaimed, "")
 		return c, true
 	}
 	for off := 1; off < d.workers; off++ {
@@ -130,6 +165,7 @@ func (d *Dispatcher) claimLocked(w int) (int, bool) {
 		if c, ok := d.popQueueLocked(v, w); ok {
 			d.stats[w].Stolen++
 			d.take(c, w)
+			d.tr.Record(d.job, c, w, obs.PhaseStolen, fmt.Sprintf("from worker %d", v))
 			return c, true
 		}
 	}
@@ -156,6 +192,7 @@ func (d *Dispatcher) popQueueLocked(v, w int) (int, bool) {
 
 func (d *Dispatcher) take(c, w int) {
 	d.state[c] = stateClaimed
+	d.inFlight++
 	d.stats[w].Dispatched++
 	d.stats[w].Specs += int64(d.chunks[c].Specs())
 }
@@ -191,6 +228,12 @@ func (d *Dispatcher) Done(w int, c Chunk) {
 	}
 	d.state[c.Index] = stateDone
 	d.pending--
+	d.inFlight--
+	d.doneChunks++
+	d.doneCost += c.Cost
+	d.doneSpecs += c.Specs()
+	d.stats[w].Done++
+	d.tr.Record(d.job, c.Index, w, obs.PhaseMerged, "")
 	if d.pending == 0 {
 		d.cond.Broadcast()
 	}
@@ -212,10 +255,16 @@ func (d *Dispatcher) Fail(w int, c Chunk, err error) {
 	d.tried[i][w] = true
 	d.state[i] = statePending
 	d.retry = append(d.retry, i)
+	d.inFlight--
 	d.stats[w].Failed++
 	if err != nil {
 		d.lastErr = err
 	}
+	detail := ""
+	if err != nil {
+		detail = err.Error()
+	}
+	d.tr.Record(d.job, i, w, obs.PhaseFailed, detail)
 	if !d.serveableLocked(i) {
 		d.failLocked(fmt.Sprintf("chunk %d (%d specs)", i, c.Specs()))
 	}
@@ -236,6 +285,11 @@ func (d *Dispatcher) Retire(w int, err error) {
 	if err != nil {
 		d.lastErr = err
 	}
+	detail := ""
+	if err != nil {
+		detail = err.Error()
+	}
+	d.tr.Record(d.job, obs.NoChunk, w, obs.PhaseRetired, detail)
 	for c := range d.chunks {
 		if d.state[c] == statePending && !d.serveableLocked(c) {
 			d.failLocked(fmt.Sprintf("chunk %d (%d specs)", c, d.chunks[c].Specs()))
@@ -301,4 +355,21 @@ func (d *Dispatcher) Stats() []WorkerStats {
 	out := make([]WorkerStats, len(d.stats))
 	copy(out, d.stats)
 	return out
+}
+
+// Progress returns a snapshot of the dispatch's completion state. The
+// cost figures use the plan's cost model, so CostDone/CostTotal is the
+// basis for an ETA that respects uneven chunk weights, not just counts.
+func (d *Dispatcher) Progress() Progress {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return Progress{
+		ChunksDone:  d.doneChunks,
+		ChunksTotal: len(d.chunks),
+		CostDone:    d.doneCost,
+		CostTotal:   d.totalCost,
+		SpecsDone:   d.doneSpecs,
+		SpecsTotal:  d.totalSpecs,
+		InFlight:    d.inFlight,
+	}
 }

@@ -1,0 +1,122 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+
+	"nochatter/internal/obs"
+)
+
+func phaseCounts(evs []obs.Event) map[obs.Phase]int {
+	out := make(map[obs.Phase]int)
+	for _, ev := range evs {
+		out[ev.Phase]++
+	}
+	return out
+}
+
+func TestDispatchTracesLifecycle(t *testing.T) {
+	plan := uniformPlan(8, 4)
+	tr := obs.NewTracer(256)
+	d := NewDispatcher(plan, 2)
+	d.SetObs(tr, "j000042")
+
+	// Worker 1 never claims: worker 0 drains everything, stealing worker
+	// 1's home half.
+	got := drain(d, 0)
+	if len(got) != len(plan) {
+		t.Fatalf("claimed %d chunks, want %d", len(got), len(plan))
+	}
+	evs := tr.Snapshot()
+	pc := phaseCounts(evs)
+	if pc[obs.PhaseClaimed]+pc[obs.PhaseStolen] != len(plan) {
+		t.Fatalf("claim events %d+%d, want %d total", pc[obs.PhaseClaimed], pc[obs.PhaseStolen], len(plan))
+	}
+	if pc[obs.PhaseStolen] == 0 {
+		t.Fatalf("expected steal events when one worker drains a 2-worker plan")
+	}
+	if pc[obs.PhaseMerged] != len(plan) {
+		t.Fatalf("merged events = %d, want %d", pc[obs.PhaseMerged], len(plan))
+	}
+	for _, ev := range evs {
+		if ev.Job != "j000042" {
+			t.Fatalf("event not tagged with job: %+v", ev)
+		}
+		if ev.Phase == obs.PhaseMerged && ev.DurMS < 0 {
+			t.Fatalf("merged event with negative duration: %+v", ev)
+		}
+	}
+}
+
+func TestDispatchTracesFailAndRetire(t *testing.T) {
+	plan := uniformPlan(4, 2)
+	tr := obs.NewTracer(64)
+	d := NewDispatcher(plan, 2)
+	d.SetObs(tr, "")
+
+	c, ok, err := d.Claim(0)
+	if !ok || err != nil {
+		t.Fatalf("claim: %v %v", ok, err)
+	}
+	d.Fail(0, c, errors.New("boom"))
+	d.Retire(0, errors.New("gone"))
+	pc := phaseCounts(tr.Snapshot())
+	if pc[obs.PhaseFailed] != 1 || pc[obs.PhaseRetired] != 1 {
+		t.Fatalf("failed=%d retired=%d, want 1 and 1", pc[obs.PhaseFailed], pc[obs.PhaseRetired])
+	}
+	for _, ev := range tr.Snapshot() {
+		if ev.Phase == obs.PhaseRetired && (ev.Chunk != obs.NoChunk || ev.Detail != "gone") {
+			t.Fatalf("retired event malformed: %+v", ev)
+		}
+	}
+}
+
+func TestDispatchProgressAndDoneStats(t *testing.T) {
+	plan := uniformPlan(10, 5)
+	d := NewDispatcher(plan, 1)
+
+	p := d.Progress()
+	if p.ChunksDone != 0 || p.ChunksTotal != len(plan) || p.CostDone != 0 || p.InFlight != 0 {
+		t.Fatalf("fresh progress wrong: %+v", p)
+	}
+	if p.SpecsTotal != 10 || p.CostTotal != 10*1000 {
+		t.Fatalf("totals wrong: %+v", p)
+	}
+
+	c, _, _ := d.Claim(0)
+	if got := d.Progress(); got.InFlight != 1 || got.ChunksDone != 0 {
+		t.Fatalf("in-flight progress wrong: %+v", got)
+	}
+	d.Done(0, c)
+	p = d.Progress()
+	if p.ChunksDone != 1 || p.InFlight != 0 || p.CostDone != c.Cost || p.SpecsDone != c.Specs() {
+		t.Fatalf("post-done progress wrong: %+v", p)
+	}
+
+	drain(d, 0)
+	p = d.Progress()
+	if p.ChunksDone != len(plan) || p.CostDone != p.CostTotal || p.SpecsDone != p.SpecsTotal {
+		t.Fatalf("final progress not complete: %+v", p)
+	}
+	st := d.Stats()
+	if st[0].Done != int64(len(plan)) {
+		t.Fatalf("WorkerStats.Done = %d, want %d", st[0].Done, len(plan))
+	}
+}
+
+func TestDispatchNilTracerIsFree(t *testing.T) {
+	// The default dispatcher has no tracer; the full lifecycle must work
+	// untraced (this is the hot path the 2%-overhead budget protects).
+	plan := uniformPlan(6, 3)
+	d := NewDispatcher(plan, 2)
+	c, ok, err := d.Claim(0)
+	if !ok || err != nil {
+		t.Fatalf("claim: %v %v", ok, err)
+	}
+	d.Fail(0, c, errors.New("x"))
+	d.Retire(0, nil)
+	drain(d, 1)
+	if err := d.Err(); err != nil {
+		t.Fatalf("untraced dispatch failed: %v", err)
+	}
+}

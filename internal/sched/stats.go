@@ -16,6 +16,9 @@ type WorkerStats struct {
 	Retried int64 `json:"retried"`
 	// Failed counts chunks this worker claimed and then failed.
 	Failed int64 `json:"failed"`
+	// Done counts chunks this worker completed (claimed minus failed and
+	// in flight) — the numerator of its chunk throughput.
+	Done int64 `json:"done"`
 	// Specs is the total spec count across the worker's claimed chunks.
 	Specs int64 `json:"specs"`
 }
@@ -26,6 +29,7 @@ func (s *WorkerStats) add(o WorkerStats) {
 	s.Stolen += o.Stolen
 	s.Retried += o.Retried
 	s.Failed += o.Failed
+	s.Done += o.Done
 	s.Specs += o.Specs
 }
 
@@ -40,9 +44,19 @@ type FleetStats struct {
 	Workers []WorkerStats `json:"workers"`
 }
 
-// Absorb folds one dispatch's per-worker snapshot into the totals.
+// Absorb folds one completed dispatch's per-worker snapshot into the
+// totals.
 func (f *FleetStats) Absorb(perWorker []WorkerStats) {
 	f.Sweeps++
+	f.AbsorbLive(perWorker)
+}
+
+// AbsorbLive folds a still-running dispatch's per-worker snapshot into
+// the totals WITHOUT counting it as a completed sweep. Live /metrics and
+// /v1/fleet reads use it to show in-flight sweeps moving: the coordinator
+// folds each active dispatcher's current counters on top of its absorbed
+// history, and absorbs the dispatcher for real only once it finishes.
+func (f *FleetStats) AbsorbLive(perWorker []WorkerStats) {
 	for len(f.Workers) < len(perWorker) {
 		f.Workers = append(f.Workers, WorkerStats{Worker: len(f.Workers)})
 	}
@@ -50,6 +64,21 @@ func (f *FleetStats) Absorb(perWorker []WorkerStats) {
 		f.Chunks += w.Dispatched
 		f.Workers[i].add(w)
 	}
+}
+
+// Progress is a point-in-time snapshot of one dispatch's completion
+// state. Wire type: the coordinator embeds it in /v1/fleet's active-sweep
+// section, and gathersim -watch renders it live. Cost figures come from
+// the plan's cost model (Chunk.Cost), so an ETA extrapolated from
+// CostDone/CostTotal weights chunks the way the planner balanced them.
+type Progress struct {
+	ChunksDone  int   `json:"chunks_done"`
+	ChunksTotal int   `json:"chunks_total"`
+	CostDone    int64 `json:"cost_done"`
+	CostTotal   int64 `json:"cost_total"`
+	SpecsDone   int   `json:"specs_done"`
+	SpecsTotal  int   `json:"specs_total"`
+	InFlight    int   `json:"in_flight"`
 }
 
 // Clone returns a deep copy, safe to hand across a mutex boundary.

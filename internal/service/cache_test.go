@@ -92,9 +92,9 @@ func TestSingleflightCollapsesConcurrentSubmissions(t *testing.T) {
 	// run-requests counter ticks at entry) and had ample time to reach the
 	// flight group, so no caller can arrive after the leader finished and
 	// trigger a second execution.
-	for deadline := time.Now().Add(5 * time.Second); svc.runRequests.Load() < callers; {
+	for deadline := time.Now().Add(5 * time.Second); svc.runRequests.Value() < callers; {
 		if time.Now().After(deadline) {
-			t.Fatalf("callers never arrived: %d of %d", svc.runRequests.Load(), callers)
+			t.Fatalf("callers never arrived: %d of %d", svc.runRequests.Value(), callers)
 		}
 		time.Sleep(time.Millisecond)
 	}

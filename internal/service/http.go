@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 
+	"nochatter/internal/obs"
 	"nochatter/internal/sim"
 	"nochatter/internal/spec"
 )
@@ -48,9 +49,11 @@ type errorResponse struct {
 //	GET    /v1/jobs/{id}/summary streaming aggregate of the whole sweep,
 //	                             served from the summary cache on repeat
 //	                             (?canonical=1: canonical encoding alone)
+//	GET    /v1/jobs/{id}/trace   lifecycle trace: job + chunk events, JSON
 //	DELETE /v1/jobs/{id}         cancel a job
+//	GET    /v1/fleet             fleet status (coordinators only; 404 else)
 //	GET    /healthz              liveness
-//	GET    /metrics              service metrics, JSON
+//	GET    /metrics              service metrics: one registry snapshot, JSON
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
@@ -58,7 +61,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleJobResults)
 	mux.HandleFunc("GET /v1/jobs/{id}/summary", s.handleJobSummary)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /v1/fleet", s.handleFleet)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -250,10 +255,49 @@ func (s *Service) handleJobSummary(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// JobTrace is the wire form of GET /v1/jobs/{id}/trace: the job's
+// lifecycle events — submission, start, chunk dispatch/steal/retry/merge
+// on distributed jobs, completion — oldest first. The trace ring is
+// bounded (Config.TraceEvents), so a long-lived daemon's early events age
+// out; Seq gaps mark eviction. Traces are reporting-only wall-clock data
+// and never part of any canonical encoding.
+type JobTrace struct {
+	Job    string      `json:"job"`
+	Events []obs.Event `json:"events"`
+}
+
+func (s *Service) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	events := s.tracer.Job(id)
+	if _, ok := s.queue.get(id); !ok && len(events) == 0 {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	if events == nil {
+		events = []obs.Event{} // a known job always serves an array
+	}
+	writeJSON(w, http.StatusOK, JobTrace{Job: id, Events: events})
+}
+
+// handleFleet serves the coordinator's fleet status. Plain workers have no
+// fleet and answer 404, which is also how a client tells the two node
+// roles apart.
+func (s *Service) handleFleet(w http.ResponseWriter, r *http.Request) {
+	if s.fleet == nil {
+		writeError(w, http.StatusNotFound, "this node does not coordinate a fleet")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.fleet(r.Context()))
+}
+
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
+// handleMetrics serves the registry snapshot — every counter, gauge and
+// histogram under its stable key, replacing the hand-assembled Metrics
+// struct this endpoint used to marshal (the struct remains the in-process
+// Snapshot API; the keys coincide).
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Snapshot())
+	writeJSON(w, http.StatusOK, s.reg)
 }

@@ -6,10 +6,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"nochatter/internal/agg"
+	"nochatter/internal/obs"
 	"nochatter/internal/sched"
 	"nochatter/internal/sim"
 	"nochatter/internal/spec"
@@ -37,6 +37,10 @@ type Config struct {
 	// evicted and their ids start returning 404. Without a bound, a
 	// long-running daemon would retain every job ever submitted.
 	RetainedJobs int
+	// TraceEvents bounds the lifecycle trace ring served by
+	// GET /v1/jobs/{id}/trace (default obs.DefaultTraceEvents). Old events
+	// are overwritten, never accumulated.
+	TraceEvents int
 }
 
 func (c Config) withDefaults() Config {
@@ -86,17 +90,33 @@ type Service struct {
 	// scheduler counters so /metrics can expose them.
 	schedStats func() sched.FleetStats
 
-	requests      atomic.Int64 // HTTP requests served (any endpoint)
-	runRequests   atomic.Int64 // specs served via RunSpec (HTTP or job)
-	cacheHits     atomic.Int64
-	cacheMisses   atomic.Int64
-	coalesced     atomic.Int64 // joined a concurrent identical execution
-	sweepJobs     atomic.Int64
-	specsExecuted atomic.Int64 // actual engine runs (misses only)
-	roundsSim     atomic.Int64 // logical rounds of those runs
-	roundsStepped atomic.Int64 // engine-stepped rounds of those runs
-	summaryHits   atomic.Int64 // summaries served straight from the cache
-	summaryMisses atomic.Int64 // summaries stored on first serve
+	// fleet, when set (SetFleet), serves GET /v1/fleet — the coordinator's
+	// per-worker fleet status. Absent on plain workers, where the endpoint
+	// 404s.
+	fleet func(ctx context.Context) any
+
+	// reg is the service's metrics registry: every counter below is a
+	// registry metric under its historical /metrics key, and the /metrics
+	// document is a single registry snapshot. tracer records job (and,
+	// through the coordinator, chunk) lifecycle events for
+	// GET /v1/jobs/{id}/trace.
+	reg    *obs.Registry
+	tracer *obs.Tracer
+
+	requests      *obs.Counter // HTTP requests served (any endpoint)
+	runRequests   *obs.Counter // specs served via RunSpec (HTTP or job)
+	cacheHits     *obs.Counter
+	cacheMisses   *obs.Counter
+	coalesced     *obs.Counter // joined a concurrent identical execution
+	sweepJobs     *obs.Counter
+	specsExecuted *obs.Counter // actual engine runs (misses only)
+	roundsSim     *obs.Counter // logical rounds of those runs
+	roundsStepped *obs.Counter // engine-stepped rounds of those runs
+	summaryHits   *obs.Counter // summaries served straight from the cache
+	summaryMisses *obs.Counter // summaries stored on first serve
+
+	jobWallMS *obs.Histogram // per-job wall time, ms
+	specRunUS *obs.Histogram // per-spec serve time (cache hits included), µs
 }
 
 // New returns a started service; Close releases its job workers.
@@ -104,9 +124,77 @@ func New(cfg Config) *Service {
 	s := &Service{cfg: cfg.withDefaults(), start: time.Now()}
 	s.cache = newResultCache(s.cfg.CacheSize)
 	s.execute = s.compileAndRun
+	s.initObs()
 	s.queue = newQueue(s.cfg.Workers, s.cfg.Backlog, s.cfg.RetainedJobs, s.runJob)
 	return s
 }
+
+// initObs builds the registry and tracer and registers every metric under
+// the key it has always had on /metrics — the document is now a registry
+// snapshot, but its vocabulary is unchanged (metrics_compat_test.go pins
+// it). Derived values (rates, depths, uptime) are gauge functions
+// evaluated at snapshot time, outside the registry lock.
+func (s *Service) initObs() {
+	s.reg = obs.NewRegistry()
+	s.tracer = obs.NewTracer(s.cfg.TraceEvents)
+	s.requests = s.reg.Counter("requests")
+	s.runRequests = s.reg.Counter("run_requests")
+	s.cacheHits = s.reg.Counter("cache_hits")
+	s.cacheMisses = s.reg.Counter("cache_misses")
+	s.coalesced = s.reg.Counter("coalesced")
+	s.sweepJobs = s.reg.Counter("sweep_jobs")
+	s.specsExecuted = s.reg.Counter("specs_executed")
+	s.roundsSim = s.reg.Counter("rounds_simulated")
+	s.roundsStepped = s.reg.Counter("stepped_rounds")
+	s.summaryHits = s.reg.Counter("summary_cache_hits")
+	s.summaryMisses = s.reg.Counter("summary_cache_misses")
+	s.jobWallMS = s.reg.Histogram("job_wall_ms")
+	s.specRunUS = s.reg.Histogram("spec_run_us")
+	s.reg.GaugeFunc("cache_entries", func() float64 { return float64(s.cache.len()) })
+	s.reg.GaugeFunc("jobs_queued", func() float64 {
+		queued, _ := s.queue.depth()
+		return float64(queued)
+	})
+	s.reg.GaugeFunc("jobs_running", func() float64 {
+		_, running := s.queue.depth()
+		return float64(running)
+	})
+	s.reg.GaugeFunc("cache_hit_rate", s.cacheHitRate)
+	s.reg.GaugeFunc("uptime_seconds", func() float64 { return time.Since(s.start).Seconds() })
+	s.reg.GaugeFunc("rounds_per_second", func() float64 {
+		if up := time.Since(s.start).Seconds(); up > 0 {
+			return float64(s.roundsSim.Value()) / up
+		}
+		return 0
+	})
+	s.reg.Object("scheduler", func() any {
+		if s.schedStats == nil {
+			return nil // plain worker: the key is absent, as it always was
+		}
+		fs := s.schedStats()
+		return &fs
+	})
+}
+
+// cacheHitRate counts coalesced executions as hits — the work was not
+// repeated.
+func (s *Service) cacheHitRate() float64 {
+	hits, co, misses := s.cacheHits.Value(), s.coalesced.Value(), s.cacheMisses.Value()
+	if served := hits + co + misses; served > 0 {
+		return float64(hits+co) / float64(served)
+	}
+	return 0
+}
+
+// Registry returns the service's metrics registry, for wiring additional
+// subsystem metrics (the cluster coordinator's chunk histogram, a
+// sim.Runner's counters) into the same /metrics document.
+func (s *Service) Registry() *obs.Registry { return s.reg }
+
+// Tracer returns the service's lifecycle tracer, for wiring chunk-level
+// dispatch events into the same per-job trace the service records job
+// events on.
+func (s *Service) Tracer() *obs.Tracer { return s.tracer }
 
 // Close drains the job workers. Jobs still queued run to completion first.
 func (s *Service) Close() { s.queue.close() }
@@ -131,6 +219,14 @@ func (s *Service) SetDistributor(fn func(ctx context.Context, specs []spec.Scena
 // SetDistributor, before the service takes traffic.
 func (s *Service) SetSchedulerStats(fn func() sched.FleetStats) {
 	s.schedStats = fn
+}
+
+// SetFleet exposes a coordinator's fleet status document — typically
+// cluster.(*Coordinator).Fleet — as GET /v1/fleet. Nodes without it (plain
+// workers) answer 404 there. Call it alongside SetDistributor, before the
+// service takes traffic.
+func (s *Service) SetFleet(fn func(ctx context.Context) any) {
+	s.fleet = fn
 }
 
 // SetExecutor replaces the per-spec execution function the cache sits in
@@ -319,6 +415,7 @@ func (s *Service) submitSpecs(specs []spec.ScenarioSpec, summaryOnly bool) (JobS
 		return JobStatus{}, err
 	}
 	s.sweepJobs.Add(1)
+	s.tracer.Record(jb.id, obs.NoChunk, obs.NoWorker, obs.PhaseQueued, "")
 	return jb.status(), nil
 }
 
@@ -338,22 +435,47 @@ func (s *Service) CancelJob(id string) (JobStatus, bool) {
 	if !ok {
 		return JobStatus{}, false
 	}
+	wasQueued := jb.status().State == JobQueued
 	jb.cancel()
-	return jb.status(), true
+	st := jb.status()
+	if wasQueued && st.State == JobFailed {
+		// A cancel-while-queued never reaches runJob, so its terminal trace
+		// event is recorded here; running jobs get theirs when runJob exits.
+		s.tracer.Record(jb.id, obs.NoChunk, obs.NoWorker, obs.PhaseFailed, "canceled")
+	}
+	return st, true
 }
 
-// runJob executes a job's specs on a bounded worker pool, each spec served
-// through the cache (so overlapping sweeps and repeat submissions reuse
-// results), and terminalizes the job. Results land in input order behind
-// the job's delivery watermark. As results arrive each worker folds them
-// into its own agg.Summary; the per-worker summaries merge into the job's
-// summary when the job completes — so every finished job has a streaming
-// aggregate, and a summary-only job stores nothing else.
+// runJob executes one job — locally or through the distributor — wrapped
+// in its lifecycle instrumentation: a running trace event going in (which
+// closes the queued span, so the event carries the job's queue latency), a
+// done/failed event and a job_wall_ms observation coming out. All of it is
+// reporting-only: tracing is invisible to results, summaries and cache
+// keys.
 func (s *Service) runJob(jb *job) {
+	s.tracer.Record(jb.id, obs.NoChunk, obs.NoWorker, obs.PhaseRunning, "")
+	begin := time.Now()
 	if jb.summaryOnly && s.distribute != nil {
 		s.runJobDistributed(jb)
-		return
+	} else {
+		s.runJobLocal(jb)
 	}
+	s.jobWallMS.Observe(time.Since(begin).Milliseconds())
+	if st := jb.status(); st.State == JobDone {
+		s.tracer.Record(jb.id, obs.NoChunk, obs.NoWorker, obs.PhaseDone, "")
+	} else {
+		s.tracer.Record(jb.id, obs.NoChunk, obs.NoWorker, obs.PhaseFailed, st.Error)
+	}
+}
+
+// runJobLocal executes a job's specs on a bounded worker pool, each spec
+// served through the cache (so overlapping sweeps and repeat submissions
+// reuse results), and terminalizes the job. Results land in input order
+// behind the job's delivery watermark. As results arrive each worker folds
+// them into its own agg.Summary; the per-worker summaries merge into the
+// job's summary when the job completes — so every finished job has a
+// streaming aggregate, and a summary-only job stores nothing else.
+func (s *Service) runJobLocal(jb *job) {
 	p := s.cfg.Parallelism
 	if p > len(jb.specs) {
 		p = len(jb.specs)
@@ -371,7 +493,9 @@ func (s *Service) runJob(jb *job) {
 				sp := jb.specs[i]
 				start := time.Now()
 				key, res, cached, err := s.RunSpec(sp)
-				fold.Observe(agg.KeyOf(sp), res, err, time.Since(start))
+				wall := time.Since(start)
+				s.specRunUS.Observe(wall.Microseconds())
+				fold.Observe(agg.KeyOf(sp), res, err, wall)
 				r := JobResult{Index: i, Name: sp.Name, Key: key, Cached: cached, Result: res}
 				if err != nil {
 					r.Error = err.Error()
@@ -412,6 +536,12 @@ func (s *Service) runJob(jb *job) {
 func (s *Service) runJobDistributed(jb *job) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	// The coordinator tags its chunk trace events with this job's id and
+	// reports cumulative spec completions back through the progress sink, so
+	// a polling client sees a distributed job advance chunk by chunk instead
+	// of jumping from 0 to done.
+	ctx = obs.WithJob(ctx, jb.id)
+	ctx = obs.WithProgress(ctx, jb.setCompleted)
 	watcherDone := make(chan struct{})
 	go func() {
 		defer close(watcherDone)
@@ -457,33 +587,34 @@ type Metrics struct {
 	Scheduler *sched.FleetStats `json:"scheduler,omitempty"`
 }
 
-// Snapshot returns current service metrics. Hit rate counts coalesced
+// Snapshot returns current service metrics as the typed Metrics struct —
+// the in-process API tests and harnesses read. (GET /metrics serves the
+// registry snapshot instead; both views read the same counters, and the
+// wire keys coincide by construction.) Hit rate counts coalesced
 // executions as hits — the work was not repeated. Rounds/sec is logical
 // rounds simulated over process uptime: the event-driven engine's
 // fast-forward makes it far exceed stepped rounds per second.
 func (s *Service) Snapshot() Metrics {
 	m := Metrics{
-		Requests:        s.requests.Load(),
-		RunRequests:     s.runRequests.Load(),
-		CacheHits:       s.cacheHits.Load(),
-		CacheMisses:     s.cacheMisses.Load(),
-		Coalesced:       s.coalesced.Load(),
+		Requests:        s.requests.Value(),
+		RunRequests:     s.runRequests.Value(),
+		CacheHits:       s.cacheHits.Value(),
+		CacheMisses:     s.cacheMisses.Value(),
+		Coalesced:       s.coalesced.Value(),
 		CacheEntries:    s.cache.len(),
-		SweepJobs:       s.sweepJobs.Load(),
-		SpecsExecuted:   s.specsExecuted.Load(),
-		RoundsSimulated: s.roundsSim.Load(),
-		SteppedRounds:   s.roundsStepped.Load(),
-		SummaryHits:     s.summaryHits.Load(),
-		SummaryMisses:   s.summaryMisses.Load(),
+		SweepJobs:       s.sweepJobs.Value(),
+		SpecsExecuted:   s.specsExecuted.Value(),
+		RoundsSimulated: s.roundsSim.Value(),
+		SteppedRounds:   s.roundsStepped.Value(),
+		SummaryHits:     s.summaryHits.Value(),
+		SummaryMisses:   s.summaryMisses.Value(),
 		UptimeSeconds:   time.Since(s.start).Seconds(),
+		CacheHitRate:    s.cacheHitRate(),
 	}
 	m.JobsQueued, m.JobsRunning = s.queue.depth()
 	if s.schedStats != nil {
 		fs := s.schedStats()
 		m.Scheduler = &fs
-	}
-	if served := m.CacheHits + m.Coalesced + m.CacheMisses; served > 0 {
-		m.CacheHitRate = float64(m.CacheHits+m.Coalesced) / float64(served)
 	}
 	if m.UptimeSeconds > 0 {
 		m.RoundsPerSecond = float64(m.RoundsSimulated) / m.UptimeSeconds

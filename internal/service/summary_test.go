@@ -247,7 +247,7 @@ func TestFailedJobSummaryRefusesDespiteCache(t *testing.T) {
 	if _, err := svc.summaryOf(jb); err == nil {
 		t.Fatal("failed job must refuse its summary even on a cache hit")
 	}
-	if hits := svc.summaryHits.Load(); hits != 0 {
+	if hits := svc.summaryHits.Value(); hits != 0 {
 		t.Fatalf("refusal must not count as a summary hit, got %d", hits)
 	}
 }

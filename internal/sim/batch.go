@@ -14,6 +14,7 @@ type Runner struct {
 	maxRounds   int
 	onRound     func(RoundView)
 	parallelism int
+	metrics     *runnerMetrics // nil unless WithMetrics; reporting-only
 }
 
 // Option configures a Runner.
@@ -84,7 +85,9 @@ func (r *Runner) runTimed(i int, sc Scenario) BatchResult {
 	start := time.Now()
 	res, err := r.Run(sc)
 	//lint:allow detrand same wall-time measurement as above; never hashed or merged canonically
-	return BatchResult{Index: i, Result: res, Err: err, Wall: time.Since(start)}
+	br := BatchResult{Index: i, Result: res, Err: err, Wall: time.Since(start)}
+	r.metrics.observe(br)
+	return br
 }
 
 // RunBatch executes all scenarios on a worker pool and returns one result

@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"time"
+
+	"nochatter/internal/obs"
+)
+
+// runnerMetrics holds the obs handles a Runner feeds. All fields are
+// nil-safe (obs metrics no-op when nil), and a Runner without WithMetrics
+// carries a nil *runnerMetrics, so the instrumentation cost when disabled
+// is one pointer check per batch result.
+type runnerMetrics struct {
+	runs    *obs.Counter
+	errors  *obs.Counter
+	rounds  *obs.Counter
+	stepped *obs.Counter
+	runUS   *obs.Histogram
+}
+
+// WithMetrics registers the runner's instruments on reg and makes the
+// runner feed them: runner_runs / runner_run_errors / runner_rounds /
+// runner_stepped_rounds counters, a runner_run_us latency histogram (from
+// the wall time RunBatch already measures), and two derived gauges —
+// runner_rounds_per_sec (rounds folded since registration over elapsed
+// time) and runner_stepped_ratio (engine-stepped rounds over total rounds,
+// i.e. how much work the event-driven clock could NOT fast-forward).
+//
+// Everything observed here is reporting-only: wall time is excluded from
+// canonical encodings (DESIGN.md §9) and no metric feeds back into
+// simulation state. A nil reg is a no-op.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(r *Runner) {
+		if reg == nil {
+			return
+		}
+		m := &runnerMetrics{
+			runs:    reg.Counter("runner_runs"),
+			errors:  reg.Counter("runner_run_errors"),
+			rounds:  reg.Counter("runner_rounds"),
+			stepped: reg.Counter("runner_stepped_rounds"),
+			runUS:   reg.Histogram("runner_run_us"),
+		}
+		//lint:allow detrand registration timestamp for a reporting-only rate gauge; never enters results
+		start := time.Now()
+		reg.GaugeFunc("runner_rounds_per_sec", func() float64 {
+			//lint:allow detrand reporting-only rate denominator (same gauge)
+			el := time.Since(start).Seconds()
+			if el <= 0 {
+				return 0
+			}
+			return float64(m.rounds.Value()) / el
+		})
+		reg.GaugeFunc("runner_stepped_ratio", func() float64 {
+			total := m.rounds.Value()
+			if total == 0 {
+				return 0
+			}
+			return float64(m.stepped.Value()) / float64(total)
+		})
+		r.metrics = m
+	}
+}
+
+// observe folds one finished batch result into the runner's instruments.
+func (m *runnerMetrics) observe(br BatchResult) {
+	if m == nil {
+		return
+	}
+	m.runs.Inc()
+	if br.Err != nil {
+		m.errors.Inc()
+		return
+	}
+	if br.Result != nil {
+		m.rounds.Add(int64(br.Result.Rounds))
+		m.stepped.Add(int64(br.Result.SteppedRounds))
+	}
+	m.runUS.Observe(br.Wall.Microseconds())
+}

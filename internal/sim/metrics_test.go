@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"testing"
+
+	"nochatter/internal/obs"
+)
+
+func TestRunnerWithMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	scs := batchScenarios(4)
+	scs = append(scs, Scenario{}) // invalid: counts as an error, not a run observation
+	out := RunBatch(scs, WithParallelism(2), WithMetrics(reg))
+
+	var wantRounds, wantStepped int64
+	for _, br := range out {
+		if br.Err != nil {
+			continue
+		}
+		wantRounds += int64(br.Result.Rounds)
+		wantStepped += int64(br.Result.SteppedRounds)
+	}
+	snap := reg.Snapshot()
+	if got := snap["runner_runs"]; got != int64(5) {
+		t.Fatalf("runner_runs = %v, want 5", got)
+	}
+	if got := snap["runner_run_errors"]; got != int64(1) {
+		t.Fatalf("runner_run_errors = %v, want 1", got)
+	}
+	if got := snap["runner_rounds"]; got != wantRounds {
+		t.Fatalf("runner_rounds = %v, want %d", got, wantRounds)
+	}
+	if got := snap["runner_stepped_rounds"]; got != wantStepped {
+		t.Fatalf("runner_stepped_rounds = %v, want %d", got, wantStepped)
+	}
+	hs, ok := snap["runner_run_us"].(obs.HistogramSnapshot)
+	if !ok || hs.Count != 4 {
+		t.Fatalf("runner_run_us count = %#v, want 4 observations", snap["runner_run_us"])
+	}
+	ratio, ok := snap["runner_stepped_ratio"].(float64)
+	if !ok || ratio <= 0 || ratio > 1 {
+		t.Fatalf("runner_stepped_ratio = %v, want in (0, 1]", snap["runner_stepped_ratio"])
+	}
+	if rps, ok := snap["runner_rounds_per_sec"].(float64); !ok || rps < 0 {
+		t.Fatalf("runner_rounds_per_sec = %v", snap["runner_rounds_per_sec"])
+	}
+}
+
+func TestRunnerMetricsDisabledByDefault(t *testing.T) {
+	// No WithMetrics: results must be identical and nothing may panic.
+	scs := batchScenarios(2)
+	plain := RunBatch(scs, WithParallelism(1))
+	metered := RunBatch(scs, WithParallelism(1), WithMetrics(obs.NewRegistry()))
+	for i := range plain {
+		if plain[i].Result.Rounds != metered[i].Result.Rounds {
+			t.Fatalf("metrics changed results at %d", i)
+		}
+	}
+	if NewRunner().metrics != nil {
+		t.Fatalf("default runner should carry no metrics")
+	}
+	WithMetrics(nil)(NewRunner()) // nil registry is a no-op, not a panic
+}

@@ -4,6 +4,7 @@
 package trace
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
 	"strings"
@@ -72,12 +73,19 @@ func (t *Table) Render(w io.Writer) {
 	}
 }
 
-// RenderCSV writes the table as CSV (no quoting needed for our cells).
+// RenderCSV writes the table as RFC 4180 CSV: cells containing commas,
+// quotes or newlines are quoted and escaped, so downstream parsers read
+// back exactly the cells AddRow was given. A table with no headers and no
+// rows writes nothing at all — not even an empty record.
 func (t *Table) RenderCSV(w io.Writer) {
-	fmt.Fprintln(w, strings.Join(t.Headers, ","))
-	for _, row := range t.rows {
-		fmt.Fprintln(w, strings.Join(row, ","))
+	cw := csv.NewWriter(w)
+	if len(t.Headers) > 0 {
+		_ = cw.Write(t.Headers)
 	}
+	for _, row := range t.rows {
+		_ = cw.Write(row)
+	}
+	cw.Flush()
 }
 
 func pad(s string, w int) string {

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"encoding/csv"
 	"strings"
 	"testing"
 )
@@ -52,6 +53,59 @@ func TestFloatFormatting(t *testing.T) {
 	tb.RenderCSV(&sb)
 	if !strings.Contains(sb.String(), "1.23") || strings.Contains(sb.String(), "1.2345") {
 		t.Errorf("float should render with 2 decimals: %q", sb.String())
+	}
+}
+
+// TestCSVEscaping pins the RFC 4180 behavior: cells carrying the CSV
+// metacharacters — commas, double quotes, newlines — round-trip through a
+// standard CSV reader unchanged.
+func TestCSVEscaping(t *testing.T) {
+	tb := NewTable("", "name", "note")
+	tb.AddRow("a,b", `says "hi"`)
+	tb.AddRow("line1\nline2", "plain")
+	var sb strings.Builder
+	tb.RenderCSV(&sb)
+
+	records, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("rendered CSV does not parse: %v\n%s", err, sb.String())
+	}
+	want := [][]string{
+		{"name", "note"},
+		{"a,b", `says "hi"`},
+		{"line1\nline2", "plain"},
+	}
+	if len(records) != len(want) {
+		t.Fatalf("got %d records, want %d:\n%s", len(records), len(want), sb.String())
+	}
+	for i, rec := range records {
+		for j, cell := range rec {
+			if cell != want[i][j] {
+				t.Errorf("record %d cell %d = %q, want %q", i, j, cell, want[i][j])
+			}
+		}
+	}
+	// The comma-carrying cell was actually quoted on the wire.
+	if !strings.Contains(sb.String(), `"a,b"`) {
+		t.Errorf("comma cell not quoted: %q", sb.String())
+	}
+}
+
+// TestCSVEmpty pins the degenerate shapes: headers alone render as one
+// record, and a table with neither headers nor rows writes nothing.
+func TestCSVEmpty(t *testing.T) {
+	tb := NewTable("", "only")
+	var sb strings.Builder
+	tb.RenderCSV(&sb)
+	if sb.String() != "only\n" {
+		t.Errorf("headers-only CSV = %q, want %q", sb.String(), "only\n")
+	}
+
+	bare := &Table{}
+	sb.Reset()
+	bare.RenderCSV(&sb)
+	if sb.String() != "" {
+		t.Errorf("empty table CSV = %q, want empty", sb.String())
 	}
 }
 

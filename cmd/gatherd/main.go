@@ -10,7 +10,8 @@
 //	gatherd [-addr :8080] [-cache 1024] [-jobs 2] [-parallelism 0]
 //	        [-backlog 1024] [-max-sweep-specs 10000]
 //	        [-workers http://a:8080,http://b:8080] [-chunks 8]
-//	        [-log-level info] [-pprof 127.0.0.1:6060]
+//	        [-journal /var/lib/gatherd] [-log-level info]
+//	        [-pprof 127.0.0.1:6060]
 //
 // -workers turns the daemon into a cluster coordinator: summary-only sweep
 // submissions (POST /v1/sweeps?summary=only) are partitioned by a
@@ -24,6 +25,18 @@
 // under "scheduler", and GET /v1/fleet serves per-worker health, load and
 // live sweep progress. Every other endpoint — single runs, raw-row sweeps,
 // job lifecycle — keeps serving locally.
+//
+// -journal makes sweeps crash-safe: every accepted job, chunk plan,
+// completed chunk summary and terminal state appends to a checksummed
+// record log under the given directory, and on restart the daemon replays
+// it — finished jobs come back with their summaries servable, interrupted
+// jobs re-enter the queue under their original ids and re-run, with every
+// chunk whose summary the journal already holds skipped rather than
+// re-executed (the deterministic planner reproduces the identical plan, so
+// recorded chunk keys match exactly; DESIGN.md §14). The resumed job's
+// canonical summary is byte-identical to an uninterrupted run's. Journal
+// health shows on /metrics as journal_records, chunks_skipped, jobs_resumed
+// and resume_ms.
 //
 // -log-level selects structured-log verbosity (debug|info|warn|error;
 // worker retirements and chunk failures log at warn with the worker URL
@@ -74,6 +87,7 @@ import (
 	"time"
 
 	"nochatter/internal/cluster"
+	"nochatter/internal/journal"
 	olog "nochatter/internal/obs/log"
 	"nochatter/internal/sched"
 	"nochatter/internal/service"
@@ -96,6 +110,7 @@ func run() error {
 		maxSweepSpecs = flag.Int("max-sweep-specs", 10000, "reject sweeps expanding to more specs than this")
 		workers       = flag.String("workers", "", "comma-separated gatherd worker base URLs; summary-only sweeps are sharded across them")
 		chunks        = flag.Int("chunks", 0, "with -workers: target chunks per worker for the sweep scheduler (0 = default 8; 1 = one static shard per worker)")
+		journalDir    = flag.String("journal", "", "directory for the crash-safe sweep journal; empty disables persistence")
 		logLevel      = flag.String("log-level", "info", "log level: debug|info|warn|error")
 		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060); empty disables")
 	)
@@ -114,6 +129,7 @@ func run() error {
 		Backlog:       *backlog,
 		MaxSweepSpecs: *maxSweepSpecs,
 	})
+	var coord *cluster.Coordinator
 	if *workers != "" {
 		var ws []*cluster.Worker
 		for _, base := range strings.Split(*workers, ",") {
@@ -132,7 +148,7 @@ func run() error {
 		if len(ws) == 0 {
 			return fmt.Errorf("-workers: no worker URLs given")
 		}
-		coord := cluster.NewCoordinator(ws...)
+		coord = cluster.NewCoordinator(ws...)
 		switch {
 		case *chunks < 0:
 			return fmt.Errorf("-chunks: %d is not a chunk count", *chunks)
@@ -149,6 +165,24 @@ func run() error {
 		logger.Info("coordinating summary-only sweeps", "workers", coord.Workers())
 	} else if *chunks != 0 {
 		return fmt.Errorf("-chunks requires -workers")
+	}
+
+	if *journalDir != "" {
+		jnl, err := journal.Open(*journalDir)
+		if err != nil {
+			return fmt.Errorf("-journal: %w", err)
+		}
+		defer jnl.Close()
+		jnl.SetObs(svc.Registry())
+		if coord != nil {
+			coord.SetChunkStore(jnl)
+		}
+		svc.SetJournal(jnl)
+		n, err := svc.ResumeJournal()
+		if err != nil {
+			logger.Warn("journal resume incomplete", "err", err)
+		}
+		logger.Info("journal open", "dir", *journalDir, "records", jnl.Records(), "jobs_resumed", n)
 	}
 
 	if *pprofAddr != "" {

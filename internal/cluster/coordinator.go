@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"log/slog"
 	"sync"
@@ -11,8 +12,25 @@ import (
 	"nochatter/internal/obs"
 	olog "nochatter/internal/obs/log"
 	"nochatter/internal/sched"
+	"nochatter/internal/service"
 	"nochatter/internal/spec"
 )
+
+// ChunkStore is the coordinator's persistence hook — satisfied by
+// *journal.Journal. Completed chunks are recorded under their content
+// address (the summary key of exactly the chunk's spec slice), so any
+// later sweep planning an identical chunk — a resumed sweep after a
+// coordinator crash, or a re-submitted one — gets it back without running
+// anything. A nil store disables persistence; all methods must be safe for
+// concurrent use.
+type ChunkStore interface {
+	// GetChunk returns the canonical summary recorded under key, if any.
+	GetChunk(key string) ([]byte, bool)
+	// PutChunk records a completed chunk's canonical summary under key.
+	PutChunk(job, key string, canonical []byte)
+	// PutPlan records a sweep's chunk keys in chunk-index order.
+	PutPlan(job string, keys []string)
+}
 
 // ShardBounds returns the half-open spec range [lo, hi) of shard i when n
 // specs are partitioned contiguously over the given shard count. It is a
@@ -56,9 +74,21 @@ type Coordinator struct {
 	// Observability (reporting-only; nil handles no-op). chunkMS is the
 	// chunk-duration histogram registered by SetObs; tr receives chunk and
 	// worker lifecycle events, tagged with the service job id when the
-	// sweep's context carries one (obs.WithJob).
-	tr      *obs.Tracer
-	chunkMS *obs.Histogram
+	// sweep's context carries one (obs.WithJob). chunksSkipped counts
+	// chunks satisfied from the chunk store instead of being re-run.
+	tr            *obs.Tracer
+	chunkMS       *obs.Histogram
+	chunksSkipped *obs.Counter
+
+	// store, when set (SetChunkStore), persists the chunk plan and every
+	// completed chunk's canonical summary, and is consulted before
+	// dispatch so already-journaled chunks resolve without running.
+	store ChunkStore
+
+	// crash, when set (SetCrashpoint), is invoked at each chunk lifecycle
+	// point; a non-nil return aborts the dispatch there — the
+	// crash-injection hook the kill/resume tests drive. Nil in production.
+	crash func(phase obs.Phase, chunk int) error
 
 	//lint:allow detrand reporting-only throughput baseline; never enters results
 	start time.Time
@@ -111,8 +141,40 @@ func (c *Coordinator) SetLogger(l *slog.Logger) {
 func (c *Coordinator) SetObs(reg *obs.Registry, tr *obs.Tracer) {
 	if reg != nil {
 		c.chunkMS = reg.Histogram("chunk_ms")
+		c.chunksSkipped = reg.Counter("chunks_skipped")
 	}
 	c.tr = tr
+}
+
+// SetChunkStore attaches the completed-chunk persistence hook (typically a
+// *journal.Journal): the chunk plan and every completed chunk's canonical
+// summary are recorded, and recorded chunks are skipped — resolved straight
+// into the merge — on subsequent identical dispatches. Persistence cannot
+// change results: a recorded summary is the deterministic function of the
+// same specs the chunk would have re-run (DESIGN.md §14). Call it before
+// the coordinator takes traffic; it is not synchronized against running
+// sweeps.
+func (c *Coordinator) SetChunkStore(store ChunkStore) { c.store = store }
+
+// SetCrashpoint installs a crash-injection hook for the kill/resume tests:
+// fn is invoked at every chunk lifecycle point (queued after the plan is
+// journaled, claimed, running, merged after the completion is journaled,
+// and done after all workers drain), and a non-nil error aborts the sweep
+// right there — the in-process analogue of a SIGKILL, deterministic enough
+// to table-drive. Production wiring never calls this.
+func (c *Coordinator) SetCrashpoint(fn func(phase obs.Phase, chunk int) error) { c.crash = fn }
+
+// crashpoint fires the injected crash hook, aborting the dispatch when it
+// reports a crash; it returns false when the caller must stop immediately.
+func (c *Coordinator) crashpoint(d *sched.Dispatcher, phase obs.Phase, chunk int) bool {
+	if c.crash == nil {
+		return true
+	}
+	if err := c.crash(phase, chunk); err != nil {
+		d.Abort(err)
+		return false
+	}
+	return true
 }
 
 // Workers returns the fleet size.
@@ -178,6 +240,40 @@ func (c *Coordinator) SummarizeSpecs(ctx context.Context, specs []spec.ScenarioS
 	c.active[d] = &activeSweep{job: job, started: time.Now()}
 	c.mu.Unlock()
 
+	// Consult the chunk store before dispatching: every chunk whose
+	// content-addressed summary is already recorded — journaled by an
+	// interrupted run of this sweep, or by any earlier sweep containing an
+	// identical chunk — resolves straight into the merge slot, and only
+	// the remainder is dispatched. The planner is a pure function of
+	// (specs, workers), so a resumed sweep replans identically and the
+	// recorded keys line up chunk for chunk.
+	var keys []string
+	if c.store != nil {
+		if ks, err := chunkKeys(plan, specs); err == nil {
+			keys = ks
+			c.store.PutPlan(job, keys)
+			skipped := 0
+			for _, ch := range plan {
+				buf, ok := c.store.GetChunk(keys[ch.Index])
+				if !ok {
+					continue
+				}
+				sum := agg.NewSummary()
+				if json.Unmarshal(buf, sum) != nil {
+					continue // an undecodable entry is just a cache miss
+				}
+				sums[ch.Index] = sum
+				d.Resolve(ch)
+				skipped++
+			}
+			if skipped > 0 {
+				c.chunksSkipped.Add(int64(skipped))
+				c.log.Debug("chunks resumed from journal", "job", job, "skipped", skipped, "of", len(plan))
+			}
+		}
+	}
+	c.crashpoint(d, obs.PhaseQueued, obs.NoChunk)
+
 	// Propagate cancellation into blocked Claim calls.
 	watcherDone := make(chan struct{})
 	defer close(watcherDone)
@@ -194,10 +290,11 @@ func (c *Coordinator) SummarizeSpecs(ctx context.Context, specs []spec.ScenarioS
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
-			c.runWorker(ctx, d, wi, specs, sums)
+			c.runWorker(ctx, d, wi, specs, sums, keys)
 		}(wi)
 	}
 	wg.Wait()
+	c.crashpoint(d, obs.PhaseDone, obs.NoChunk)
 
 	// The dispatch is over: drop it from the live set, then absorb its
 	// final counters — in that order under one lock hold, so a concurrent
@@ -231,9 +328,10 @@ func (c *Coordinator) SummarizeSpecs(ctx context.Context, specs []spec.ScenarioS
 // in-flight. A chunk job abandoned mid-flight (cancellation, or a summary
 // poll that failed after submission) is best-effort canceled on its
 // backend so the fleet stops burning capacity on output nobody will read.
-func (c *Coordinator) runWorker(ctx context.Context, d *sched.Dispatcher, wi int, specs []spec.ScenarioSpec, sums []*agg.Summary) {
+func (c *Coordinator) runWorker(ctx context.Context, d *sched.Dispatcher, wi int, specs []spec.ScenarioSpec, sums []*agg.Summary, keys []string) {
 	w := c.workers[wi]
 	progress := obs.ProgressFrom(ctx)
+	job := obs.JobFrom(ctx)
 	if !w.Healthy(ctx) {
 		err := fmt.Errorf("cluster: %s is unhealthy", w.Base())
 		c.noteWorkerErr(wi, err)
@@ -246,6 +344,12 @@ func (c *Coordinator) runWorker(ctx context.Context, d *sched.Dispatcher, wi int
 		if err != nil || !ok {
 			return
 		}
+		if !c.crashpoint(d, obs.PhaseClaimed, chunk.Index) {
+			return
+		}
+		if !c.crashpoint(d, obs.PhaseRunning, chunk.Index) {
+			return
+		}
 		//lint:allow detrand chunk wall time: feeds the chunk_ms histogram only, never results
 		begin := time.Now()
 		sum, err := c.runChunk(ctx, w, specs[chunk.Lo:chunk.Hi])
@@ -253,6 +357,17 @@ func (c *Coordinator) runWorker(ctx context.Context, d *sched.Dispatcher, wi int
 			//lint:allow detrand same reporting-only chunk duration measurement
 			c.chunkMS.Observe(time.Since(begin).Milliseconds())
 			sums[chunk.Index] = sum
+			// Journal the completion before reporting Done: a crash between
+			// the two re-runs the chunk on resume (safe), the reverse order
+			// could drop a completion the dispatcher already counted.
+			if c.store != nil && keys != nil {
+				if canon, cerr := sum.CanonicalJSON(); cerr == nil {
+					c.store.PutChunk(job, keys[chunk.Index], canon)
+				}
+			}
+			if !c.crashpoint(d, obs.PhaseMerged, chunk.Index) {
+				return
+			}
 			d.Done(wi, chunk)
 			if progress != nil {
 				progress(d.Progress().SpecsDone)
@@ -282,6 +397,22 @@ func (c *Coordinator) noteWorkerErr(wi int, err error) {
 	c.mu.Lock()
 	c.lastErr[wi] = err.Error()
 	c.mu.Unlock()
+}
+
+// chunkKeys computes each chunk's content address: the summary key of
+// exactly the chunk's spec slice. A pure function of (plan, specs), so an
+// interrupted sweep's replanned chunks rediscover their journaled
+// summaries key for key.
+func chunkKeys(plan []sched.Chunk, specs []spec.ScenarioSpec) ([]string, error) {
+	keys := make([]string, len(plan))
+	for _, ch := range plan {
+		k, err := service.SweepSummaryKey(specs[ch.Lo:ch.Hi])
+		if err != nil {
+			return nil, err
+		}
+		keys[ch.Index] = k
+	}
+	return keys, nil
 }
 
 // runChunk runs one chunk on one worker: submit the chunk's specs as a

@@ -1,0 +1,224 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"nochatter/internal/journal"
+	"nochatter/internal/obs"
+	"nochatter/internal/service"
+	"nochatter/internal/spec"
+)
+
+// crashRig is one coordinating gatherd with a journal attached: the
+// service core, the coordinator over the given worker URLs, and the
+// journal opened on dir — the in-process analogue of
+// `gatherd -workers ... -journal dir`.
+type crashRig struct {
+	svc   *service.Service
+	coord *Coordinator
+	jnl   *journal.Journal
+}
+
+func newCrashRig(t *testing.T, dir string, workerURLs []string) *crashRig {
+	t.Helper()
+	jnl, err := journal.Open(dir)
+	if err != nil {
+		t.Fatalf("journal.Open: %v", err)
+	}
+	svc := service.New(service.Config{})
+	var ws []*Worker
+	for _, u := range workerURLs {
+		ws = append(ws, fastWorker(u))
+	}
+	coord := NewCoordinator(ws...)
+	coord.SetObs(svc.Registry(), svc.Tracer())
+	coord.SetChunkStore(jnl)
+	jnl.SetObs(svc.Registry())
+	svc.SetJournal(jnl)
+	svc.SetDistributor(coord.SummarizeSpecs)
+	return &crashRig{svc: svc, coord: coord, jnl: jnl}
+}
+
+func (r *crashRig) close() {
+	r.svc.Close()
+	_ = r.jnl.Close()
+}
+
+// waitTerminal polls a job to its terminal state and asserts which one it
+// reached.
+func waitTerminal(t *testing.T, svc *service.Service, id string, want service.JobState) service.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		st, ok := svc.Job(id)
+		if ok && (st.State == service.JobDone || st.State == service.JobFailed) {
+			if st.State != want {
+				t.Fatalf("job %s ended %s (%q), want %s", id, st.State, st.Error, want)
+			}
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not reach a terminal state in time", id)
+	return service.JobStatus{}
+}
+
+// TestCrashResumeAtEveryPhase is the kill/resume differential suite: a
+// coordinating daemon is "killed" — the crashpoint hook freezes the
+// journal (no append after the crash instant reaches disk, exactly
+// SIGKILL's view) and aborts the dispatch — at each phase of the chunk
+// lifecycle, then a fresh daemon opens the same journal, resumes, and the
+// job must complete with a canonical summary byte-identical to the
+// uninterrupted single-process run. Where the crash landed after chunk
+// completions were journaled, the resumed run must also prove it skipped
+// them rather than re-running.
+func TestCrashResumeAtEveryPhase(t *testing.T) {
+	workerURLs := []string{newBackend(t), newBackend(t)}
+	cases := []struct {
+		name      string
+		phase     obs.Phase
+		wantSkips bool // chunk completions are guaranteed journaled pre-crash
+	}{
+		{"queued", obs.PhaseQueued, false},
+		{"claimed", obs.PhaseClaimed, false},
+		{"running", obs.PhaseRunning, false},
+		{"merged", obs.PhaseMerged, true},
+		{"terminal", obs.PhaseDone, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			specs := testSweep(t)
+			want := localCanonical(t, specs)
+			dir := t.TempDir()
+
+			rig := newCrashRig(t, dir, workerURLs)
+			var once sync.Once
+			jnl := rig.jnl
+			rig.coord.SetCrashpoint(func(p obs.Phase, chunk int) error {
+				if p != tc.phase {
+					return nil
+				}
+				var fire bool
+				once.Do(func() { fire = true; jnl.Freeze() })
+				if fire {
+					return errors.New("injected crash")
+				}
+				return nil
+			})
+			st, err := rig.svc.SubmitSweepSummaryOnly(spec.SweepDef{Explicit: specs})
+			if err != nil {
+				t.Fatalf("submit: %v", err)
+			}
+			waitTerminal(t, rig.svc, st.ID, service.JobFailed)
+			rig.close()
+
+			// Restart: same journal directory, no crashpoint.
+			rig2 := newCrashRig(t, dir, workerURLs)
+			defer rig2.close()
+			n, err := rig2.svc.ResumeJournal()
+			if err != nil {
+				t.Fatalf("ResumeJournal: %v", err)
+			}
+			if n != 1 {
+				t.Fatalf("resumed %d jobs, want 1", n)
+			}
+			waitTerminal(t, rig2.svc, st.ID, service.JobDone)
+			resp, found, err := rig2.svc.JobSummary(st.ID)
+			if err != nil || !found {
+				t.Fatalf("JobSummary after resume: found=%v err=%v", found, err)
+			}
+			if got := mustCanonical(t, resp.Summary); got != want {
+				t.Fatalf("resumed canonical summary diverged from the uninterrupted run\n got: %s\nwant: %s", got, want)
+			}
+
+			skipped := rig2.svc.Registry().Counter("chunks_skipped").Value()
+			if tc.wantSkips && skipped == 0 {
+				t.Fatalf("crash at %s journaled chunk completions, but the resumed run skipped none", tc.phase)
+			}
+			if resumed := rig2.svc.Registry().Counter("jobs_resumed").Value(); resumed != 1 {
+				t.Fatalf("jobs_resumed = %d, want 1", resumed)
+			}
+			// The double-count regression: a resumed job is not a new
+			// submission.
+			if sj := rig2.svc.Registry().Counter("sweep_jobs").Value(); sj != 0 {
+				t.Fatalf("sweep_jobs = %d after resume, want 0 (resume must not count as a submission)", sj)
+			}
+		})
+	}
+}
+
+// TestJournalDedupesRepeatSweep pins the cache-traffic property: a sweep
+// re-submitted to a journaled coordinator re-runs nothing — every chunk of
+// the identical plan resolves from the journal's content-addressed chunk
+// records.
+func TestJournalDedupesRepeatSweep(t *testing.T) {
+	workerURLs := []string{newBackend(t), newBackend(t)}
+	specs := testSweep(t)
+	want := localCanonical(t, specs)
+
+	rig := newCrashRig(t, t.TempDir(), workerURLs)
+	defer rig.close()
+
+	st1, err := rig.svc.SubmitSweepSummaryOnly(spec.SweepDef{Explicit: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, rig.svc, st1.ID, service.JobDone)
+	if skipped := rig.svc.Registry().Counter("chunks_skipped").Value(); skipped != 0 {
+		t.Fatalf("first run skipped %d chunks; nothing was journaled yet", skipped)
+	}
+
+	st2, err := rig.svc.SubmitSweepSummaryOnly(spec.SweepDef{Explicit: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, rig.svc, st2.ID, service.JobDone)
+	resp, _, err := rig.svc.JobSummary(st2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustCanonical(t, resp.Summary); got != want {
+		t.Fatal("deduped repeat sweep diverged from the single-process run")
+	}
+	if skipped := rig.svc.Registry().Counter("chunks_skipped").Value(); skipped == 0 {
+		t.Fatal("repeat of an identical journaled sweep re-ran its chunks instead of skipping them")
+	}
+}
+
+// TestResumeSurvivesTerminalJobs pins the restart path for finished work: a
+// cleanly-stopped daemon's done jobs come back servable — status and
+// summary — from the journal alone.
+func TestResumeSurvivesTerminalJobs(t *testing.T) {
+	workerURLs := []string{newBackend(t)}
+	specs := testSkewedSweep(t)
+	want := localCanonical(t, specs)
+	dir := t.TempDir()
+
+	rig := newCrashRig(t, dir, workerURLs)
+	st, err := rig.svc.SubmitSweepSummaryOnly(spec.SweepDef{Explicit: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, rig.svc, st.ID, service.JobDone)
+	rig.close()
+
+	rig2 := newCrashRig(t, dir, workerURLs)
+	defer rig2.close()
+	if _, err := rig2.svc.ResumeJournal(); err != nil {
+		t.Fatalf("ResumeJournal: %v", err)
+	}
+	got, ok := rig2.svc.Job(st.ID)
+	if !ok || got.State != service.JobDone {
+		t.Fatalf("restored job = %+v, %v; want done", got, ok)
+	}
+	resp, found, err := rig2.svc.JobSummary(st.ID)
+	if err != nil || !found {
+		t.Fatalf("restored summary: found=%v err=%v", found, err)
+	}
+	if c := mustCanonical(t, resp.Summary); c != want {
+		t.Fatal("restored summary diverged from the original run")
+	}
+}

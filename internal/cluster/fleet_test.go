@@ -3,8 +3,13 @@ package cluster
 import (
 	"context"
 	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"nochatter/internal/obs"
 	"nochatter/internal/sched"
@@ -204,5 +209,85 @@ func TestCoordinatorLiveStats(t *testing.T) {
 	coord.mu.Unlock()
 	if got := coord.Stats(); got.Chunks != after.Chunks {
 		t.Fatalf("dropped dispatcher still counted: %+v", got)
+	}
+}
+
+// TestFleetScrapeDeadline pins the scrape-failure branch of Fleet: a
+// worker whose /metrics hangs past the probe deadline still gets its row —
+// healthy (the /healthz probe is separate and fast) but with every
+// backend-scraped field left zero, because the scrape error is dropped
+// rather than failing the whole fleet snapshot.
+func TestFleetScrapeDeadline(t *testing.T) {
+	backend := newBackend(t)
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/metrics" {
+			time.Sleep(500 * time.Millisecond)
+		}
+		resp, err := http.Get(backend + r.URL.Path)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, resp.Body)
+	}))
+	t.Cleanup(slow.Close)
+
+	w := fastWorker(slow.URL)
+	w.probeTimeout = 50 * time.Millisecond
+	coord := NewCoordinator(w)
+	fs := coord.Fleet(context.Background())
+	if len(fs.Workers) != 1 {
+		t.Fatalf("Workers = %d rows, want 1", len(fs.Workers))
+	}
+	ws := fs.Workers[0]
+	if !ws.Healthy {
+		t.Fatal("healthz is fast; the worker must still probe healthy")
+	}
+	if ws.SpecsExecuted != 0 || ws.QueueDepth != 0 || ws.JobsRunning != 0 || ws.CacheHitRate != 0 {
+		t.Fatalf("scrape past its deadline must leave backend fields zero, got %+v", ws)
+	}
+}
+
+// TestFleetDeadWorkerRow pins the unreachable-worker branch: a worker
+// nothing listens on still occupies its fleet row — unhealthy, zero
+// everywhere — so operators see the hole rather than a shorter list.
+func TestFleetDeadWorkerRow(t *testing.T) {
+	w := NewWorker("http://127.0.0.1:1", WithRetries(0, time.Millisecond))
+	w.probeTimeout = 100 * time.Millisecond
+	coord := NewCoordinator(w)
+	fs := coord.Fleet(context.Background())
+	if len(fs.Workers) != 1 {
+		t.Fatalf("Workers = %d rows, want 1", len(fs.Workers))
+	}
+	ws := fs.Workers[0]
+	if ws.Healthy {
+		t.Fatal("nothing listens on the dead worker's port; it must probe unhealthy")
+	}
+	if ws.URL != "http://127.0.0.1:1" {
+		t.Fatalf("URL = %q, want the dead worker's base", ws.URL)
+	}
+	if ws.Dispatched != 0 || ws.Done != 0 || ws.Specs != 0 || ws.SpecsExecuted != 0 {
+		t.Fatalf("dead worker row must be all zero, got %+v", ws)
+	}
+}
+
+// TestWorkerFleetOnPlainWorker pins the 404 path of Worker.Fleet: a plain
+// (non-coordinating) gatherd has no /v1/fleet, and the client must report
+// that as a RejectedError rather than a transport failure — the caller can
+// tell "not a coordinator" from "down".
+func TestWorkerFleetOnPlainWorker(t *testing.T) {
+	w := fastWorker(newBackend(t))
+	_, err := w.Fleet(context.Background())
+	if err == nil {
+		t.Fatal("plain worker served /v1/fleet; want a 404 rejection")
+	}
+	if !IsRejected(err) {
+		t.Fatalf("err = %v, want a RejectedError", err)
+	}
+	var rej *RejectedError
+	if !errors.As(err, &rej) || rej.Status != http.StatusNotFound {
+		t.Fatalf("err = %v, want HTTP 404", err)
 	}
 }

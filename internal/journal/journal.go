@@ -1,0 +1,514 @@
+// Package journal persists the sweep lifecycle to disk so a coordinator
+// restart loses no work: an append-only record log (job accepted, chunk
+// plan, chunk completed with its content-addressed summary, job terminal)
+// plus a replayer that reconstructs job state and the completed-chunk set.
+//
+// The log is a flat file of length-prefixed, checksummed frames. A crash
+// can tear the final frame — the process died mid-write — so the replayer
+// stops at the first frame that is short, oversized, fails its checksum or
+// fails to decode, and Open truncates the file back to the last valid
+// record. Everything before the tear is intact by construction (records
+// are appended, never rewritten), and everything after it is re-derived by
+// re-running: the journal records only facts that are deterministic
+// functions of the specs (DESIGN.md §14), so losing a suffix costs
+// recomputation, never correctness.
+//
+// Durability is fsync-batched (group commit): appends buffer under the
+// journal lock and a background flusher syncs the file once per wakeup,
+// coalescing concurrent appends into one fsync instead of paying the disk
+// per record. The replay invariants make this safe — an append the crash
+// loses is indistinguishable from work that never happened, and the resume
+// path simply redoes it.
+package journal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"nochatter/internal/obs"
+)
+
+// Op discriminates journal records.
+type Op string
+
+const (
+	// OpJob records a job accepted into the service queue: its id, spec
+	// list (as marshaled JSON) and summary-only flag — everything needed
+	// to re-admit it after a restart.
+	OpJob Op = "job"
+	// OpPlan records a sweep's chunk plan as the list of per-chunk content
+	// keys, in chunk-index order. Informational for tooling: the resume
+	// path replans from the specs (identical by planner purity) and only
+	// consults the completed-chunk set.
+	OpPlan Op = "plan"
+	// OpChunk records one completed chunk: its content key and the chunk
+	// summary's canonical encoding. Content-addressed, so any later sweep
+	// containing an identical chunk skips it as pure cache traffic.
+	OpChunk Op = "chunk"
+	// OpTerm records a job reaching a terminal state, with the full
+	// summary document for completed jobs so the terminal-job summary
+	// store survives restarts.
+	OpTerm Op = "term"
+)
+
+// Record is one journal entry — the JSON payload inside a frame. Fields
+// are populated per Op; unused ones are omitted from the encoding.
+type Record struct {
+	Op  Op     `json:"op"`
+	Job string `json:"job,omitempty"`
+	// Specs is the job's marshaled []spec.ScenarioSpec (OpJob).
+	Specs       json.RawMessage `json:"specs,omitempty"`
+	SummaryOnly bool            `json:"summary_only,omitempty"`
+	// Keys are the plan's chunk content keys in chunk-index order (OpPlan).
+	Keys []string `json:"keys,omitempty"`
+	// Key is a completed chunk's content key (OpChunk).
+	Key string `json:"key,omitempty"`
+	// Summary is a chunk's canonical encoding (OpChunk) or a done job's
+	// full summary document (OpTerm).
+	Summary json.RawMessage `json:"summary,omitempty"`
+	// State and Error are the job's terminal state (OpTerm).
+	State string `json:"state,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// MaxRecordBytes bounds one record's payload. A frame whose length prefix
+// exceeds it is treated as tail corruption, not an instruction to allocate
+// gigabytes: a torn write can leave arbitrary bytes where a length was
+// expected.
+const MaxRecordBytes = 64 << 20
+
+// frameHeaderSize is the per-record overhead: a uint32 payload length and
+// a uint32 CRC-32 (IEEE) of the payload, both little-endian.
+const frameHeaderSize = 8
+
+// JobState is one job's replayed state.
+type JobState struct {
+	ID          string
+	Specs       json.RawMessage // marshaled spec list; nil if never recorded
+	SummaryOnly bool
+	// State and Error are set when a terminal record was replayed; State
+	// "" means the job was in flight when the log ended and should be
+	// re-admitted.
+	State   string
+	Error   string
+	Summary json.RawMessage // terminal summary document, done jobs only
+}
+
+// Terminal reports whether the job's terminal record made it to the log.
+func (j *JobState) Terminal() bool { return j.State != "" }
+
+// State is the replayer's output: every job the log knows about (in
+// first-acceptance order) and the content-addressed set of completed chunk
+// summaries.
+type State struct {
+	Jobs  map[string]*JobState
+	Order []string
+	// Chunks maps chunk content key → canonical summary bytes.
+	Chunks map[string][]byte
+	// Records is the number of valid records replayed; Truncated reports
+	// whether the input ended in a torn or corrupt frame.
+	Records   int64
+	Truncated bool
+}
+
+// Replay reconstructs journal state from r, stopping cleanly at the first
+// torn or corrupt frame. It returns the state and the number of bytes
+// consumed by valid records — the length Open truncates the file to.
+// Replay never fails: arbitrary bytes are, at worst, zero valid records.
+func Replay(r io.Reader) (*State, int64) {
+	st := &State{Jobs: make(map[string]*JobState), Chunks: make(map[string][]byte)}
+	br := bufio.NewReader(r)
+	var valid int64
+	var header [frameHeaderSize]byte
+	for {
+		if _, err := io.ReadFull(br, header[:]); err != nil {
+			st.Truncated = err != io.EOF
+			return st, valid
+		}
+		length := binary.LittleEndian.Uint32(header[0:4])
+		sum := binary.LittleEndian.Uint32(header[4:8])
+		if length == 0 || length > MaxRecordBytes {
+			st.Truncated = true
+			return st, valid
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			st.Truncated = true
+			return st, valid
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			st.Truncated = true
+			return st, valid
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			st.Truncated = true
+			return st, valid
+		}
+		st.apply(rec)
+		st.Records++
+		valid += frameHeaderSize + int64(length)
+	}
+}
+
+// apply folds one record into the state. Records referencing a job that
+// was never accepted still create its entry — a prefix-truncated log (log
+// rotation, partial copies) should surface what it knows, and the resume
+// path re-admits only jobs whose spec list survived.
+func (st *State) apply(rec Record) {
+	switch rec.Op {
+	case OpJob:
+		j := st.jobEntry(rec.Job)
+		j.Specs = rec.Specs
+		j.SummaryOnly = rec.SummaryOnly
+	case OpChunk:
+		if rec.Key != "" {
+			st.Chunks[rec.Key] = rec.Summary
+		}
+	case OpTerm:
+		j := st.jobEntry(rec.Job)
+		j.State = rec.State
+		j.Error = rec.Error
+		j.Summary = rec.Summary
+	case OpPlan:
+		st.jobEntry(rec.Job)
+	}
+}
+
+func (st *State) jobEntry(id string) *JobState {
+	if id == "" {
+		id = "?" // library submissions journal chunks, not jobs
+	}
+	if j, ok := st.Jobs[id]; ok {
+		return j
+	}
+	j := &JobState{ID: id}
+	st.Jobs[id] = j
+	st.Order = append(st.Order, id)
+	return j
+}
+
+// Journal is an open, appendable log. All methods are safe for concurrent
+// use; a nil *Journal no-ops every method, so callers wire it through
+// unconditionally.
+type Journal struct {
+	path string
+
+	mu     sync.Mutex
+	f      *os.File
+	bw     *bufio.Writer
+	frozen bool
+	closed bool
+	werr   error // first write failure; surfaced by Sync and Close
+
+	// kick wakes the flusher; quit stops it. kick is buffered so an append
+	// during a sync schedules exactly one follow-up flush.
+	kick chan struct{}
+	quit chan struct{}
+	done chan struct{}
+
+	// cmu guards the live completed-chunk map: the replayed set plus every
+	// PutChunk since open, so re-submitted sweeps dedupe within the same
+	// process, not just after a restart.
+	cmu    sync.Mutex
+	chunks map[string][]byte
+
+	state *State // replayed state, immutable after Open
+
+	records *obs.Counter // nil until SetObs; nil-safe
+	nrec    int64        // records appended or replayed (under mu)
+}
+
+// Open replays the journal in dir (creating it if needed), truncates any
+// torn tail, and returns the journal ready for appends. The replayed
+// state — the basis for service resume — is available via State.
+func Open(dir string) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	path := filepath.Join(dir, "journal.log")
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	st, valid := Replay(f)
+	if st.Truncated {
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("journal: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{
+		path:   path,
+		f:      f,
+		bw:     bufio.NewWriterSize(f, 1<<16),
+		kick:   make(chan struct{}, 1),
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+		chunks: st.Chunks,
+		state:  st,
+		nrec:   st.Records,
+	}
+	go j.flusher()
+	return j, nil
+}
+
+// State returns the state replayed at Open. The caller must treat it as
+// read-only; it does not reflect records appended since.
+func (j *Journal) State() *State {
+	if j == nil {
+		return &State{Jobs: map[string]*JobState{}, Chunks: map[string][]byte{}}
+	}
+	return j.state
+}
+
+// Path returns the log file's path.
+func (j *Journal) Path() string {
+	if j == nil {
+		return ""
+	}
+	return j.path
+}
+
+// Records returns the number of records replayed plus appended so far.
+func (j *Journal) Records() int64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.nrec
+}
+
+// SetObs registers the journal_records counter on reg, seeded with the
+// records already replayed, and bumps it per append from then on.
+func (j *Journal) SetObs(reg *obs.Registry) {
+	if j == nil || reg == nil {
+		return
+	}
+	c := reg.Counter("journal_records")
+	j.mu.Lock()
+	c.Add(j.nrec)
+	j.records = c
+	j.mu.Unlock()
+}
+
+// Append writes one framed record. The write lands in the buffer
+// immediately and is fsynced by the background flusher (group commit);
+// call Sync to force durability at a barrier. Appends after Freeze are
+// silently dropped — that is Freeze's contract — and appends after Close
+// report an error.
+func (j *Journal) Append(rec Record) error {
+	if j == nil {
+		return nil
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: encoding record: %w", err)
+	}
+	if len(payload) > MaxRecordBytes {
+		return fmt.Errorf("journal: record of %d bytes exceeds the %d-byte bound", len(payload), MaxRecordBytes)
+	}
+	var header [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(header[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(header[4:8], crc32.ChecksumIEEE(payload))
+	j.mu.Lock()
+	if j.frozen {
+		j.mu.Unlock()
+		return nil
+	}
+	if j.closed {
+		j.mu.Unlock()
+		return fmt.Errorf("journal: closed")
+	}
+	if _, err := j.bw.Write(header[:]); err != nil {
+		j.noteWriteErrLocked(err)
+		j.mu.Unlock()
+		return fmt.Errorf("journal: %w", err)
+	}
+	if _, err := j.bw.Write(payload); err != nil {
+		j.noteWriteErrLocked(err)
+		j.mu.Unlock()
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.nrec++
+	rc := j.records
+	j.mu.Unlock()
+	rc.Add(1)
+	select {
+	case j.kick <- struct{}{}:
+	default: // a flush is already scheduled; it will carry this record
+	}
+	return nil
+}
+
+func (j *Journal) noteWriteErrLocked(err error) {
+	if j.werr == nil {
+		j.werr = err
+	}
+}
+
+// flusher is the group-commit loop: each wakeup flushes the buffer under
+// the lock and fsyncs outside it, so appends arriving during the (slow)
+// sync batch into the next one.
+func (j *Journal) flusher() {
+	defer close(j.done)
+	for {
+		select {
+		case <-j.quit:
+			return
+		case <-j.kick:
+			j.flushAndSync()
+		}
+	}
+}
+
+// flushAndSync pushes buffered frames to the OS and fsyncs. The sync runs
+// outside the journal lock: appenders must not stall behind the disk.
+func (j *Journal) flushAndSync() {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return
+	}
+	if err := j.bw.Flush(); err != nil {
+		j.noteWriteErrLocked(err)
+	}
+	f := j.f
+	j.mu.Unlock()
+	_ = f.Sync()
+}
+
+// Sync forces everything appended so far to disk and reports the first
+// write error, if any buffered write failed.
+func (j *Journal) Sync() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	if j.closed {
+		err := j.werr
+		j.mu.Unlock()
+		return err
+	}
+	if err := j.bw.Flush(); err != nil {
+		j.noteWriteErrLocked(err)
+	}
+	f, werr := j.f, j.werr
+	j.mu.Unlock()
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if werr != nil {
+		return fmt.Errorf("journal: %w", werr)
+	}
+	return nil
+}
+
+// Freeze flushes buffered frames to the file and then drops every future
+// append on the floor. It is the crash-injection tests' kill switch: after
+// Freeze, the file's contents are exactly what a SIGKILL at this instant
+// would have left behind (records appended before the freeze, nothing
+// after), deterministically. Production code never calls it.
+func (j *Journal) Freeze() {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	if !j.closed && !j.frozen {
+		if err := j.bw.Flush(); err != nil {
+			j.noteWriteErrLocked(err)
+		}
+	}
+	j.frozen = true
+	j.mu.Unlock()
+}
+
+// Close flushes, fsyncs and closes the log. Safe to call once; appends
+// afterwards fail.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	close(j.quit)
+	<-j.done
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	if err := j.bw.Flush(); err != nil {
+		j.noteWriteErrLocked(err)
+	}
+	j.closed = true
+	f, werr := j.f, j.werr
+	j.mu.Unlock()
+	syncErr := f.Sync()
+	closeErr := f.Close()
+	switch {
+	case werr != nil:
+		return fmt.Errorf("journal: %w", werr)
+	case syncErr != nil:
+		return fmt.Errorf("journal: %w", syncErr)
+	case closeErr != nil:
+		return fmt.Errorf("journal: %w", closeErr)
+	}
+	return nil
+}
+
+// JobAccepted journals a job entering the queue.
+func (j *Journal) JobAccepted(id string, specs json.RawMessage, summaryOnly bool) error {
+	return j.Append(Record{Op: OpJob, Job: id, Specs: specs, SummaryOnly: summaryOnly})
+}
+
+// JobTerminal journals a job reaching a terminal state; summary is the
+// full summary document for done jobs, nil otherwise.
+func (j *Journal) JobTerminal(id, state, errMsg string, summary json.RawMessage) error {
+	return j.Append(Record{Op: OpTerm, Job: id, State: state, Error: errMsg, Summary: summary})
+}
+
+// PutPlan journals a sweep's chunk content keys in chunk-index order.
+func (j *Journal) PutPlan(job string, keys []string) {
+	if j == nil {
+		return
+	}
+	_ = j.Append(Record{Op: OpPlan, Job: job, Keys: keys})
+}
+
+// PutChunk journals one completed chunk's canonical summary under its
+// content key and adds it to the live completed-chunk set, so identical
+// chunks — in a resumed sweep or a re-submitted one — are skipped.
+func (j *Journal) PutChunk(job, key string, canonical []byte) {
+	if j == nil || key == "" {
+		return
+	}
+	if err := j.Append(Record{Op: OpChunk, Job: job, Key: key, Summary: canonical}); err != nil {
+		return // an unjournaled chunk is merely re-run after a restart
+	}
+	j.cmu.Lock()
+	j.chunks[key] = canonical
+	j.cmu.Unlock()
+}
+
+// GetChunk returns the canonical summary journaled under the chunk content
+// key, if any — replayed at Open or recorded by PutChunk since.
+func (j *Journal) GetChunk(key string) ([]byte, bool) {
+	if j == nil {
+		return nil, false
+	}
+	j.cmu.Lock()
+	buf, ok := j.chunks[key]
+	j.cmu.Unlock()
+	return buf, ok
+}

@@ -1,0 +1,241 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openT(t *testing.T, dir string) *Journal {
+	t.Helper()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return j
+}
+
+// TestAppendReplayRoundTrip pins the basic contract: records appended in
+// one process are replayed, in order and in full, by the next.
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, dir)
+	if err := j.JobAccepted("j000001", json.RawMessage(`[{"name":"a"}]`), true); err != nil {
+		t.Fatal(err)
+	}
+	j.PutPlan("j000001", []string{"k1", "k2"})
+	j.PutChunk("j000001", "k1", []byte(`{"groups":{}}`))
+	if err := j.JobTerminal("j000001", "done", "", json.RawMessage(`{"groups":{}}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openT(t, dir)
+	defer j2.Close()
+	st := j2.State()
+	if st.Truncated {
+		t.Fatal("clean log replayed as truncated")
+	}
+	if st.Records != 4 {
+		t.Fatalf("replayed %d records, want 4", st.Records)
+	}
+	js, ok := st.Jobs["j000001"]
+	if !ok {
+		t.Fatal("job j000001 not replayed")
+	}
+	if !js.SummaryOnly || string(js.Specs) != `[{"name":"a"}]` {
+		t.Fatalf("job state wrong: %+v", js)
+	}
+	if !js.Terminal() || js.State != "done" {
+		t.Fatalf("terminal record lost: %+v", js)
+	}
+	if buf, ok := j2.GetChunk("k1"); !ok || string(buf) != `{"groups":{}}` {
+		t.Fatalf("chunk k1 = %q, %v; want the journaled summary", buf, ok)
+	}
+	if _, ok := j2.GetChunk("k2"); ok {
+		t.Fatal("chunk k2 was never completed but replayed as present")
+	}
+}
+
+// TestTornTailTruncates cuts the log mid-frame at every possible byte
+// boundary of the final record: replay must keep every whole record before
+// the tear and report the tear, and Open must truncate the file so the
+// journal appends cleanly after it.
+func TestTornTailTruncates(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, dir)
+	for i := 0; i < 3; i++ {
+		j.PutChunk("", string(rune('a'+i)), []byte(`"xxxxxxxxxx"`))
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "journal.log")
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, valid := Replay(bytes.NewReader(whole))
+	if st.Records != 3 || valid != int64(len(whole)) {
+		t.Fatalf("clean replay: %d records, %d/%d bytes", st.Records, valid, len(whole))
+	}
+
+	// Find the last record's start: replay the prefix lengths.
+	var offsets []int64
+	off := int64(0)
+	for off < int64(len(whole)) {
+		offsets = append(offsets, off)
+		n := binary.LittleEndian.Uint32(whole[off : off+4])
+		off += frameHeaderSize + int64(n)
+	}
+	last := offsets[len(offsets)-1]
+	for cut := last + 1; cut < int64(len(whole)); cut++ {
+		st, valid := Replay(bytes.NewReader(whole[:cut]))
+		if st.Records != 2 {
+			t.Fatalf("cut at %d: replayed %d records, want 2", cut, st.Records)
+		}
+		if valid != last {
+			t.Fatalf("cut at %d: valid length %d, want %d", cut, valid, last)
+		}
+		if !st.Truncated {
+			t.Fatalf("cut at %d: tear not reported", cut)
+		}
+	}
+
+	// Open over a torn file truncates and stays appendable.
+	if err := os.WriteFile(path, whole[:last+3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2 := openT(t, dir)
+	if j2.State().Records != 2 || !j2.State().Truncated {
+		t.Fatalf("torn open: %+v", j2.State())
+	}
+	j2.PutChunk("", "d", []byte(`"yyyy"`))
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j3 := openT(t, dir)
+	defer j3.Close()
+	if j3.State().Records != 3 || j3.State().Truncated {
+		t.Fatalf("post-truncation log unhealthy: %+v", j3.State())
+	}
+	if _, ok := j3.GetChunk("d"); !ok {
+		t.Fatal("record appended after truncation was lost")
+	}
+}
+
+// TestCorruptTailTruncates flips one payload byte of the final record: the
+// checksum must reject it and replay must fall back to the prefix.
+func TestCorruptTailTruncates(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, dir)
+	j.PutChunk("", "k1", []byte(`"aaaa"`))
+	j.PutChunk("", "k2", []byte(`"bbbb"`))
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "journal.log")
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := append([]byte(nil), whole...)
+	corrupt[len(corrupt)-1] ^= 0xFF
+	st, _ := Replay(bytes.NewReader(corrupt))
+	if st.Records != 1 || !st.Truncated {
+		t.Fatalf("corrupt tail: %d records, truncated=%v; want 1, true", st.Records, st.Truncated)
+	}
+	if _, ok := st.Chunks["k2"]; ok {
+		t.Fatal("corrupt record's content survived replay")
+	}
+}
+
+// TestFreezeDropsSubsequentAppends pins the crash-injection contract:
+// appends after Freeze leave no trace on disk, appends before it all do.
+func TestFreezeDropsSubsequentAppends(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, dir)
+	j.PutChunk("", "before", []byte(`"a"`))
+	j.Freeze()
+	j.PutChunk("", "after", []byte(`"b"`))
+	if err := j.JobTerminal("j1", "done", "", nil); err != nil {
+		t.Fatalf("frozen append must silently drop, got %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2 := openT(t, dir)
+	defer j2.Close()
+	st := j2.State()
+	if st.Records != 1 {
+		t.Fatalf("frozen journal has %d records, want 1", st.Records)
+	}
+	if _, ok := st.Chunks["after"]; ok {
+		t.Fatal("append after Freeze reached the disk")
+	}
+	if _, ok := st.Chunks["before"]; !ok {
+		t.Fatal("append before Freeze was lost")
+	}
+}
+
+// TestNilJournalNoOps: a nil *Journal must be safely wire-through-able.
+func TestNilJournalNoOps(t *testing.T) {
+	var j *Journal
+	if err := j.Append(Record{Op: OpJob}); err != nil {
+		t.Fatal(err)
+	}
+	j.PutPlan("x", nil)
+	j.PutChunk("x", "k", nil)
+	if _, ok := j.GetChunk("k"); ok {
+		t.Fatal("nil journal returned a chunk")
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	j.Freeze()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Records() != 0 || j.State() == nil || j.Path() != "" {
+		t.Fatal("nil journal accessors misbehave")
+	}
+}
+
+// TestConcurrentAppends hammers Append from many goroutines (the race
+// detector's target) and verifies every record replays.
+func TestConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, dir)
+	const writers, per = 8, 50
+	done := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < per; i++ {
+				j.PutChunk("", string(rune('A'+w))+"-"+string(rune('0'+i%10)), []byte(`"p"`))
+			}
+		}(w)
+	}
+	for w := 0; w < writers; w++ {
+		<-done
+	}
+	if got := j.Records(); got != writers*per {
+		t.Fatalf("Records() = %d, want %d", got, writers*per)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2 := openT(t, dir)
+	defer j2.Close()
+	if j2.State().Records != writers*per {
+		t.Fatalf("replayed %d records, want %d", j2.State().Records, writers*per)
+	}
+}

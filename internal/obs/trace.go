@@ -22,6 +22,11 @@ const (
 	PhaseFailed  Phase = "failed"
 	PhaseDone    Phase = "done"
 	PhaseRetired Phase = "retired"
+	// PhaseResumed marks work satisfied from the journal instead of being
+	// re-executed: a chunk whose recorded summary was replayed into the
+	// merge, or a job re-admitted after a restart. It neither opens nor
+	// closes a span — no execution happened to time.
+	PhaseResumed Phase = "resumed"
 )
 
 // opens reports whether the phase starts a span whose duration the

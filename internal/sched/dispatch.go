@@ -239,6 +239,28 @@ func (d *Dispatcher) Done(w int, c Chunk) {
 	}
 }
 
+// Resolve marks pending chunk c done without any worker running it — its
+// summary was satisfied from a journal's completed-chunk store. No worker
+// counters move (no worker did anything); progress advances exactly as a
+// completed chunk's would, and a dispatch whose every chunk resolves
+// completes with workers never claiming at all.
+func (d *Dispatcher) Resolve(c Chunk) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.state[c.Index] != statePending {
+		panic(fmt.Sprintf("sched: Resolve(%d) on chunk in state %d", c.Index, d.state[c.Index]))
+	}
+	d.state[c.Index] = stateDone
+	d.pending--
+	d.doneChunks++
+	d.doneCost += c.Cost
+	d.doneSpecs += c.Specs()
+	d.tr.Record(d.job, c.Index, obs.NoWorker, obs.PhaseResumed, "")
+	if d.pending == 0 {
+		d.cond.Broadcast()
+	}
+}
+
 // Fail records worker w failing chunk c with err and re-queues the chunk
 // for reassignment. When every worker still standing has failed the
 // chunk, the dispatch fails terminally — the fleet cannot serve it.

@@ -293,6 +293,16 @@ type queue struct {
 	running int
 	pending chan *job
 	wg      sync.WaitGroup
+
+	// accepted/rejected are the journaling hooks (service wiring, set
+	// before the queue takes traffic). accepted runs after a submitted job
+	// is registered but strictly before it becomes runnable — a job must
+	// never start executing before its acceptance is durable, or a crash
+	// in that window leaves an untraceable job. rejected runs when a
+	// backlog-full rollback deregisters an accepted job again, so the
+	// journal's view terminalizes too. Nil hooks no-op.
+	accepted func(*job)
+	rejected func(*job)
 }
 
 // newQueue starts workers goroutines draining the pending channel.
@@ -346,6 +356,7 @@ func (q *queue) submit(specs []spec.ScenarioSpec, summaryOnly bool) (*job, error
 	q.queued++
 	q.jobs[jb.id] = jb
 	q.order = append(q.order, jb.id)
+	accepted := q.accepted
 	// Evict the oldest terminal jobs beyond the retention bound; live jobs
 	// are never evicted, so the store can transiently exceed the bound
 	// under a backlog of unfinished jobs.
@@ -364,6 +375,58 @@ func (q *queue) submit(specs []spec.ScenarioSpec, summaryOnly bool) (*job, error
 		}
 	}
 	q.mu.Unlock()
+	// Journal the acceptance before the job can start: once it is in the
+	// pending channel a worker may execute (and crash) immediately, and a
+	// job that ran before its acceptance was durable could never resume.
+	if accepted != nil {
+		accepted(jb)
+	}
+	select {
+	case q.pending <- jb:
+		return jb, nil
+	default:
+		jb.markDequeued()
+		jb.finish(JobFailed, "queue backlog full")
+		q.mu.Lock()
+		delete(q.jobs, jb.id)
+		for i := len(q.order) - 1; i >= 0; i-- {
+			if q.order[i] == jb.id {
+				q.order = append(q.order[:i], q.order[i+1:]...)
+				break
+			}
+		}
+		q.mu.Unlock()
+		// The journal saw an acceptance for a job the caller was refused:
+		// terminalize it there too, or a restart would resurrect a ghost.
+		if q.rejected != nil {
+			q.rejected(jb)
+		}
+		return nil, fmt.Errorf("service: queue backlog full (%d jobs pending)", cap(q.pending))
+	}
+}
+
+// resubmit re-admits a journaled non-terminal job under its original id
+// after a restart — the counterpart of submit for jobs the journal proves
+// were accepted but never finished. The id must be free (the caller
+// replays the journal before taking traffic, so a collision means a
+// corrupt log) and the queue's id counter advances past it so fresh
+// submissions never collide with resurrected ids.
+func (q *queue) resubmit(id string, specs []spec.ScenarioSpec, summaryOnly bool) (*job, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("service: job has no specs")
+	}
+	q.mu.Lock()
+	if _, exists := q.jobs[id]; exists {
+		q.mu.Unlock()
+		return nil, fmt.Errorf("service: job %s already exists", id)
+	}
+	q.noteIDLocked(id)
+	jb := newJob(id, specs, summaryOnly)
+	jb.onDequeue = q.decQueued
+	q.queued++
+	q.jobs[jb.id] = jb
+	q.order = append(q.order, jb.id)
+	q.mu.Unlock()
 	select {
 	case q.pending <- jb:
 		return jb, nil
@@ -380,6 +443,29 @@ func (q *queue) submit(specs []spec.ScenarioSpec, summaryOnly bool) (*job, error
 		}
 		q.mu.Unlock()
 		return nil, fmt.Errorf("service: queue backlog full (%d jobs pending)", cap(q.pending))
+	}
+}
+
+// install registers an already-terminal job in the store without queueing
+// it — how restored done/failed jobs re-enter the job index. Duplicate ids
+// are dropped: the live store wins over the journal.
+func (q *queue) install(jb *job) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, exists := q.jobs[jb.id]; exists {
+		return
+	}
+	q.noteIDLocked(jb.id)
+	q.jobs[jb.id] = jb
+	q.order = append(q.order, jb.id)
+}
+
+// noteIDLocked advances the id counter past a resurrected "j%06d" id so
+// fresh submissions never reuse it. Callers hold q.mu.
+func (q *queue) noteIDLocked(id string) {
+	var n int
+	if _, err := fmt.Sscanf(id, "j%d", &n); err == nil && n > q.nextID {
+		q.nextID = n
 	}
 }
 

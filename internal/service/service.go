@@ -1,7 +1,9 @@
 package service
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
@@ -9,6 +11,7 @@ import (
 	"time"
 
 	"nochatter/internal/agg"
+	"nochatter/internal/journal"
 	"nochatter/internal/obs"
 	"nochatter/internal/sched"
 	"nochatter/internal/sim"
@@ -95,6 +98,12 @@ type Service struct {
 	// 404s.
 	fleet func(ctx context.Context) any
 
+	// jnl, when set (SetJournal), records job acceptance and terminal
+	// state to the crash-safe journal, and ResumeJournal re-admits
+	// journaled non-terminal jobs after a restart. Nil disables
+	// persistence; every hook no-ops.
+	jnl *journal.Journal
+
 	// reg is the service's metrics registry: every counter below is a
 	// registry metric under its historical /metrics key, and the /metrics
 	// document is a single registry snapshot. tracer records job (and,
@@ -117,6 +126,9 @@ type Service struct {
 
 	jobWallMS *obs.Histogram // per-job wall time, ms
 	specRunUS *obs.Histogram // per-spec serve time (cache hits included), µs
+
+	jobsResumed *obs.Counter // jobs re-admitted from the journal
+	resumeMS    *obs.Gauge   // wall time of the last ResumeJournal, ms
 }
 
 // New returns a started service; Close releases its job workers.
@@ -150,6 +162,8 @@ func (s *Service) initObs() {
 	s.summaryMisses = s.reg.Counter("summary_cache_misses")
 	s.jobWallMS = s.reg.Histogram("job_wall_ms")
 	s.specRunUS = s.reg.Histogram("spec_run_us")
+	s.jobsResumed = s.reg.Counter("jobs_resumed")
+	s.resumeMS = s.reg.Gauge("resume_ms")
 	s.reg.GaugeFunc("cache_entries", func() float64 { return float64(s.cache.len()) })
 	s.reg.GaugeFunc("jobs_queued", func() float64 {
 		queued, _ := s.queue.depth()
@@ -227,6 +241,152 @@ func (s *Service) SetSchedulerStats(fn func() sched.FleetStats) {
 // service takes traffic.
 func (s *Service) SetFleet(fn func(ctx context.Context) any) {
 	s.fleet = fn
+}
+
+// SetJournal attaches the crash-safe journal: every accepted job and every
+// terminal transition is recorded, so ResumeJournal can rebuild the job
+// store after a restart. Call it before the service takes traffic,
+// alongside the other wiring hooks; it is not synchronized against running
+// jobs. A nil journal (or never calling this) disables persistence.
+//
+// Acceptance is journaled from inside the queue, after the job is
+// registered but before it becomes runnable — a job must never start
+// executing (or crash) ahead of its acceptance record, and the append is
+// cheap enough to sit on the submission path. A submission rolled back by
+// a full backlog terminalizes in the journal too, so a restart does not
+// resurrect a job whose caller was refused.
+func (s *Service) SetJournal(j *journal.Journal) {
+	s.jnl = j
+	if j == nil {
+		s.queue.accepted, s.queue.rejected = nil, nil
+		return
+	}
+	s.queue.accepted = func(jb *job) {
+		if raw, err := json.Marshal(jb.specs); err == nil {
+			_ = j.JobAccepted(jb.id, raw, jb.summaryOnly)
+		}
+	}
+	s.queue.rejected = func(jb *job) { s.journalTerminal(jb, jb.status()) }
+}
+
+// ResumeJournal rebuilds job state from the attached journal, called once
+// at startup before the service takes traffic. Terminal jobs are restored
+// into the job store — status and summary survive the restart; raw result
+// rows do not, so restored jobs serve like summary-only ones — and
+// non-terminal jobs are re-admitted to the queue under their original ids,
+// where they re-run from the top: replanning is deterministic, and every
+// chunk the journal holds a completed summary for is skipped by the
+// coordinator's chunk store, so only the unfinished remainder executes.
+//
+// Resume is deliberately invisible to the submission metrics: sweep_jobs
+// counts client submissions and a re-admitted job is not a new one.
+// jobs_resumed counts the re-admissions instead, resume_ms the wall time
+// of the rebuild, and each re-admitted job's trace gains a resumed event.
+// It returns how many jobs were re-admitted.
+func (s *Service) ResumeJournal() (int, error) {
+	if s.jnl == nil {
+		return 0, nil
+	}
+	begin := time.Now()
+	st := s.jnl.State()
+	// Restore terminal jobs only up to the retention bound, newest first —
+	// the journal remembers every job since the log began, the store
+	// deliberately does not.
+	keep := make(map[string]bool)
+	terminal := 0
+	for i := len(st.Order) - 1; i >= 0; i-- {
+		js := st.Jobs[st.Order[i]]
+		if js.Terminal() && len(js.Specs) > 0 && terminal < s.cfg.RetainedJobs {
+			keep[js.ID] = true
+			terminal++
+		}
+	}
+	resumed := 0
+	var firstErr error
+	for _, id := range st.Order {
+		js := st.Jobs[id]
+		specs, err := decodeJournaledSpecs(js.Specs)
+		if err != nil || len(specs) == 0 {
+			continue // chunk-only entries and jobs whose spec list never landed
+		}
+		if js.Terminal() {
+			if keep[id] {
+				s.restoreTerminal(id, specs, js)
+			}
+			continue
+		}
+		if _, err := s.queue.resubmit(id, specs, js.SummaryOnly); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		resumed++
+		s.jobsResumed.Add(1)
+		s.tracer.Record(id, obs.NoChunk, obs.NoWorker, obs.PhaseResumed, "")
+		s.tracer.Record(id, obs.NoChunk, obs.NoWorker, obs.PhaseQueued, "")
+	}
+	s.resumeMS.Set(time.Since(begin).Milliseconds())
+	return resumed, firstErr
+}
+
+// decodeJournaledSpecs decodes a journaled spec list with UseNumber — the
+// same convention Parse and ParseSweepDef follow — so 64-bit algorithm
+// parameters (randomized seeds) survive the journal round-trip with full
+// precision instead of sagging through float64.
+func decodeJournaledSpecs(raw json.RawMessage) ([]spec.ScenarioSpec, error) {
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var specs []spec.ScenarioSpec
+	if err := dec.Decode(&specs); err != nil {
+		return nil, err
+	}
+	return specs, nil
+}
+
+// restoreTerminal rebuilds one finished job from its journal state. Raw
+// rows are not journaled, so the restored job retains none (its results
+// endpoint refuses, like a summary-only job's); a done job without a
+// readable summary cannot be served and is dropped entirely.
+func (s *Service) restoreTerminal(id string, specs []spec.ScenarioSpec, js *journal.JobState) {
+	state := JobState(js.State)
+	if state != JobDone && state != JobFailed {
+		return
+	}
+	var sum *agg.Summary
+	if state == JobDone {
+		sum = agg.NewSummary()
+		if len(js.Summary) == 0 || json.Unmarshal(js.Summary, sum) != nil {
+			return
+		}
+	}
+	jb := newJob(id, specs, true)
+	jb.state = state
+	jb.errMsg = js.Error
+	jb.dequeued = true // never queued in this process; nothing to decrement
+	if state == JobDone {
+		jb.completed = len(specs)
+		jb.summary = sum
+	}
+	s.queue.install(jb)
+}
+
+// journalTerminal records a job's terminal transition, carrying the full
+// summary document for done jobs so the summary store survives restarts.
+func (s *Service) journalTerminal(jb *job, st JobStatus) {
+	if s.jnl == nil {
+		return
+	}
+	var sumRaw json.RawMessage
+	if st.State == JobDone {
+		if sum := jb.summarySnapshot(); sum != nil {
+			sumRaw, _ = json.Marshal(sum)
+		}
+	}
+	_ = s.jnl.JobTerminal(jb.id, string(st.State), st.Error, sumRaw)
 }
 
 // SetExecutor replaces the per-spec execution function the cache sits in
@@ -440,8 +600,10 @@ func (s *Service) CancelJob(id string) (JobStatus, bool) {
 	st := jb.status()
 	if wasQueued && st.State == JobFailed {
 		// A cancel-while-queued never reaches runJob, so its terminal trace
-		// event is recorded here; running jobs get theirs when runJob exits.
+		// event — and its terminal journal record — is recorded here; running
+		// jobs get theirs when runJob exits.
 		s.tracer.Record(jb.id, obs.NoChunk, obs.NoWorker, obs.PhaseFailed, "canceled")
+		s.journalTerminal(jb, st)
 	}
 	return st, true
 }
@@ -461,11 +623,13 @@ func (s *Service) runJob(jb *job) {
 		s.runJobLocal(jb)
 	}
 	s.jobWallMS.Observe(time.Since(begin).Milliseconds())
-	if st := jb.status(); st.State == JobDone {
+	st := jb.status()
+	if st.State == JobDone {
 		s.tracer.Record(jb.id, obs.NoChunk, obs.NoWorker, obs.PhaseDone, "")
 	} else {
 		s.tracer.Record(jb.id, obs.NoChunk, obs.NoWorker, obs.PhaseFailed, st.Error)
 	}
+	s.journalTerminal(jb, st)
 }
 
 // runJobLocal executes a job's specs on a bounded worker pool, each spec

@@ -172,7 +172,11 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("-journal: %w", err)
 		}
-		defer jnl.Close()
+		defer func() {
+			if err := jnl.Close(); err != nil {
+				logger.Error("journal close", "err", err)
+			}
+		}()
 		jnl.SetObs(svc.Registry())
 		if coord != nil {
 			coord.SetChunkStore(jnl)

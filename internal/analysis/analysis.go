@@ -21,6 +21,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"time"
 
 	"nochatter/internal/analysis/load"
 )
@@ -47,7 +48,28 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
-	diags *[]Diagnostic
+	facts    *FactDB
+	diags    *[]Diagnostic
+	allowIdx *allowIndex
+}
+
+// ExportObjectFact records a fact about obj (a package-level object or
+// method of the package under analysis) for later passes over importing
+// packages. With no fact database wired (single-package runs), exporting
+// is a no-op — in-package analysis never depends on it.
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) error {
+	if p.facts == nil {
+		return nil
+	}
+	return p.facts.export(obj, f, obj.Pos())
+}
+
+// ImportObjectFact decodes the fact recorded for obj under f's FactName
+// into f, reporting whether one existed. Objects from imported packages
+// resolve by stable key, so facts exported by the pass that analyzed the
+// dependency from source are visible here through export-data objects.
+func (p *Pass) ImportObjectFact(obj types.Object, f Fact) bool {
+	return p.facts.lookup(obj, f)
 }
 
 // Diagnostic is one finding, already resolved to a file position.
@@ -71,13 +93,40 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// RunPackage runs the analyzers over one loaded package and returns the
-// surviving findings, sorted by position: `//lint:allow`-suppressed
+// Stats accumulates per-analyzer wall time across RunPackageFacts calls,
+// so suite-cost regressions are visible in CI (the lint job prints it).
+type Stats struct {
+	Elapsed map[string]time.Duration
+}
+
+// add accumulates one analyzer's elapsed time. A nil *Stats discards.
+func (s *Stats) add(name string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	if s.Elapsed == nil {
+		s.Elapsed = make(map[string]time.Duration)
+	}
+	s.Elapsed[name] += d
+}
+
+// RunPackage runs the analyzers over one loaded package with no fact
+// database — the single-package form used by tests over isolated copies.
+// Cross-package facts resolve to nothing; in-package analysis is complete.
+func RunPackage(pkg *load.Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunPackageFacts(pkg, analyzers, nil, nil)
+}
+
+// RunPackageFacts runs the analyzers over one loaded package and returns
+// the surviving findings, sorted by position: `//lint:allow`-suppressed
 // diagnostics are dropped, and malformed allow annotations are themselves
 // reported (the escape hatch must carry a justification). A package with
 // type errors yields those as diagnostics instead of running any analyzer
-// — findings over a package that does not compile would be noise.
-func RunPackage(pkg *load.Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+// — findings over a package that does not compile would be noise. Facts
+// exported by the analyzers land in db (which must already hold the facts
+// of the package's dependencies — the driver analyzes in dependency
+// order); stats, when non-nil, accumulates per-analyzer wall time.
+func RunPackageFacts(pkg *load.Package, analyzers []*Analyzer, db *FactDB, stats *Stats) ([]Diagnostic, error) {
 	if len(pkg.TypeErrors) > 0 {
 		diags := make([]Diagnostic, 0, len(pkg.TypeErrors))
 		for _, err := range pkg.TypeErrors {
@@ -99,9 +148,13 @@ func RunPackage(pkg *load.Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			facts:     db,
 			diags:     &diags,
 		}
-		if err := a.Run(pass); err != nil {
+		start := time.Now()
+		err := a.Run(pass)
+		stats.add(a.Name, time.Since(start))
+		if err != nil {
 			return nil, fmt.Errorf("analysis %s on %s: %w", a.Name, pkg.Path, err)
 		}
 	}

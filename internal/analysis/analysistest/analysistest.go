@@ -15,6 +15,20 @@
 // Findings without a want, and wants without a finding, fail the test.
 // `//lint:allow` suppression runs before matching, so fixtures also prove
 // the escape hatch works.
+//
+// Packages load through load.Tree, so fixtures may import each other
+// (testdata/src/a importing testdata/src/a/dep), and all packages named in
+// one Run share a fact database the way the gatherlint driver shares one:
+// list dependencies before dependents, and each package's facts are
+// round-tripped through their serialized form before the next package
+// runs. A line where the analyzer should export a fact carries
+//
+//	func Helper() {} // want-fact "regexp"
+//
+// matched against the rendering (fmt.Sprint) of a fact exported for an
+// object defined on that line. want-fact asserts presence, not
+// exhaustiveness: facts without annotations are fine (they are
+// implementation detail), annotations without facts fail.
 package analysistest
 
 import (
@@ -33,12 +47,15 @@ import (
 var wantRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
 
 // Run loads each testdata package and checks the analyzer's diagnostics
-// against its want annotations.
+// against its want annotations and its exported facts against want-fact
+// annotations. Packages are analyzed in the listed order over one shared
+// fact database — list fixture dependencies before their dependents.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, importPaths ...string) {
 	t.Helper()
+	tree := load.NewTree(filepath.Join(testdata, "src"))
+	db := analysis.NewFactDB()
 	for _, path := range importPaths {
-		dir := filepath.Join(testdata, "src", filepath.FromSlash(path))
-		pkg, err := load.Dir(dir, path)
+		pkg, err := tree.Load(path)
 		if err != nil {
 			t.Errorf("%s: load: %v", path, err)
 			continue
@@ -49,12 +66,24 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, importPaths ...str
 		if len(pkg.TypeErrors) > 0 {
 			continue
 		}
-		diags, err := analysis.RunPackage(pkg, []*analysis.Analyzer{a})
+		diags, err := analysis.RunPackageFacts(pkg, []*analysis.Analyzer{a}, db, nil)
 		if err != nil {
 			t.Errorf("%s: %v", path, err)
 			continue
 		}
 		check(t, pkg, diags)
+		checkFacts(t, pkg, db)
+		// Round-trip the package's facts exactly like the driver, so a
+		// fixture dependency's facts reach the dependent in serialized form.
+		data, err := db.EncodePackage(path)
+		if err != nil {
+			t.Errorf("%s: encode facts: %v", path, err)
+			continue
+		}
+		db.DropPackage(path)
+		if err := db.DecodePackage(path, data); err != nil {
+			t.Errorf("%s: decode facts: %v", path, err)
+		}
 	}
 }
 
@@ -69,9 +98,9 @@ type want struct {
 // check compares findings against the package's want annotations.
 func check(t *testing.T, pkg *load.Package, diags []analysis.Diagnostic) {
 	t.Helper()
-	wants := collectWants(t, pkg)
+	wants := collectWants(t, pkg, "// want ")
 	for _, d := range diags {
-		if w := matchWant(wants, d); w != nil {
+		if w := matchWant(wants, d.Pos.Filename, d.Pos.Line, d.Message); w != nil {
 			w.matched = true
 			continue
 		}
@@ -84,24 +113,47 @@ func check(t *testing.T, pkg *load.Package, diags []analysis.Diagnostic) {
 	}
 }
 
-// matchWant finds an unmatched want covering the diagnostic.
-func matchWant(wants []*want, d analysis.Diagnostic) *want {
+// checkFacts compares the database's exported facts against the package's
+// want-fact annotations. Presence-only: every annotation must match a fact
+// recorded for an object defined on its line, unannotated facts pass.
+func checkFacts(t *testing.T, pkg *load.Package, db *analysis.FactDB) {
+	t.Helper()
+	wants := collectWants(t, pkg, "// want-fact ")
+	if len(wants) == 0 {
+		return
+	}
+	for _, ef := range db.Exported() {
+		pos := pkg.Fset.Position(ef.Pos)
+		if w := matchWant(wants, pos.Filename, pos.Line, fmt.Sprint(ef.Fact)); w != nil {
+			w.matched = true
+		}
+	}
 	for _, w := range wants {
-		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {
+		if !w.matched {
+			t.Errorf("%s:%d: expected an exported fact matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// matchWant finds an unmatched want at file:line whose pattern matches.
+func matchWant(wants []*want, file string, line int, text string) *want {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.pattern.MatchString(text) {
 			return w
 		}
 	}
 	return nil
 }
 
-// collectWants scans the package's comments for want annotations.
-func collectWants(t *testing.T, pkg *load.Package) []*want {
+// collectWants scans the package's comments for annotations with the given
+// prefix ("// want " or "// want-fact ").
+func collectWants(t *testing.T, pkg *load.Package, prefix string) []*want {
 	t.Helper()
 	var wants []*want
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "// want ")
+				text, ok := strings.CutPrefix(c.Text, prefix)
 				if !ok {
 					continue
 				}

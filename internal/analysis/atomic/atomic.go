@@ -1,0 +1,259 @@
+// Package atomic enforces the module's concurrent-access disciplines that
+// the race detector only catches when a test happens to interleave them:
+//
+//  1. Mixed atomic/plain access: a field passed to sync/atomic functions
+//     (atomic.AddInt64(&s.n, 1)) anywhere in the package must be accessed
+//     through sync/atomic everywhere — one plain read or write tears the
+//     synchronization (the typed atomic.Int64 form makes this impossible,
+//     which is why the module prefers it; this rule polices the residue).
+//  2. The obs nil-receiver contract: internal/obs promises that a nil
+//     registry/tracer is a valid no-op sink (DESIGN.md §13) so call sites
+//     never guard. Every exported pointer-receiver method on an exported
+//     obs type must therefore check its receiver for nil before touching a
+//     field — a method that dereferences first turns "observability off"
+//     into a panic in the instrumented hot path.
+package atomic
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"nochatter/internal/analysis"
+)
+
+// Analyzer is the atomic pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomic",
+	Doc: "flag fields accessed both through sync/atomic and plainly, and " +
+		"exported obs methods that dereference a possibly-nil receiver " +
+		"without a guard",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	checkMixedAccess(pass)
+	if analysis.ObsPackage(pass.Pkg.Path()) {
+		checkNilReceivers(pass)
+	}
+	return nil
+}
+
+// checkMixedAccess finds struct fields used as &x.f arguments to
+// sync/atomic package functions, then reports every plain (non-atomic)
+// access to those fields in the same package.
+func checkMixedAccess(pass *analysis.Pass) {
+	atomicFields := make(map[*types.Var]string) // field → atomic func name
+	atomicSites := make(map[*ast.SelectorExpr]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := arg.(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				fsel, ok := u.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if f := fieldOf(pass.TypesInfo, fsel); f != nil {
+					if _, seen := atomicFields[f]; !seen {
+						atomicFields[f] = "atomic." + fn.Name()
+					}
+					atomicSites[fsel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fsel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicSites[fsel] {
+				return true
+			}
+			f := fieldOf(pass.TypesInfo, fsel)
+			if f == nil {
+				return true
+			}
+			via, ok := atomicFields[f]
+			if !ok {
+				return true
+			}
+			pass.Reportf(fsel.Pos(),
+				"field %s is accessed via %s elsewhere in this package but plainly here: every access must go through sync/atomic, or the field should become a typed atomic value (atomic, DESIGN.md §15)",
+				f.Name(), via)
+			return true
+		})
+	}
+}
+
+// fieldOf resolves a selector to the struct field it selects, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// checkNilReceivers enforces the obs nil-receiver contract: an exported
+// pointer-receiver method on an exported type must not select a receiver
+// field before a terminating `if recv == nil` guard. Calling other methods
+// on the receiver is fine (they guard themselves); value receivers cannot
+// be nil; unexported methods are only reachable through guarded entry
+// points.
+func checkNilReceivers(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || !fd.Name.IsExported() {
+				continue
+			}
+			recv := receiverVar(pass.TypesInfo, fd)
+			if recv == nil {
+				continue
+			}
+			deref := firstFieldDeref(pass.TypesInfo, fd.Body, recv)
+			if deref == token.NoPos {
+				continue
+			}
+			guard := nilGuardPos(pass.TypesInfo, fd.Body, recv)
+			if guard == token.NoPos || guard > deref {
+				pass.Reportf(deref,
+					"exported method %s dereferences receiver %s before a nil guard: obs promises nil receivers are no-op sinks — start with `if %s == nil { return ... }` (atomic, DESIGN.md §15)",
+					fd.Name.Name, recv.Name(), recv.Name())
+			}
+		}
+	}
+}
+
+// receiverVar returns the method's receiver variable when the receiver is
+// a pointer to an exported named type (the contract's scope), else nil.
+func receiverVar(info *types.Info, fd *ast.FuncDecl) *types.Var {
+	if len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return nil // unnamed receiver: the body cannot dereference it
+	}
+	id := fd.Recv.List[0].Names[0]
+	v, ok := info.Defs[id].(*types.Var)
+	if !ok {
+		return nil
+	}
+	ptr, ok := v.Type().(*types.Pointer)
+	if !ok {
+		return nil // value receiver: a nil pointer never reaches it
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || !named.Obj().Exported() {
+		return nil
+	}
+	return v
+}
+
+// firstFieldDeref returns the position of the earliest receiver field
+// selection in the body, or NoPos. Method calls on the receiver are not
+// dereferences (the callee guards itself).
+func firstFieldDeref(info *types.Info, body *ast.BlockStmt, recv *types.Var) token.Pos {
+	first := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || info.Uses[id] != recv {
+			return true
+		}
+		s, ok := info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		if first == token.NoPos || sel.Pos() < first {
+			first = sel.Pos()
+		}
+		return true
+	})
+	return first
+}
+
+// nilGuardPos returns the position of the first `if recv == nil` statement
+// whose then-branch terminates with a return, or NoPos.
+func nilGuardPos(info *types.Info, body *ast.BlockStmt, recv *types.Var) token.Pos {
+	found := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != token.NoPos {
+			return false
+		}
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		if !isNilCheck(info, ifs.Cond, recv) || !terminates(ifs.Body) {
+			return true
+		}
+		found = ifs.Pos()
+		return false
+	})
+	return found
+}
+
+// isNilCheck matches `recv == nil` (either operand order), possibly as a
+// disjunct of an || chain: `if h == nil || o == nil { return }` still
+// returns whenever the receiver is nil. A conjunct does not qualify — the
+// other condition could keep a nil receiver alive.
+func isNilCheck(info *types.Info, cond ast.Expr, recv *types.Var) bool {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	if be.Op == token.LOR {
+		return isNilCheck(info, be.X, recv) || isNilCheck(info, be.Y, recv)
+	}
+	if be.Op != token.EQL {
+		return false
+	}
+	isRecv := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && info.Uses[id] == recv
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return (isRecv(be.X) && isNil(be.Y)) || (isNil(be.X) && isRecv(be.Y))
+}
+
+// terminates reports whether the block's last statement is a return or a
+// panic call.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

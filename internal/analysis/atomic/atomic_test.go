@@ -1,0 +1,14 @@
+package atomic_test
+
+import (
+	"testing"
+
+	"nochatter/internal/analysis/analysistest"
+	atomiclint "nochatter/internal/analysis/atomic"
+)
+
+func TestAtomic(t *testing.T) {
+	analysistest.Run(t, "testdata", atomiclint.Analyzer,
+		"example.com/mixed",
+		"nochatter/internal/obs")
+}

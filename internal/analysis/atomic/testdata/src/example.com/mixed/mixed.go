@@ -1,0 +1,34 @@
+// Package mixed exercises the mixed atomic/plain field-access rule. It
+// lives outside the module prefix on purpose: the rule is package-path
+// agnostic (a torn read is a torn read anywhere).
+package mixed
+
+import "sync/atomic"
+
+// Counter mixes atomic and plain access to n; m is only ever plain.
+type Counter struct {
+	n int64
+	m int64
+}
+
+// Inc marks n as an atomic field for the whole package.
+func (c *Counter) Inc() { atomic.AddInt64(&c.n, 1) }
+
+// Read tears the synchronization: a plain load of an atomic field.
+func (c *Counter) Read() int64 {
+	return c.n // want `field n is accessed via atomic\.AddInt64 elsewhere in this package but plainly here`
+}
+
+// ReadAtomic is the correct form: clean.
+func (c *Counter) ReadAtomic() int64 { return atomic.LoadInt64(&c.n) }
+
+// Plain only ever touches m plainly: clean.
+func (c *Counter) Plain() int64 {
+	c.m++
+	return c.m
+}
+
+// reset writes the atomic field plainly from another function.
+func (c *Counter) reset() {
+	c.n = 0 // want `field n is accessed via atomic\.AddInt64 elsewhere in this package but plainly here`
+}

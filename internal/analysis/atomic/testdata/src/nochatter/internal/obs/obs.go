@@ -1,0 +1,57 @@
+// Package obs mirrors the real observability package's import path, so the
+// nil-receiver contract applies: every exported pointer-receiver method on
+// an exported type must guard against nil before touching a field.
+package obs
+
+// Registry stands in for the real metrics registry.
+type Registry struct {
+	names []string
+	n     int64
+}
+
+// Bad dereferences before any guard.
+func (r *Registry) Bad() int {
+	return len(r.names) // want `exported method Bad dereferences receiver r before a nil guard`
+}
+
+// Good guards first: clean.
+func (r *Registry) Good() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.names)
+}
+
+// Merge guards with a disjunct, the Histogram.Merge shape: clean.
+func (r *Registry) Merge(o *Registry) {
+	if r == nil || o == nil {
+		return
+	}
+	r.n += o.n
+}
+
+// Late guards, but only after the first dereference.
+func (r *Registry) Late() int {
+	n := len(r.names) // want `exported method Late dereferences receiver r before a nil guard`
+	if r == nil {
+		return 0
+	}
+	return n
+}
+
+// Chained only calls another method on the receiver, which guards itself:
+// clean.
+func (r *Registry) Chained() int { return r.Good() }
+
+// Count has a value receiver, which can never be nil: clean.
+func (r Registry) Count() int { return len(r.names) }
+
+// internal is unexported, reachable only through guarded entry points:
+// clean.
+func (r *Registry) internal() int { return len(r.names) }
+
+// hidden is an unexported type: its methods are outside the contract.
+type hidden struct{ n int }
+
+// Peek is exported but on an unexported type: clean.
+func (h *hidden) Peek() int { return h.n }

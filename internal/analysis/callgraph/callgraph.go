@@ -1,0 +1,202 @@
+// Package callgraph builds a lightweight static call graph over one
+// type-checked package — the reachability substrate the interprocedural
+// analyzers (purity) walk. It is deliberately an approximation with known,
+// documented edges (DESIGN.md §15):
+//
+//   - Direct calls to package-level functions and methods resolve exactly,
+//     including cross-package calls (the callee *types.Func carries its
+//     package, so the caller can consult imported facts).
+//   - Calls inside function literals are attributed to the enclosing
+//     declared function: the literal may only run later, or never, but a
+//     "reaches" analysis must assume it runs.
+//   - Interface method calls are widened conservatively: the graph records
+//     an edge to every method of a named type declared in this package that
+//     implements the interface and has the called name, AND marks the call
+//     dynamic — implementations outside the package (or registered at
+//     runtime) are invisible to any static graph, so a purity analysis must
+//     treat the callee as unprovable.
+//   - Calls through function-typed values (fields, parameters, variables)
+//     are dynamic with no widening: the value could hold anything.
+//
+// What the graph does NOT see: calls made via reflection, method values
+// passed as funcs and invoked elsewhere, and go/defer statements' timing
+// (they are plain edges — fine for purity, wrong for ordering analyses).
+package callgraph
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Call is one call site attributed to a declared function.
+type Call struct {
+	Pos token.Pos
+	// Callee is the statically resolved target: the implementation for a
+	// direct call, the interface method declaration for interface dispatch
+	// (Interface true), nil for calls through function values.
+	Callee *types.Func
+	// Interface marks interface dispatch: Callee is the method as declared
+	// on the interface, not any implementation.
+	Interface bool
+	// Dynamic describes an unresolvable callee (func value, interface
+	// method): a printable expression for diagnostics. Empty for static.
+	Dynamic string
+	// Widened lists the package's own candidate implementations of an
+	// interface-method call (name + implements match). Only set alongside
+	// Dynamic: the widening is a lower bound, not a resolution.
+	Widened []*types.Func
+}
+
+// Node is one declared function (or method) and its outgoing calls, in
+// source order.
+type Node struct {
+	Fn    *types.Func
+	Decl  *ast.FuncDecl
+	Calls []Call
+}
+
+// Graph maps every function declared in the package to its node. Funcs
+// preserves declaration order — analyses iterate it so their output is
+// deterministic.
+type Graph struct {
+	Funcs []*Node
+	byFn  map[*types.Func]*Node
+}
+
+// Node returns the graph node of fn, or nil if fn is not declared in the
+// analyzed package.
+func (g *Graph) Node(fn *types.Func) *Node {
+	return g.byFn[fn]
+}
+
+// Build constructs the call graph of one package from its typed syntax.
+func Build(pkg *types.Package, info *types.Info, files []*ast.File) *Graph {
+	g := &Graph{byFn: make(map[*types.Func]*Node)}
+	methods := packageMethods(pkg)
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := &Node{Fn: fn, Decl: fd}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if c, ok := resolve(info, call, methods); ok {
+					node.Calls = append(node.Calls, c)
+				}
+				return true
+			})
+			g.Funcs = append(g.Funcs, node)
+			g.byFn[fn] = node
+		}
+	}
+	return g
+}
+
+// resolve classifies one call expression. Conversions, builtins and calls
+// to type parameters report ok=false: they are not graph edges.
+func resolve(info *types.Info, call *ast.CallExpr, methods map[string][]*types.Func) (Call, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := info.Uses[fun].(type) {
+		case *types.Func:
+			return Call{Pos: call.Pos(), Callee: obj}, true
+		case *types.Var:
+			if isFuncValue(obj.Type()) {
+				return Call{Pos: call.Pos(), Dynamic: fun.Name}, true
+			}
+		}
+		return Call{}, false // builtin, conversion, or not a call edge
+	case *ast.SelectorExpr:
+		switch obj := info.Uses[fun.Sel].(type) {
+		case *types.Func:
+			c := Call{Pos: call.Pos(), Callee: obj}
+			if sel, ok := info.Selections[fun]; ok {
+				if iface, isIface := sel.Recv().Underlying().(*types.Interface); isIface {
+					// Interface dispatch: the *types.Func is the interface
+					// method, not an implementation. Widen to this package's
+					// candidates and mark dynamic.
+					c.Interface = true
+					c.Dynamic = fmt.Sprintf("interface method %s.%s", types.ExprString(fun.X), fun.Sel.Name)
+					c.Widened = implementations(methods[fun.Sel.Name], iface)
+				}
+			}
+			return c, true
+		case *types.Var:
+			if isFuncValue(obj.Type()) {
+				return Call{Pos: call.Pos(), Dynamic: types.ExprString(fun)}, true
+			}
+		}
+		return Call{}, false
+	default:
+		// A computed callee (index expression, call result, func literal
+		// invoked in place): dynamic whenever its type is a signature. A
+		// literal called in place could be resolved exactly, but attributing
+		// its body to the enclosing function (Build's Inspect already walks
+		// it) covers the same ground.
+		if tv, ok := info.Types[call.Fun]; ok && tv.Type != nil {
+			if isFuncValue(tv.Type) {
+				return Call{Pos: call.Pos(), Dynamic: types.ExprString(call.Fun)}, true
+			}
+		}
+		return Call{}, false
+	}
+}
+
+// isFuncValue reports whether t's underlying type is a function signature.
+func isFuncValue(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Signature)
+	return ok
+}
+
+// packageMethods indexes the methods of every named type declared at
+// package scope by name — the widening candidates for interface calls.
+func packageMethods(pkg *types.Package) map[string][]*types.Func {
+	out := make(map[string][]*types.Func)
+	if pkg == nil {
+		return out
+	}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() { // Names is sorted: deterministic
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			m := named.Method(i)
+			out[m.Name()] = append(out[m.Name()], m)
+		}
+	}
+	return out
+}
+
+// implementations filters same-named methods down to those whose receiver
+// type (or its pointer) implements the interface.
+func implementations(candidates []*types.Func, iface *types.Interface) []*types.Func {
+	var out []*types.Func
+	for _, m := range candidates {
+		sig, ok := m.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			continue
+		}
+		recv := sig.Recv().Type()
+		if types.Implements(recv, iface) || types.Implements(types.NewPointer(recv), iface) {
+			out = append(out, m)
+		}
+	}
+	return out
+}

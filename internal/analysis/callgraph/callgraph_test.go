@@ -1,0 +1,138 @@
+package callgraph_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"nochatter/internal/analysis/callgraph"
+)
+
+const src = `package p
+
+type Doer interface{ Do() error }
+
+type A struct{}
+
+func (A) Do() error { return nil }
+
+type B struct{}
+
+func (*B) Do() error { return nil }
+
+func helper() {}
+
+func static() { helper() }
+
+func viaInterface(d Doer) { d.Do() }
+
+func viaValue(f func()) { f() }
+
+func viaLiteral() {
+	g := func() { helper() }
+	g()
+}
+`
+
+func buildFixture(t *testing.T) (*types.Package, *callgraph.Graph) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("example.com/p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg, callgraph.Build(pkg, info, []*ast.File{f})
+}
+
+// node finds the graph node for a package-level function by name.
+func node(t *testing.T, pkg *types.Package, g *callgraph.Graph, name string) *callgraph.Node {
+	t.Helper()
+	fn, ok := pkg.Scope().Lookup(name).(*types.Func)
+	if !ok {
+		t.Fatalf("no function %s in fixture", name)
+	}
+	n := g.Node(fn)
+	if n == nil {
+		t.Fatalf("no graph node for %s", name)
+	}
+	return n
+}
+
+func TestStaticCall(t *testing.T) {
+	pkg, g := buildFixture(t)
+	n := node(t, pkg, g, "static")
+	if len(n.Calls) != 1 {
+		t.Fatalf("static has %d calls, want 1", len(n.Calls))
+	}
+	c := n.Calls[0]
+	if c.Callee == nil || c.Callee.Name() != "helper" || c.Interface || c.Dynamic != "" {
+		t.Errorf("static's call = %+v, want a static edge to helper", c)
+	}
+}
+
+func TestInterfaceCallWidened(t *testing.T) {
+	pkg, g := buildFixture(t)
+	n := node(t, pkg, g, "viaInterface")
+	if len(n.Calls) != 1 {
+		t.Fatalf("viaInterface has %d calls, want 1", len(n.Calls))
+	}
+	c := n.Calls[0]
+	if !c.Interface || c.Callee == nil || c.Callee.Name() != "Do" {
+		t.Fatalf("viaInterface's call = %+v, want an interface edge to Do", c)
+	}
+	// Both same-package implementations (value receiver A, pointer
+	// receiver B) must be widened in, deterministically ordered.
+	if len(c.Widened) != 2 {
+		t.Fatalf("widened to %d implementations, want 2 (A and *B)", len(c.Widened))
+	}
+	for _, impl := range c.Widened {
+		if impl.Name() != "Do" {
+			t.Errorf("widened implementation %v is not a Do method", impl)
+		}
+	}
+}
+
+func TestDynamicCall(t *testing.T) {
+	pkg, g := buildFixture(t)
+	n := node(t, pkg, g, "viaValue")
+	if len(n.Calls) != 1 {
+		t.Fatalf("viaValue has %d calls, want 1", len(n.Calls))
+	}
+	c := n.Calls[0]
+	if c.Callee != nil || c.Dynamic == "" {
+		t.Errorf("viaValue's call = %+v, want a dynamic edge with no callee", c)
+	}
+}
+
+func TestFuncLitAttribution(t *testing.T) {
+	pkg, g := buildFixture(t)
+	n := node(t, pkg, g, "viaLiteral")
+	// The literal's body belongs to the enclosing declaration: the helper()
+	// call inside it, plus the dynamic g() call.
+	var static, dynamic int
+	for _, c := range n.Calls {
+		switch {
+		case c.Callee != nil && c.Callee.Name() == "helper":
+			static++
+		case c.Dynamic != "":
+			dynamic++
+		}
+	}
+	if static != 1 || dynamic != 1 {
+		t.Errorf("viaLiteral has %d static helper calls and %d dynamic calls, want 1 and 1", static, dynamic)
+	}
+}

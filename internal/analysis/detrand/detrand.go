@@ -41,6 +41,31 @@ var randConstructors = map[string]bool{
 	"NewPCG": true, "NewChaCha8": true,
 }
 
+// AmbientReason reports why calling fn reads ambient nondeterministic
+// state, or "" if it does not: the banned-set classification shared with
+// the purity analyzer, which applies it transitively through the call
+// graph. Methods are never ambient (a seeded *rand.Rand is the sanctioned
+// pattern); only package-level reads of process-global state qualify.
+func AmbientReason(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if bannedTime[fn.Name()] {
+			return "reads the wall clock (time." + fn.Name() + ")"
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[fn.Name()] {
+			return "draws from the process-global rand source (rand." + fn.Name() + ")"
+		}
+	}
+	return ""
+}
+
 func run(pass *analysis.Pass) error {
 	if !analysis.DeterminismCritical(pass.Pkg.Path()) {
 		return nil

@@ -1,0 +1,345 @@
+// Package errsink flags discarded error results from crash-safety-critical
+// calls: journal writes and syncs, os.File writes/closes, bufio flushes —
+// the operations whose failure is exactly the signal the crash-safe resume
+// machinery (DESIGN.md §14) exists to observe. A dropped journal Sync error
+// means a sweep that "resumed cleanly" from a file the kernel never made
+// durable; a dropped Close on a written file means silently truncated
+// output. Discarding is an ExprStmt call (including under defer and go) or
+// a blank identifier in the error result position.
+//
+// A second rule, scoped to the HTTP-client packages (cluster, service):
+// every *http.Response obtained in a function must have its Body closed in
+// that function unless the response escapes (returned, stored, or passed
+// on) — an unclosed body leaks the connection and starves the fleet's
+// connection pool. The error OF Body.Close itself is not critical (the
+// response was already consumed); it is the leak that is.
+//
+// False positives carry //lint:allow errsink with a justification: the
+// canonical ones are Close on a file whose open already failed (the close
+// error adds no signal) and best-effort writes whose failure is recorded
+// out of band.
+package errsink
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"nochatter/internal/analysis"
+)
+
+// Analyzer is the errsink pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errsink",
+	Doc: "forbid discarding error results of crash-safety-critical calls " +
+		"(journal append/sync/close, os.File writes, bufio flush) and " +
+		"require HTTP response bodies to be closed in client packages",
+	Run: run,
+}
+
+// journalPrefix marks the package whose every error-returning method is
+// critical: the write-ahead journal is the crash-safety spine.
+const journalPrefix = "nochatter/internal/journal"
+
+// criticalFileMethods are the (*os.File) methods whose error result
+// reports lost or unsynced bytes.
+var criticalFileMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteAt": true,
+	"Sync": true, "Close": true, "Truncate": true,
+}
+
+// criticalOSFuncs are the package-level os functions that mutate the
+// filesystem on the write path.
+var criticalOSFuncs = map[string]bool{
+	"WriteFile": true, "Rename": true, "Truncate": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkDiscards(pass, fd.Body)
+			if analysis.HTTPClientPackage(pass.Pkg.Path()) {
+				checkResponses(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// checkDiscards reports critical calls whose error result is dropped.
+func checkDiscards(pass *analysis.Pass, body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			reportDiscardedCall(pass, s.X, "")
+		case *ast.DeferStmt:
+			reportDiscardedCall(pass, s.Call, "deferred ")
+		case *ast.GoStmt:
+			reportDiscardedCall(pass, s.Call, "")
+		case *ast.AssignStmt:
+			// n, _ := f.Write(b): the error position is blanked. Only the
+			// single-call form has result positions to line up.
+			if len(s.Rhs) != 1 {
+				return true
+			}
+			call, ok := s.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			desc, errIdx := criticalCall(pass, call)
+			if desc == "" || errIdx < 0 || errIdx >= len(s.Lhs) {
+				return true
+			}
+			if id, ok := s.Lhs[errIdx].(*ast.Ident); ok && id.Name == "_" {
+				pass.Reportf(call.Pos(),
+					"error of %s discarded with _: this failure is the crash-safety signal — handle it or record it (errsink, DESIGN.md §15)", desc)
+			}
+		}
+		return true
+	})
+}
+
+// reportDiscardedCall reports a bare critical call statement.
+func reportDiscardedCall(pass *analysis.Pass, e ast.Expr, prefix string) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	desc, errIdx := criticalCall(pass, call)
+	if desc == "" || errIdx < 0 {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%serror of %s discarded: this failure is the crash-safety signal — handle it or record it (errsink, DESIGN.md §15)", prefix, desc)
+}
+
+// criticalCall reports whether the call is crash-safety-critical: a
+// printable description and the index of the error result (-1 when the
+// call is not critical or returns no error).
+func criticalCall(pass *analysis.Pass, call *ast.CallExpr) (string, int) {
+	fn := callee(pass.TypesInfo, call)
+	if fn == nil {
+		return "", -1
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", -1
+	}
+	errIdx := errorResult(sig)
+	if errIdx < 0 {
+		return "", -1
+	}
+	if sig.Recv() == nil {
+		if fn.Pkg() != nil && fn.Pkg().Path() == "os" && criticalOSFuncs[fn.Name()] {
+			return "os." + fn.Name(), errIdx
+		}
+		return "", -1
+	}
+	recvPkg, recvName := recvType(sig)
+	if recvPkg == "" {
+		return "", -1
+	}
+	switch {
+	case recvPkg == "os" && recvName == "File" && criticalFileMethods[fn.Name()]:
+		return "(*os.File)." + fn.Name(), errIdx
+	case recvPkg == "bufio" && recvName == "Writer" && fn.Name() == "Flush":
+		return "(*bufio.Writer).Flush", errIdx
+	case recvPkg == journalPrefix || strings.HasPrefix(recvPkg, journalPrefix+"/"):
+		return "journal." + recvName + "." + fn.Name(), errIdx
+	}
+	return "", -1
+}
+
+// callee resolves a call's target function, through selectors or bare
+// identifiers. Interface methods resolve to the interface declaration,
+// which is what the receiver-type check needs.
+func callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// errorResult returns the index of the signature's error result, or -1.
+// Only the conventional trailing error counts.
+func errorResult(sig *types.Signature) int {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return -1
+	}
+	last := res.At(res.Len() - 1).Type()
+	if named, ok := last.(*types.Named); ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+		return res.Len() - 1
+	}
+	return -1
+}
+
+// recvType returns the package path and type name of a method's receiver.
+func recvType(sig *types.Signature) (pkgPath, typeName string) {
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", ""
+	}
+	return named.Obj().Pkg().Path(), named.Obj().Name()
+}
+
+// resp tracks one *http.Response value within a function.
+type resp struct {
+	obj     types.Object
+	pos     token.Pos
+	call    string
+	closed  bool
+	escapes bool
+}
+
+// checkResponses enforces the body-close rule in one function: every
+// response obtained from an http.Client call must be closed here or
+// escape.
+func checkResponses(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var resps []*resp
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		desc := httpResponseCall(pass.TypesInfo, call)
+		if desc == "" || len(as.Lhs) == 0 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if id.Name == "_" {
+			pass.Reportf(call.Pos(),
+				"response of %s discarded: the body is never closed and the connection leaks (errsink, DESIGN.md §15)", desc)
+			return true
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj != nil {
+			resps = append(resps, &resp{obj: obj, pos: call.Pos(), call: desc})
+		}
+		return true
+	})
+	if len(resps) == 0 {
+		return
+	}
+	byObj := make(map[types.Object]*resp, len(resps))
+	for _, r := range resps {
+		byObj[r.obj] = r
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			// resp.Body.Close() — mark closed; any other call taking resp as
+			// an argument — mark escaped (the callee may close it).
+			if sel, ok := s.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+				if inner, ok := sel.X.(*ast.SelectorExpr); ok && inner.Sel.Name == "Body" {
+					if id, ok := inner.X.(*ast.Ident); ok {
+						if r := byObj[pass.TypesInfo.Uses[id]]; r != nil {
+							r.closed = true
+							return true
+						}
+					}
+				}
+			}
+			for _, arg := range s.Args {
+				markUses(pass.TypesInfo, arg, byObj, func(r *resp) { r.escapes = true })
+			}
+		case *ast.ReturnStmt:
+			// Returning the response (or its Body) hands the close duty to
+			// the caller; returning a scalar field like resp.StatusCode does
+			// not, so only those two shapes count as escapes.
+			for _, e := range s.Results {
+				switch e := ast.Unparen(e).(type) {
+				case *ast.Ident:
+					if r := byObj[pass.TypesInfo.Uses[e]]; r != nil {
+						r.escapes = true
+					}
+				case *ast.SelectorExpr:
+					if id, ok := e.X.(*ast.Ident); ok && e.Sel.Name == "Body" {
+						if r := byObj[pass.TypesInfo.Uses[id]]; r != nil {
+							r.escapes = true
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// Storing the response elsewhere transfers close responsibility.
+			for _, e := range s.Rhs {
+				if id, ok := e.(*ast.Ident); ok {
+					if r := byObj[pass.TypesInfo.Uses[id]]; r != nil {
+						r.escapes = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	for _, r := range resps {
+		if !r.closed && !r.escapes {
+			pass.Reportf(r.pos,
+				"response body of %s is never closed in this function: close it (usually defer resp.Body.Close()) or pass the response on (errsink, DESIGN.md §15)", r.call)
+		}
+	}
+}
+
+// httpResponseCall reports whether the call yields an *http.Response the
+// caller owns: (*http.Client).Do/Get/Post/PostForm/Head or the package
+// helpers http.Get/Post/PostForm/Head.
+func httpResponseCall(info *types.Info, call *ast.CallExpr) string {
+	fn := callee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "net/http" {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	switch fn.Name() {
+	case "Do", "Get", "Post", "PostForm", "Head":
+	default:
+		return ""
+	}
+	if sig.Recv() != nil {
+		_, recvName := recvType(sig)
+		if recvName != "Client" {
+			return ""
+		}
+		return "(*http.Client)." + fn.Name()
+	}
+	return "http." + fn.Name()
+}
+
+// markUses calls mark for every tracked response referenced in e.
+func markUses(info *types.Info, e ast.Expr, byObj map[types.Object]*resp, mark func(*resp)) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if r := byObj[info.Uses[id]]; r != nil {
+				mark(r)
+			}
+		}
+		return true
+	})
+}

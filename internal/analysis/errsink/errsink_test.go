@@ -1,0 +1,14 @@
+package errsink_test
+
+import (
+	"testing"
+
+	"nochatter/internal/analysis/analysistest"
+	"nochatter/internal/analysis/errsink"
+)
+
+func TestErrsink(t *testing.T) {
+	analysistest.Run(t, "testdata", errsink.Analyzer,
+		"nochatter/internal/journal",
+		"nochatter/internal/cluster")
+}

@@ -1,0 +1,58 @@
+// Package cluster mirrors the real HTTP-client package's import path, so
+// the errsink body-close rule applies: every *http.Response obtained here
+// must be closed in-function or escape to a caller who will.
+package cluster
+
+import "net/http"
+
+// leak never closes the body and never lets the response escape.
+func leak(c *http.Client, req *http.Request) (int, error) {
+	resp, err := c.Do(req) // want `response body of \(\*http\.Client\)\.Do is never closed in this function`
+	if err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil
+}
+
+// leakGet exercises the package-level helper form.
+func leakGet(url string) error {
+	resp, err := http.Get(url) // want `response body of http\.Get is never closed in this function`
+	if err != nil {
+		return err
+	}
+	_ = resp.StatusCode
+	return nil
+}
+
+// fire drops the response entirely: nobody can ever close the body.
+func fire(c *http.Client, req *http.Request) {
+	_, _ = c.Do(req) // want `response of \(\*http\.Client\)\.Do discarded`
+}
+
+// closed is the canonical correct shape.
+func closed(c *http.Client, req *http.Request) error {
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return nil
+}
+
+// fetch lets the response escape via return: the caller owns the close.
+func fetch(c *http.Client, req *http.Request) (*http.Response, error) {
+	resp, err := c.Do(req)
+	return resp, err
+}
+
+// handoff passes the response to a callee that closes it.
+func handoff(c *http.Client, req *http.Request) error {
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	consume(resp)
+	return nil
+}
+
+func consume(r *http.Response) { r.Body.Close() }

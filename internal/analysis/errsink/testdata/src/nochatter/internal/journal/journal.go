@@ -1,0 +1,53 @@
+// Package journal mirrors the real write-ahead journal's import path, so
+// every error-returning method on its types is errsink-critical. The
+// fixture exercises each discard form (bare statement, defer, go, blank
+// identifier) plus the os.File / bufio / os package criticals and the two
+// sanctioned escapes: handling the error and an audited lint:allow.
+package journal
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+)
+
+// Journal stands in for the real journal type.
+type Journal struct{ f *os.File }
+
+// Append appends one record.
+func (j *Journal) Append(rec []byte) error {
+	_, err := j.f.Write(rec)
+	return err
+}
+
+// Sync flushes to stable storage.
+func (j *Journal) Sync() error { return j.f.Sync() }
+
+// Close syncs and closes.
+func (j *Journal) Close() error { return j.f.Close() }
+
+// Offset returns a position; no error result, so discarding it is fine.
+func (j *Journal) Offset() int64 { return 0 }
+
+func use(j *Journal, f *os.File, w *bufio.Writer) error {
+	j.Sync()                      // want `error of journal\.Journal\.Sync discarded`
+	_ = j.Append(nil)             // want `error of journal\.Journal\.Append discarded with _`
+	defer j.Close()               // want `deferred error of journal\.Journal\.Close discarded`
+	go j.Sync()                   // want `error of journal\.Journal\.Sync discarded`
+	f.Write(nil)                  // want `error of \(\*os\.File\)\.Write discarded`
+	os.WriteFile("x", nil, 0o600) // want `error of os\.WriteFile discarded`
+	w.Flush()                     // want `error of \(\*bufio\.Writer\)\.Flush discarded`
+
+	j.Offset()            // no error result: clean
+	fmt.Println("status") // error result, but not a critical call: clean
+
+	if err := j.Sync(); err != nil { // handled: clean
+		return err
+	}
+	if n, err := f.Write(nil); err != nil { // both results bound: clean
+		return fmt.Errorf("short write %d: %w", n, err)
+	}
+	//lint:allow errsink fixture: best-effort append whose failure is recorded out of band
+	j.Append(nil)
+	return nil
+}

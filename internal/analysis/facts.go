@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// The facts layer is what makes the suite interprocedural: an analyzer
+// running on package B can record typed facts about B's functions
+// ("DefaultCost is impure: calls time.Now"), and the same analyzer running
+// later on a package that imports B looks those facts up by object — the
+// same division of labor go/analysis Facts establish, rebuilt here without
+// x/tools. Facts are keyed by a stable object key (package path plus
+// name, method receiver included), not by go/types object identity,
+// because an importing package sees its dependencies through compiled
+// export data and therefore through *different* types.Object values than
+// the pass that analyzed the dependency from source.
+//
+// Facts serialize per package as JSON — the analogue of export data for
+// the lint suite. The gatherlint driver round-trips every package's facts
+// through EncodePackage/DecodePackage before any dependent consumes them,
+// so the serialized form is exercised on every run, and DecodePackage is
+// fuzzed with hostile bytes (facts_fuzz_test.go): corrupt fact data must
+// degrade to "no facts", never to a panic.
+
+// Fact is one typed, serializable statement about an object. Implementations
+// must be JSON-marshalable pointers; FactName returns a stable identifier
+// ("purity.impure") that namespaces the fact across analyzers.
+type Fact interface {
+	FactName() string
+}
+
+// ExportedFact is the in-memory record of one ExportObjectFact call: the
+// fact plus where its object is declared. analysistest matches
+// `// want-fact` annotations against these (positions never serialize).
+type ExportedFact struct {
+	Pkg  string
+	Key  string
+	Pos  token.Pos
+	Fact Fact
+}
+
+// FactDB holds facts for a set of packages, keyed package path → object
+// key → fact name → encoded fact. It is the driver's responsibility to
+// analyze packages in dependency order so that a pass's imports are
+// already present. A nil *FactDB is legal everywhere and holds nothing.
+type FactDB struct {
+	pkgs     map[string]map[string]map[string]json.RawMessage
+	exported []ExportedFact
+}
+
+// NewFactDB returns an empty fact database.
+func NewFactDB() *FactDB {
+	return &FactDB{pkgs: make(map[string]map[string]map[string]json.RawMessage)}
+}
+
+// ObjectKey returns the stable cross-package key of a package-level object
+// or method: "pkgpath:Name" for package-level objects, "pkgpath:Recv.Name"
+// for methods. Objects without a package (builtins, the universe scope)
+// have no key.
+func ObjectKey(obj types.Object) (string, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	name := obj.Name()
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			rt := sig.Recv().Type()
+			if p, ok := rt.(*types.Pointer); ok {
+				rt = p.Elem()
+			}
+			named, ok := rt.(*types.Named)
+			if !ok {
+				return "", false // method on an unnamed receiver; not addressable
+			}
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	return obj.Pkg().Path() + ":" + name, true
+}
+
+// export records a fact about obj.
+func (db *FactDB) export(obj types.Object, f Fact, pos token.Pos) error {
+	if db == nil {
+		return nil
+	}
+	key, ok := ObjectKey(obj)
+	if !ok {
+		return fmt.Errorf("facts: object %v has no stable key", obj)
+	}
+	raw, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("facts: encoding %s for %s: %w", f.FactName(), key, err)
+	}
+	pkgPath := obj.Pkg().Path()
+	pkg := db.pkgs[pkgPath]
+	if pkg == nil {
+		pkg = make(map[string]map[string]json.RawMessage)
+		db.pkgs[pkgPath] = pkg
+	}
+	facts := pkg[key]
+	if facts == nil {
+		facts = make(map[string]json.RawMessage)
+		pkg[key] = facts
+	}
+	facts[f.FactName()] = raw
+	db.exported = append(db.exported, ExportedFact{Pkg: pkgPath, Key: key, Pos: pos, Fact: f})
+	return nil
+}
+
+// lookup decodes the fact recorded for obj under f's name into f,
+// reporting whether one existed and decoded.
+func (db *FactDB) lookup(obj types.Object, f Fact) bool {
+	if db == nil || obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	key, ok := ObjectKey(obj)
+	if !ok {
+		return false
+	}
+	raw, ok := db.pkgs[obj.Pkg().Path()][key][f.FactName()]
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(raw, f) == nil
+}
+
+// Exported returns the in-memory log of every fact exported into the
+// database, in export order.
+func (db *FactDB) Exported() []ExportedFact {
+	if db == nil {
+		return nil
+	}
+	return db.exported
+}
+
+// maxFactsBytes bounds one package's serialized facts. Fact payloads are
+// short reason strings; a blob beyond this is corrupt input, not a bigger
+// package.
+const maxFactsBytes = 16 << 20
+
+// EncodePackage serializes one package's facts deterministically (sorted
+// keys at every level — the fact file must be as reproducible as the code
+// it describes). A package with no facts encodes as an empty object.
+func (db *FactDB) EncodePackage(pkgPath string) ([]byte, error) {
+	if db == nil {
+		return []byte("{}"), nil
+	}
+	// encoding/json marshals maps with sorted keys at every level, which is
+	// exactly the determinism the fact file needs.
+	data, err := json.Marshal(db.pkgs[pkgPath])
+	if err != nil {
+		return nil, fmt.Errorf("facts: encoding package %s: %w", pkgPath, err)
+	}
+	if data == nil || string(data) == "null" {
+		data = []byte("{}")
+	}
+	return data, nil
+}
+
+// DecodePackage loads one package's serialized facts, replacing whatever
+// the database held for that path. Hostile input degrades to an error —
+// never a panic and never gigabytes: the per-package size is bounded and
+// every entry must parse as a fact map.
+func (db *FactDB) DecodePackage(pkgPath string, data []byte) error {
+	if db == nil {
+		return fmt.Errorf("facts: decode into nil database")
+	}
+	if len(data) > maxFactsBytes {
+		return fmt.Errorf("facts: package %s: %d bytes exceeds the %d-byte bound", pkgPath, len(data), maxFactsBytes)
+	}
+	var pkg map[string]map[string]json.RawMessage
+	if err := json.Unmarshal(data, &pkg); err != nil {
+		return fmt.Errorf("facts: package %s: %w", pkgPath, err)
+	}
+	if db.pkgs == nil {
+		db.pkgs = make(map[string]map[string]map[string]json.RawMessage)
+	}
+	if pkg == nil {
+		pkg = make(map[string]map[string]json.RawMessage)
+	}
+	db.pkgs[pkgPath] = pkg
+	return nil
+}
+
+// DropPackage forgets one package's facts (the driver drops and re-decodes
+// each package after analyzing it, so every fact a dependent reads has
+// survived serialization).
+func (db *FactDB) DropPackage(pkgPath string) {
+	if db == nil {
+		return
+	}
+	delete(db.pkgs, pkgPath)
+}
+
+// Packages returns the paths holding facts, sorted.
+func (db *FactDB) Packages() []string {
+	if db == nil {
+		return nil
+	}
+	out := make([]string, 0, len(db.pkgs))
+	for p := range db.pkgs {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,45 @@
+package analysis_test
+
+import (
+	"bytes"
+	"testing"
+
+	"nochatter/internal/analysis"
+)
+
+// FuzzFactsDecode feeds hostile bytes to the fact loader. DecodePackage is
+// the one place serialized state from a previous run (or an attacker's
+// artifact cache) re-enters the suite, so the contract is absolute: reject
+// with an error or accept, never panic — and anything accepted must
+// round-trip through EncodePackage deterministically.
+func FuzzFactsDecode(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"example.com/p:F":{"purity.impure":{"reason":"reads the wall clock"}}}`))
+	f.Add([]byte(`{"example.com/p:T.M":{"purity.impure":{"reason":""},"other.fact":[1,2]}}`))
+	f.Add([]byte(`{"example.com/p:F":{"purity.impure":`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"k":"not a fact map"}`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db := analysis.NewFactDB()
+		if err := db.DecodePackage("fuzz/pkg", data); err != nil {
+			return // rejected cleanly; the only failure mode is a panic
+		}
+		enc, err := db.EncodePackage("fuzz/pkg")
+		if err != nil {
+			t.Fatalf("decode accepted %q but encode failed: %v", data, err)
+		}
+		db2 := analysis.NewFactDB()
+		if err := db2.DecodePackage("fuzz/pkg", enc); err != nil {
+			t.Fatalf("re-decode of encoded facts %q failed: %v", enc, err)
+		}
+		enc2, err := db2.EncodePackage("fuzz/pkg")
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encoding is not deterministic across a round-trip:\n  first:  %s\n  second: %s", enc, enc2)
+		}
+	})
+}

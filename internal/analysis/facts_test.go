@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// testFact is a minimal Fact for exercising the database directly.
+type testFact struct {
+	Reason string `json:"reason"`
+}
+
+func (*testFact) FactName() string { return "test.fact" }
+
+// fixtureObjects builds a package with a function F and a method (*T).M —
+// the two object shapes ObjectKey must distinguish.
+func fixtureObjects() (pkg *types.Package, fn, method *types.Func) {
+	pkg = types.NewPackage("example.com/p", "p")
+	fn = types.NewFunc(token.NoPos, pkg, "F",
+		types.NewSignatureType(nil, nil, nil, nil, nil, false))
+	tn := types.NewTypeName(token.NoPos, pkg, "T", nil)
+	named := types.NewNamed(tn, types.NewStruct(nil, nil), nil)
+	recv := types.NewVar(token.NoPos, pkg, "t", types.NewPointer(named))
+	method = types.NewFunc(token.NoPos, pkg, "M",
+		types.NewSignatureType(recv, nil, nil, nil, nil, false))
+	return pkg, fn, method
+}
+
+func TestObjectKey(t *testing.T) {
+	_, fn, method := fixtureObjects()
+	if key, ok := ObjectKey(fn); !ok || key != "example.com/p:F" {
+		t.Errorf("ObjectKey(F) = %q, %v; want example.com/p:F, true", key, ok)
+	}
+	if key, ok := ObjectKey(method); !ok || key != "example.com/p:T.M" {
+		t.Errorf("ObjectKey((*T).M) = %q, %v; want example.com/p:T.M, true", key, ok)
+	}
+	if _, ok := ObjectKey(nil); ok {
+		t.Error("ObjectKey(nil) reported a key")
+	}
+}
+
+func TestFactsRoundTrip(t *testing.T) {
+	_, fn, method := fixtureObjects()
+	db := NewFactDB()
+	if err := db.export(fn, &testFact{Reason: "calls time.Now"}, token.NoPos); err != nil {
+		t.Fatalf("export F: %v", err)
+	}
+	if err := db.export(method, &testFact{Reason: "writes global state"}, token.NoPos); err != nil {
+		t.Fatalf("export (*T).M: %v", err)
+	}
+
+	// The dependent must see facts through the serialized form, exactly
+	// like the driver's Encode → Drop → Decode discipline.
+	data, err := db.EncodePackage("example.com/p")
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	db.DropPackage("example.com/p")
+	var gone testFact
+	if db.lookup(fn, &gone) {
+		t.Fatal("lookup succeeded after DropPackage")
+	}
+	if err := db.DecodePackage("example.com/p", data); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+
+	var got testFact
+	if !db.lookup(fn, &got) || got.Reason != "calls time.Now" {
+		t.Errorf("lookup(F) after round-trip = %+v, want reason %q", got, "calls time.Now")
+	}
+	if !db.lookup(method, &got) || got.Reason != "writes global state" {
+		t.Errorf("lookup((*T).M) after round-trip = %+v, want reason %q", got, "writes global state")
+	}
+
+	// Encoding is deterministic: same contents, same bytes.
+	again, err := db.EncodePackage("example.com/p")
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if string(data) != string(again) {
+		t.Errorf("encode is not deterministic:\n  first:  %s\n  second: %s", data, again)
+	}
+
+	// A nil database is a legal no-op everywhere.
+	var nildb *FactDB
+	if nildb.lookup(fn, &got) {
+		t.Error("nil FactDB lookup reported a fact")
+	}
+	if _, err := nildb.EncodePackage("example.com/p"); err != nil {
+		t.Errorf("nil FactDB encode: %v", err)
+	}
+}
+
+func TestDecodeBounds(t *testing.T) {
+	db := NewFactDB()
+	huge := make([]byte, maxFactsBytes+1)
+	if err := db.DecodePackage("p", huge); err == nil {
+		t.Error("DecodePackage accepted an over-bound blob")
+	}
+	if err := db.DecodePackage("p", []byte(`{"k":`)); err == nil {
+		t.Error("DecodePackage accepted truncated JSON")
+	}
+	if err := db.DecodePackage("p", []byte(`null`)); err != nil {
+		t.Errorf("DecodePackage(null) = %v, want nil (empty package)", err)
+	}
+}

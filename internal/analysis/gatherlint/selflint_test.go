@@ -7,9 +7,11 @@ import (
 	"testing"
 
 	"nochatter/internal/analysis"
+	"nochatter/internal/analysis/errsink"
 	"nochatter/internal/analysis/gatherlint"
 	"nochatter/internal/analysis/load"
 	"nochatter/internal/analysis/maporder"
+	"nochatter/internal/analysis/purity"
 )
 
 // TestRepoIsLintClean is the dogfooding gate: the whole module must pass
@@ -25,15 +27,16 @@ func TestRepoIsLintClean(t *testing.T) {
 	}
 }
 
-// TestInjectedViolationFails proves the suite has teeth: a copy of a
-// formerly-clean package gains one nondeterministic map iteration, and
-// maporder must catch it.
-func TestInjectedViolationFails(t *testing.T) {
+// copyPackage copies the non-test Go files of a module package into a
+// fresh temp directory, so injection tests can mutate a copy of real code
+// without touching the tree.
+func copyPackage(t *testing.T, rel ...string) string {
+	t.Helper()
 	mod, err := load.ModuleDir()
 	if err != nil {
 		t.Fatalf("load.ModuleDir: %v", err)
 	}
-	src := filepath.Join(mod, "internal", "graph")
+	src := filepath.Join(append([]string{mod}, rel...)...)
 	dir := t.TempDir()
 	names, err := filepath.Glob(filepath.Join(src, "*.go"))
 	if err != nil {
@@ -51,25 +54,44 @@ func TestInjectedViolationFails(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	return dir
+}
 
-	lint := func() []analysis.Diagnostic {
-		pkg, err := load.Dir(dir, "nochatter/internal/graph")
-		if err != nil {
-			t.Fatalf("load.Dir: %v", err)
-		}
-		diags, err := analysis.RunPackage(pkg, gatherlint.Suite())
-		if err != nil {
-			t.Fatalf("analysis.RunPackage: %v", err)
-		}
-		return diags
+// lintDir runs the full suite over one directory checked under the given
+// import path, failing the test on load or analysis errors.
+func lintDir(t *testing.T, dir, importPath string) []analysis.Diagnostic {
+	t.Helper()
+	pkg, err := load.Dir(dir, importPath)
+	if err != nil {
+		t.Fatalf("load.Dir: %v", err)
 	}
+	diags, err := analysis.RunPackage(pkg, gatherlint.Suite())
+	if err != nil {
+		t.Fatalf("analysis.RunPackage: %v", err)
+	}
+	return diags
+}
 
-	if diags := lint(); len(diags) != 0 {
-		for _, d := range diags {
-			t.Errorf("copy of clean package has finding: %s", d.String())
-		}
-		t.Fatal("baseline not clean; injection result would be meaningless")
+// requireCleanBaseline fails fast when the copied package already has
+// findings: the injection result would be meaningless.
+func requireCleanBaseline(t *testing.T, diags []analysis.Diagnostic) {
+	t.Helper()
+	if len(diags) == 0 {
+		return
 	}
+	for _, d := range diags {
+		t.Errorf("copy of clean package has finding: %s", d.String())
+	}
+	t.Fatal("baseline not clean; injection result would be meaningless")
+}
+
+// TestInjectedViolationFails proves the suite has teeth: a copy of a
+// formerly-clean package gains one nondeterministic map iteration, and
+// maporder must catch it.
+func TestInjectedViolationFails(t *testing.T) {
+	dir := copyPackage(t, "internal", "graph")
+	const path = "nochatter/internal/graph"
+	requireCleanBaseline(t, lintDir(t, dir, path))
 
 	injected := `package graph
 
@@ -86,7 +108,7 @@ func DegreeLabels(byDegree map[int]string) []string {
 		t.Fatal(err)
 	}
 
-	diags := lint()
+	diags := lintDir(t, dir, path)
 	found := false
 	for _, d := range diags {
 		if d.Analyzer == maporder.Analyzer.Name && strings.HasSuffix(d.Pos.Filename, "injected.go") {
@@ -95,5 +117,81 @@ func DegreeLabels(byDegree map[int]string) []string {
 	}
 	if !found {
 		t.Fatalf("maporder did not flag the injected violation; findings: %v", diags)
+	}
+}
+
+// TestInjectedPurityViolationFails hides a wall-clock read one call below
+// the DefaultCost seed root: an injected helper reads time.Now, and the
+// cost model gains a call to it. purity must walk the call chain and
+// report the root.
+func TestInjectedPurityViolationFails(t *testing.T) {
+	dir := copyPackage(t, "internal", "sched")
+	const path = "nochatter/internal/sched"
+	requireCleanBaseline(t, lintDir(t, dir, path))
+
+	injected := `package sched
+
+import "time"
+
+// nowNanos leaks the wall clock into whoever calls it.
+func nowNanos() int64 { return time.Now().UnixNano() }
+`
+	if err := os.WriteFile(filepath.Join(dir, "injected.go"), []byte(injected), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	costGo := filepath.Join(dir, "cost.go")
+	data, err := os.ReadFile(costGo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const old = "cost += specCostFloor"
+	if !strings.Contains(string(data), old) {
+		t.Fatalf("cost.go no longer contains %q; update the injection", old)
+	}
+	patched := strings.Replace(string(data), old, "cost += specCostFloor + nowNanos()*0", 1)
+	if err := os.WriteFile(costGo, []byte(patched), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	diags := lintDir(t, dir, path)
+	found := false
+	for _, d := range diags {
+		if d.Analyzer == purity.Analyzer.Name && strings.Contains(d.Message, "DefaultCost") &&
+			strings.Contains(d.Message, "nowNanos") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("purity did not flag the injected seed-root violation; findings: %v", diags)
+	}
+}
+
+// TestInjectedErrsinkViolationFails adds a method that drops a journal
+// Sync error on the floor; errsink must catch it.
+func TestInjectedErrsinkViolationFails(t *testing.T) {
+	dir := copyPackage(t, "internal", "journal")
+	const path = "nochatter/internal/journal"
+	requireCleanBaseline(t, lintDir(t, dir, path))
+
+	injected := `package journal
+
+// lazySync syncs on a best-effort basis, silently.
+func (j *Journal) lazySync() {
+	j.Sync()
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "injected.go"), []byte(injected), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	diags := lintDir(t, dir, path)
+	found := false
+	for _, d := range diags {
+		if d.Analyzer == errsink.Analyzer.Name && strings.HasSuffix(d.Pos.Filename, "injected.go") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("errsink did not flag the injected violation; findings: %v", diags)
 	}
 }

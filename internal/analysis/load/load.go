@@ -37,6 +37,14 @@ type Package struct {
 	Path string
 	// Dir is the directory holding the package's source files.
 	Dir string
+	// Imports lists the package's direct imports — the edges drivers
+	// topologically sort by so facts of dependencies exist before any
+	// dependent is analyzed.
+	Imports []string
+	// DepOnly marks a module-internal dependency loaded only so analyzers
+	// can compute its facts: drivers run analyzers over it but report no
+	// diagnostics from it (it was not asked for).
+	DepOnly bool
 
 	Fset  *token.FileSet
 	Files []*ast.File
@@ -53,6 +61,7 @@ type listEntry struct {
 	ImportPath string
 	Dir        string
 	GoFiles    []string
+	Imports    []string
 	Export     string
 	DepOnly    bool
 }
@@ -60,10 +69,18 @@ type listEntry struct {
 // Packages loads every package matching the patterns (as `go list`
 // interprets them, e.g. "./..." or "nochatter/internal/..."), type-checked
 // from source with dependencies imported from compiled export data.
+// Module-internal dependencies of the matched packages are loaded from
+// source too, marked DepOnly: the facts engine needs their function bodies
+// (export data has types, not syntax), but findings in them belong to runs
+// that name them.
 func Packages(patterns ...string) ([]*Package, error) {
 	args := append([]string{"list", "-export", "-deps",
-		"-json=ImportPath,Dir,GoFiles,Export,DepOnly"}, patterns...)
+		"-json=ImportPath,Dir,GoFiles,Imports,Export,DepOnly"}, patterns...)
 	entries, err := runGoList(args)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := ModulePath()
 	if err != nil {
 		return nil, err
 	}
@@ -73,7 +90,8 @@ func Packages(patterns ...string) ([]*Package, error) {
 		if e.Export != "" {
 			exports[e.ImportPath] = e.Export
 		}
-		if !e.DepOnly {
+		inModule := e.ImportPath == mod || strings.HasPrefix(e.ImportPath, mod+"/")
+		if !e.DepOnly || inModule {
 			targets = append(targets, e)
 		}
 	}
@@ -87,9 +105,96 @@ func Packages(patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, fmt.Errorf("load %s: %w", e.ImportPath, err)
 		}
+		pkg.Imports = e.Imports
+		pkg.DepOnly = e.DepOnly
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
+}
+
+// Tree loads testdata packages that may import each other from source: a
+// GOPATH-shaped root (testdata/src/<importpath>/*.go) where an import
+// resolving to a directory under the root is type-checked recursively from
+// source, and everything else comes from compiled export data like Dir.
+// All packages in one tree share a FileSet, so positions stay comparable
+// across fixture packages.
+type Tree struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*Package
+}
+
+// NewTree returns a loader rooted at the testdata src directory.
+func NewTree(root string) *Tree {
+	return &Tree{root: root, fset: token.NewFileSet(), pkgs: make(map[string]*Package)}
+}
+
+// Load returns the tree package at importPath, loading it (and its
+// in-tree imports, recursively) on first use.
+func (t *Tree) Load(importPath string) (*Package, error) {
+	if pkg, ok := t.pkgs[importPath]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("load: import cycle through %s", importPath)
+		}
+		return pkg, nil
+	}
+	t.pkgs[importPath] = nil // cycle guard
+	dir := filepath.Join(t.root, filepath.FromSlash(importPath))
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("load: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	imports := make(map[string]bool)
+	for _, name := range names {
+		f, err := parser.ParseFile(t.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err == nil && p != "unsafe" {
+				imports[p] = true
+			}
+		}
+	}
+	// Split imports: in-tree ones load from source, the rest from export
+	// data — the same way the real driver sees a module package through its
+	// compiled dependencies.
+	srcs := make(map[string]*types.Package)
+	external := make(map[string]bool)
+	var importList []string
+	for p := range imports {
+		importList = append(importList, p)
+	}
+	sort.Strings(importList)
+	for _, p := range importList {
+		if sub, err := os.Stat(filepath.Join(t.root, filepath.FromSlash(p))); err == nil && sub.IsDir() {
+			dep, err := t.Load(p)
+			if err != nil {
+				return nil, fmt.Errorf("load: %s imports %s: %w", importPath, p, err)
+			}
+			srcs[p] = dep.Types
+		} else {
+			external[p] = true
+		}
+	}
+	exports, err := exportData(external)
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := checkSources(importPath, dir, t.fset, files, exports, srcs)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Imports = importList
+	t.pkgs[importPath] = pkg
+	return pkg, nil
 }
 
 // Dir loads a single package from an explicit directory of Go files —
@@ -182,6 +287,41 @@ func ModuleDir() (string, error) {
 	return filepath.Dir(gomod), nil
 }
 
+// modulePathCache memoizes ModulePath: the module path cannot change
+// within a process and each resolution reads go.mod.
+var (
+	modulePathMu  sync.Mutex
+	modulePathVal string
+)
+
+// ModulePath returns the import path of the enclosing Go module (the
+// go.mod module directive) — the prefix that separates module-internal
+// packages, whose facts the suite computes from source, from external ones.
+func ModulePath() (string, error) {
+	modulePathMu.Lock()
+	defer modulePathMu.Unlock()
+	if modulePathVal != "" {
+		return modulePathVal, nil
+	}
+	dir, err := ModuleDir()
+	if err != nil {
+		return "", err
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("load: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module"); ok {
+			if p := strings.TrimSpace(strings.TrimSuffix(rest, "// indirect")); p != "" {
+				modulePathVal = strings.Trim(p, `"`)
+				return modulePathVal, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("load: no module directive in %s/go.mod", dir)
+}
+
 // runGoList executes a go list command and decodes its JSON stream.
 func runGoList(args []string) ([]listEntry, error) {
 	cmd := exec.Command("go", args...)
@@ -223,6 +363,26 @@ func check(importPath, dir string, filenames []string, exports map[string]string
 // map. Type errors are recorded on the package, not fatal: the driver
 // decides whether a broken package fails the run.
 func checkParsed(importPath, dir string, fset *token.FileSet, files []*ast.File, exports map[string]string) (*Package, error) {
+	return checkSources(importPath, dir, fset, files, exports, nil)
+}
+
+// treeImporter resolves imports preferring already source-checked packages
+// (fixture trees) and falling back to compiled export data.
+type treeImporter struct {
+	gc   types.Importer
+	srcs map[string]*types.Package
+}
+
+func (t *treeImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := t.srcs[path]; ok && pkg != nil {
+		return pkg, nil
+	}
+	return t.gc.Import(path)
+}
+
+// checkSources is checkParsed with an extra map of source-checked
+// dependency packages that shadow export data.
+func checkSources(importPath, dir string, fset *token.FileSet, files []*ast.File, exports map[string]string, srcs map[string]*types.Package) (*Package, error) {
 	pkg := &Package{Path: importPath, Dir: dir, Fset: fset, Files: files}
 	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
 		file, ok := exports[path]
@@ -232,7 +392,7 @@ func checkParsed(importPath, dir string, fset *token.FileSet, files []*ast.File,
 		return os.Open(file)
 	})
 	conf := types.Config{
-		Importer: imp,
+		Importer: &treeImporter{gc: imp, srcs: srcs},
 		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
 		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
 	}

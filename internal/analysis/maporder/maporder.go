@@ -13,10 +13,15 @@
 //
 // Order-insensitive loop bodies (folding into another map, commutative
 // accumulation like sum += v, deletes) are fine and not reported.
+//
+// The detection core is exported as Leaks so the purity analyzer can apply
+// the same rule to individual function bodies and carry the result through
+// the call graph as a fact.
 package maporder
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 
@@ -33,23 +38,44 @@ var Analyzer = &analysis.Analyzer{
 
 func run(pass *analysis.Pass) error {
 	for _, file := range pass.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			rs, ok := n.(*ast.RangeStmt)
-			if !ok || !isUnorderedRange(pass, rs) {
-				return true
-			}
-			checkRange(pass, file, rs)
-			return true
-		})
+		for _, l := range Leaks(pass.TypesInfo, file, file) {
+			pass.Reportf(l.Pos, "%s", l.Message)
+		}
 	}
 	return nil
+}
+
+// Leak is one map-order leak: an unordered range whose iteration order
+// reaches an ordered sink.
+type Leak struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Leaks finds map-order leaks in every range statement under root. The
+// sorted-later exemption scans the whole enclosing file (the sort call
+// usually follows the loop), so file must contain root. One leak per loop:
+// the first sink found names the failure mode.
+func Leaks(info *types.Info, file *ast.File, root ast.Node) []Leak {
+	var leaks []Leak
+	ast.Inspect(root, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !isUnorderedRange(info, rs) {
+			return true
+		}
+		if l, ok := rangeLeak(info, file, rs); ok {
+			leaks = append(leaks, l)
+		}
+		return true
+	})
+	return leaks
 }
 
 // isUnorderedRange reports whether the range statement iterates in
 // nondeterministic order: directly over a map, or over the maps package's
 // key/value iterators (which inherit map order).
-func isUnorderedRange(pass *analysis.Pass, rs *ast.RangeStmt) bool {
-	if tv, ok := pass.TypesInfo.Types[rs.X]; ok {
+func isUnorderedRange(info *types.Info, rs *ast.RangeStmt) bool {
+	if tv, ok := info.Types[rs.X]; ok {
 		if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
 			return true
 		}
@@ -62,7 +88,7 @@ func isUnorderedRange(pass *analysis.Pass, rs *ast.RangeStmt) bool {
 	if !ok {
 		return false
 	}
-	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
 	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "maps" {
 		return false
 	}
@@ -73,49 +99,53 @@ func isUnorderedRange(pass *analysis.Pass, rs *ast.RangeStmt) bool {
 	return false
 }
 
-// checkRange walks one unordered range's body for order-sensitive sinks.
-// One report per loop: the first sink found names the failure mode.
-func checkRange(pass *analysis.Pass, file *ast.File, rs *ast.RangeStmt) {
+// rangeLeak walks one unordered range's body for order-sensitive sinks.
+func rangeLeak(info *types.Info, file *ast.File, rs *ast.RangeStmt) (Leak, bool) {
+	var leak Leak
+	found := false
 	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
 		if _, ok := n.(*ast.FuncLit); ok {
 			return false // deferred/async bodies are out of scope
 		}
 		switch s := n.(type) {
 		case *ast.SendStmt:
-			pass.Reportf(rs.Pos(),
-				"map iteration order feeds a channel send; iterate sorted keys instead (bit-identity, DESIGN.md §11)")
+			leak = Leak{Pos: rs.Pos(), Message: "map iteration order feeds a channel send; iterate sorted keys instead (bit-identity, DESIGN.md §11)"}
+			found = true
 			return false
 		case *ast.AssignStmt:
 			for i, rhs := range s.Rhs {
-				if !isAppendCall(pass, rhs) || i >= len(s.Lhs) {
+				if !isAppendCall(info, rhs) || i >= len(s.Lhs) {
 					continue
 				}
-				target, outside := outsideTarget(pass, s.Lhs[i], rs)
+				target, outside := outsideTarget(info, s.Lhs[i], rs)
 				if !outside {
 					continue
 				}
-				if obj := identObject(pass, s.Lhs[i]); obj != nil && sortedLater(pass, file, rs, obj) {
+				if obj := identObject(info, s.Lhs[i]); obj != nil && sortedLater(info, file, rs, obj) {
 					continue
 				}
-				pass.Reportf(rs.Pos(),
-					"map iteration order leaks into %s via append with no later sort; sort the keys or the result (bit-identity, DESIGN.md §11)",
-					target)
+				leak = Leak{Pos: rs.Pos(), Message: "map iteration order leaks into " + target + " via append with no later sort; sort the keys or the result (bit-identity, DESIGN.md §11)"}
+				found = true
 				return false
 			}
 		case *ast.CallExpr:
-			if reason := writeSink(pass, s, rs); reason != "" {
-				pass.Reportf(rs.Pos(),
-					"map iteration order feeds %s; iterate sorted keys instead (bit-identity, DESIGN.md §11)", reason)
+			if reason := writeSink(info, s, rs); reason != "" {
+				leak = Leak{Pos: rs.Pos(), Message: "map iteration order feeds " + reason + "; iterate sorted keys instead (bit-identity, DESIGN.md §11)"}
+				found = true
 				return false
 			}
 		}
 		return true
 	})
+	return leak, found
 }
 
 // isAppendCall reports whether the expression is a call to the append
 // builtin.
-func isAppendCall(pass *analysis.Pass, e ast.Expr) bool {
+func isAppendCall(info *types.Info, e ast.Expr) bool {
 	call, ok := e.(*ast.CallExpr)
 	if !ok {
 		return false
@@ -124,7 +154,7 @@ func isAppendCall(pass *analysis.Pass, e ast.Expr) bool {
 	if !ok {
 		return false
 	}
-	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	b, ok := info.Uses[id].(*types.Builtin)
 	return ok && b.Name() == "append"
 }
 
@@ -132,10 +162,10 @@ func isAppendCall(pass *analysis.Pass, e ast.Expr) bool {
 // loop (so the loop's iteration order becomes its element order), and a
 // printable name for it. Struct fields and other selectors are treated as
 // outside.
-func outsideTarget(pass *analysis.Pass, lhs ast.Expr, rs *ast.RangeStmt) (string, bool) {
+func outsideTarget(info *types.Info, lhs ast.Expr, rs *ast.RangeStmt) (string, bool) {
 	switch t := lhs.(type) {
 	case *ast.Ident:
-		obj := identObject(pass, lhs)
+		obj := identObject(info, lhs)
 		if obj == nil {
 			return "", false
 		}
@@ -150,20 +180,20 @@ func outsideTarget(pass *analysis.Pass, lhs ast.Expr, rs *ast.RangeStmt) (string
 }
 
 // identObject resolves an identifier expression to its object.
-func identObject(pass *analysis.Pass, e ast.Expr) types.Object {
+func identObject(info *types.Info, e ast.Expr) types.Object {
 	id, ok := e.(*ast.Ident)
 	if !ok {
 		return nil
 	}
-	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+	if obj := info.Uses[id]; obj != nil {
 		return obj
 	}
-	return pass.TypesInfo.Defs[id]
+	return info.Defs[id]
 }
 
 // sortedLater reports whether obj is passed to a sort.* or slices.* call
 // after the loop ends — the collect-then-sort idiom.
-func sortedLater(pass *analysis.Pass, file *ast.File, rs *ast.RangeStmt, obj types.Object) bool {
+func sortedLater(info *types.Info, file *ast.File, rs *ast.RangeStmt, obj types.Object) bool {
 	found := false
 	ast.Inspect(file, func(n ast.Node) bool {
 		if found {
@@ -177,7 +207,7 @@ func sortedLater(pass *analysis.Pass, file *ast.File, rs *ast.RangeStmt, obj typ
 		if !ok {
 			return true
 		}
-		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
 		if !ok || fn.Pkg() == nil {
 			return true
 		}
@@ -187,7 +217,7 @@ func sortedLater(pass *analysis.Pass, file *ast.File, rs *ast.RangeStmt, obj typ
 		for _, arg := range call.Args {
 			argFound := false
 			ast.Inspect(arg, func(a ast.Node) bool {
-				if id, ok := a.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				if id, ok := a.(*ast.Ident); ok && info.Uses[id] == obj {
 					argFound = true
 				}
 				return !argFound
@@ -205,12 +235,12 @@ func sortedLater(pass *analysis.Pass, file *ast.File, rs *ast.RangeStmt, obj typ
 // writeSink reports whether the call writes loop data to an ordered sink
 // owned outside the loop: fmt printing, writer/encoder methods, or
 // io.WriteString. Empty means no sink.
-func writeSink(pass *analysis.Pass, call *ast.CallExpr, rs *ast.RangeStmt) string {
+func writeSink(info *types.Info, call *ast.CallExpr, rs *ast.RangeStmt) string {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return ""
 	}
-	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
 	if !ok {
 		return ""
 	}
@@ -224,7 +254,7 @@ func writeSink(pass *analysis.Pass, call *ast.CallExpr, rs *ast.RangeStmt) strin
 				pkg.Path() == "io" && fn.Name() == "WriteString":
 				// Writer-taking forms: only writers that outlive the loop
 				// can observe its order.
-				if len(call.Args) > 0 && writerOutlivesLoop(pass, call.Args[0], rs) {
+				if len(call.Args) > 0 && writerOutlivesLoop(info, call.Args[0], rs) {
 					return pkg.Name() + "." + fn.Name()
 				}
 			}
@@ -238,7 +268,7 @@ func writeSink(pass *analysis.Pass, call *ast.CallExpr, rs *ast.RangeStmt) strin
 	}
 	// Only writers that outlive the iteration order matter; a buffer built
 	// per iteration is deterministic for its own key.
-	if writerOutlivesLoop(pass, sel.X, rs) {
+	if writerOutlivesLoop(info, sel.X, rs) {
 		return types.ExprString(sel.X) + "." + fn.Name()
 	}
 	return ""
@@ -248,12 +278,12 @@ func writeSink(pass *analysis.Pass, call *ast.CallExpr, rs *ast.RangeStmt) strin
 // state declared outside the loop. Per-iteration buffers are fine; idents
 // from enclosing scope, struct fields, and anything unresolvable are
 // conservatively treated as outliving.
-func writerOutlivesLoop(pass *analysis.Pass, w ast.Expr, rs *ast.RangeStmt) bool {
+func writerOutlivesLoop(info *types.Info, w ast.Expr, rs *ast.RangeStmt) bool {
 	if u, ok := w.(*ast.UnaryExpr); ok { // &buf
 		w = u.X
 	}
 	if id, ok := w.(*ast.Ident); ok {
-		obj := identObject(pass, id)
+		obj := identObject(info, id)
 		return obj == nil || obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
 	}
 	return true

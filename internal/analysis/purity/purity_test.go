@@ -1,0 +1,15 @@
+package purity_test
+
+import (
+	"testing"
+
+	"nochatter/internal/analysis/analysistest"
+	"nochatter/internal/analysis/purity"
+)
+
+func TestPurity(t *testing.T) {
+	analysistest.Run(t, "testdata", purity.Analyzer,
+		"nochatter/internal/sched/costdep",
+		"nochatter/internal/sched",
+		"nochatter/internal/service")
+}

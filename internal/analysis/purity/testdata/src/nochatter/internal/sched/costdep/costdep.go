@@ -1,0 +1,20 @@
+// Package costdep is a fixture dependency: its impurity must cross the
+// package boundary as a fact and poison the seed roots in the sched
+// fixture that import it.
+package costdep
+
+import "time"
+
+// NowUnix leaks the wall clock to every caller.
+func NowUnix() int64 { // want-fact `impure: reads the wall clock \(time.Now\)`
+	return time.Now().Unix()
+}
+
+// Fixed is pure: no fact, no finding.
+func Fixed() int64 { return 42 }
+
+// Jittered hides the clock one more call down; the fact chain names the
+// in-package hop.
+func Jittered() int64 { // want-fact `impure: calls NowUnix, which is impure: reads the wall clock`
+	return NowUnix() % 7
+}

@@ -1,0 +1,45 @@
+// Package service mirrors the real canonical-encoding package's import
+// path, so the purity seed roots (CanonicalSpec, SpecKey, SweepSummaryKey)
+// apply to it. It exercises the non-call impurity causes: package-level
+// writes and map-order leaks.
+package service
+
+import "sort"
+
+// cache is package-level mutable state; writing it from a root is a
+// purity violation even though no banned function is called.
+var cache = map[string]int{}
+
+// CanonicalSpec is a seed root that memoizes into a package-level map.
+func CanonicalSpec(name string) []byte {
+	cache[name]++ // want `CanonicalSpec is a determinism seed root but is impure: writes package-level state cache`
+	return []byte(name)
+}
+
+// SpecKey is a seed root whose map iteration order reaches its output.
+func SpecKey(fields map[string]string) string {
+	var parts []string
+	for _, v := range fields { // want `SpecKey is a determinism seed root but is impure: leaks map iteration order \(map iteration order leaks into parts via append with no later sort\)`
+		parts = append(parts, v)
+	}
+	out := ""
+	for _, p := range parts {
+		out += p
+	}
+	return out
+}
+
+// SweepSummaryKey is a seed root using the sanctioned collect-then-sort
+// idiom: pure, no finding.
+func SweepSummaryKey(fields map[string]string) string {
+	keys := make([]string, 0, len(fields))
+	for k := range fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += k + "=" + fields[k] + ";"
+	}
+	return out
+}

@@ -241,11 +241,13 @@ func Open(dir string) (*Journal, error) {
 	st, valid := Replay(f)
 	if st.Truncated {
 		if err := f.Truncate(valid); err != nil {
+			//lint:allow errsink open already failed harder than close can: the truncate error is returned, a close error adds no signal
 			f.Close()
 			return nil, fmt.Errorf("journal: truncating torn tail: %w", err)
 		}
 	}
 	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		//lint:allow errsink open already failed harder than close can: the seek error is returned, a close error adds no signal
 		f.Close()
 		return nil, fmt.Errorf("journal: %w", err)
 	}
@@ -387,7 +389,13 @@ func (j *Journal) flushAndSync() {
 	}
 	f := j.f
 	j.mu.Unlock()
-	_ = f.Sync()
+	if err := f.Sync(); err != nil {
+		// A failed fsync means "durable" frames may not be: record it like
+		// a write error so Sync/Close surface it instead of losing it.
+		j.mu.Lock()
+		j.noteWriteErrLocked(err)
+		j.mu.Unlock()
+	}
 }
 
 // Sync forces everything appended so far to disk and reports the first
@@ -483,6 +491,7 @@ func (j *Journal) PutPlan(job string, keys []string) {
 	if j == nil {
 		return
 	}
+	//lint:allow errsink Append records write errors in werr and Sync/Close surface them; an unjournaled plan only costs re-planning on resume
 	_ = j.Append(Record{Op: OpPlan, Job: job, Keys: keys})
 }
 

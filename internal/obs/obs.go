@@ -314,6 +314,9 @@ func (r *Registry) claim(name, kind string) {
 
 // Counter returns the named counter, creating it on first use.
 func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil // nil *Counter is itself a no-op sink
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.claim(name, "counter")
@@ -327,6 +330,9 @@ func (r *Registry) Counter(name string) *Counter {
 
 // Gauge returns the named gauge, creating it on first use.
 func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil // nil *Gauge is itself a no-op sink
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.claim(name, "gauge")
@@ -341,6 +347,9 @@ func (r *Registry) Gauge(name string) *Gauge {
 // GaugeFunc registers a computed gauge: fn is evaluated at snapshot time,
 // outside the registry lock. Re-registering a name replaces the function.
 func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	if r == nil {
+		return
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.claim(name, "func")
@@ -353,6 +362,9 @@ func (r *Registry) GaugeFunc(name string, fn func() float64) {
 // must return a JSON-marshalable value; returning nil omits the key from
 // that snapshot.
 func (r *Registry) Object(name string, fn func() any) {
+	if r == nil {
+		return
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.claim(name, "object")
@@ -361,6 +373,9 @@ func (r *Registry) Object(name string, fn func() any) {
 
 // Histogram returns the named histogram, creating it on first use.
 func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil // nil *Histogram is itself a no-op sink
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.claim(name, "histogram")
@@ -378,6 +393,9 @@ func (r *Registry) Histogram(name string) *Histogram {
 // marshals with encoding/json's sorted-key order, so two snapshots of
 // equal state encode identically.
 func (r *Registry) Snapshot() map[string]any {
+	if r == nil {
+		return map[string]any{}
+	}
 	r.mu.Lock()
 	type namedFunc struct {
 		name string
@@ -442,6 +460,9 @@ func (r *Registry) MarshalJSON() ([]byte, error) {
 
 // Names returns the registered metric names, sorted.
 func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make([]string, 0, len(r.kinds))

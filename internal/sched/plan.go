@@ -36,6 +36,7 @@ func (p Planner) PlanSpecs(specs []spec.ScenarioSpec, workers int) []Chunk {
 	}
 	costs := make([]int64, len(specs))
 	for i, sp := range specs {
+		//lint:allow purity the CostModel contract (cost.go) requires models to be pure functions of the spec; callers supplying an impure model break the plan's determinism on their own head
 		costs[i] = model(sp)
 	}
 	return p.Plan(costs, workers)

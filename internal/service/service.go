@@ -263,6 +263,7 @@ func (s *Service) SetJournal(j *journal.Journal) {
 	}
 	s.queue.accepted = func(jb *job) {
 		if raw, err := json.Marshal(jb.specs); err == nil {
+			//lint:allow errsink the journal records write errors internally and Close surfaces them; an unjournaled acceptance only re-queues the job on resume
 			_ = j.JobAccepted(jb.id, raw, jb.summaryOnly)
 		}
 	}
@@ -386,6 +387,7 @@ func (s *Service) journalTerminal(jb *job, st JobStatus) {
 			sumRaw, _ = json.Marshal(sum)
 		}
 	}
+	//lint:allow errsink the journal records write errors internally and Close surfaces them; a lost terminal record re-runs the job on resume, never corrupts it
 	_ = s.jnl.JobTerminal(jb.id, string(st.State), st.Error, sumRaw)
 }
 

@@ -28,8 +28,11 @@ else
   fail=1
 fi
 
-if go run ./cmd/gatherlint ./...; then
-  echo "lint: gatherlint clean (detrand, maporder, wiretags, lockscope)"
+# gatherlint: the findings stream to gatherlint.json (one JSON object per
+# line — CI uploads it as an artifact) while the human rendering and the
+# per-analyzer wall times go to stderr.
+if go run ./cmd/gatherlint -json -stats ./... > gatherlint.json; then
+  echo "lint: gatherlint clean (detrand, maporder, wiretags, lockscope, purity, errsink, atomic)"
 else
   fail=1
 fi
